@@ -1,0 +1,49 @@
+// Fig. 1 — Sample size distribution for different datasets.
+//
+// The paper plots size CDFs for ImageNet (75% of samples < 147 KB) and
+// IMDB (75% < 1.6 KB) to motivate the many-small-random-reads pattern.
+// We regenerate both from the fitted synthetic distributions and report
+// the quartiles next to the paper's.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+
+int main() {
+  using dlfs::Table;
+  dlfs::print_banner("Fig 1: sample size distribution (ImageNet-like, IMDB-like)");
+
+  constexpr std::size_t kSamples = 50000;
+
+  auto imagenet = dlfs::dataset::make_imagenet_like_dataset(kSamples, 42);
+  auto imdb = dlfs::dataset::make_imdb_like_dataset(kSamples, 42);
+
+  auto report = [](const dlfs::dataset::Dataset& ds, double paper_p75) {
+    dlfs::Percentiles p;
+    auto hist = dlfs::Histogram::pow2(256.0, 8.0 * 1024 * 1024);
+    for (const auto& s : ds.samples()) {
+      p.add(s.size);
+      hist.add(s.size);
+    }
+    std::printf("\n%s (%zu samples, %s total)\n", ds.name().c_str(),
+                ds.num_samples(),
+                dlfs::format_bytes(ds.total_bytes()).c_str());
+    std::printf("%s", hist.render_cdf("B").c_str());
+    Table t({"percentile", "size"});
+    for (double q : {25.0, 50.0, 75.0, 95.0, 99.0}) {
+      t.add_row({"p" + Table::num(q, 0),
+                 dlfs::format_bytes(static_cast<std::uint64_t>(
+                     p.percentile(q)))});
+    }
+    t.print();
+    std::printf("paper: 75%% of samples below %.1f KB | measured p75 = %.1f KB\n",
+                paper_p75 / 1e3, p.percentile(75) / 1e3);
+  };
+
+  report(imagenet, 147e3);
+  report(imdb, 1.6e3);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 7 — DLFS CPU utilization.
+//
+// (a) Bandwidth vs core count (one I/O thread per core): DLFS saturates
+//     the device from a single core; Ext4 needs three or more.
+// (b) How much application computation can be folded into DLFS's polling
+//     loop before throughput drops: ~the batch's device time (paper:
+//     ~2 ms for 32 x 128 KB; less for 16 KB; 512 B behaves like a large
+//     sample because the actual I/O requests are chunk-sized).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+using dlfs::Table;
+using dlfs::bench::Workload;
+using namespace dlfs::byte_literals;
+using namespace dlsim::literals;
+
+int main() {
+  dlfs::print_banner("Fig 7a: bandwidth vs core count (device: 2.5 GB/s)");
+
+  const std::vector<std::uint32_t> cores = {1, 2, 3, 4, 8};
+  for (std::uint64_t size : {4_KiB, 128_KiB}) {
+    Table t({"cores", "Ext4 GB/s", "DLFS GB/s", "Ext4 util", "DLFS util"});
+    for (auto k : cores) {
+      Workload w;
+      w.num_nodes = 1;
+      w.sample_bytes = static_cast<std::uint32_t>(size);
+      w.samples_per_node = size <= 4_KiB ? 12288 : 768;
+
+      auto ext4 = dlfs::bench::run_ext4(w, k);
+
+      Workload wd = w;
+      wd.clients = k;  // k DLFS I/O threads, one core each, on one node
+      dlfs::core::DlfsConfig cfg;
+      cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
+      auto dl = dlfs::bench::run_dlfs(wd, cfg);
+
+      t.add_row({Table::integer(k), Table::num(ext4.bytes_per_sec / 1e9, 2),
+                 Table::num(dl.bytes_per_sec / 1e9, 2),
+                 Table::num(ext4.client_cpu_util, 2),
+                 Table::num(dl.client_cpu_util, 2)});
+    }
+    std::printf("\nsample size %s\n", dlfs::format_bytes(size).c_str());
+    t.print();
+  }
+  std::printf(
+      "paper: DLFS saturates with 1 core; Ext4 needs >= 3 cores for small "
+      "samples\n");
+
+  dlfs::print_banner("Fig 7b: compute folded into the polling loop");
+  const std::vector<dlsim::SimDuration> injected = {
+      0,      100_us, 250_us, 500_us, 1_ms,
+      1500_us, 2_ms,  3_ms,   5_ms};
+  for (std::uint64_t size : {512_B, 16_KiB, 128_KiB}) {
+    Workload w;
+    w.num_nodes = 1;
+    w.sample_bytes = static_cast<std::uint32_t>(size);
+    w.samples_per_node = size <= 4_KiB ? 16384 : (size <= 16_KiB ? 4096 : 512);
+    dlfs::core::DlfsConfig cfg;
+    cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
+    const double base =
+        dlfs::bench::run_dlfs(w, cfg, 0).samples_per_sec;
+    Table t({"added compute", "Ksamples/s", "relative"});
+    for (auto inj : injected) {
+      const double s =
+          inj == 0 ? base
+                   : dlfs::bench::run_dlfs(w, cfg, inj).samples_per_sec;
+      t.add_row({Table::num(dlsim::to_millis(inj), 2) + " ms",
+                 Table::num(s / 1e3, 1), Table::num(s / base, 2)});
+    }
+    std::printf("\nsample size %s (batch 32)\n",
+                dlfs::format_bytes(size).c_str());
+    t.print();
+  }
+  std::printf(
+      "paper: 128KB unaffected to ~2ms; 16KB drops earlier; 512B behaves "
+      "like a large sample thanks to chunk-sized I/O\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 8 — Aggregated random-read throughput over 16 nodes (one emulated
+// NVMe device per node) vs sample size, for DLFS, Octopus and Ext4.
+//
+// Paper headlines:
+//   * samples <= 4 KB:  DLFS 9.72x Ext4, 6.05x Octopus
+//   * samples >= 16 KB: DLFS 1.31x Ext4, 1.12x Octopus (average)
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+using dlfs::Table;
+using dlfs::bench::Workload;
+using namespace dlfs::byte_literals;
+
+int main() {
+  dlfs::print_banner("Fig 8: aggregated throughput over 16 nodes");
+
+  const std::vector<std::uint64_t> sizes = {512, 4_KiB, 16_KiB, 128_KiB,
+                                            1_MiB};
+  Table t({"sample", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo",
+           "unit"});
+  std::vector<double> r_ext4, r_octo;
+  for (auto size : sizes) {
+    Workload w;
+    w.num_nodes = 16;
+    w.sample_bytes = static_cast<std::uint32_t>(size);
+    w.samples_per_node = size <= 4_KiB    ? 2048
+                         : size <= 16_KiB ? 1024
+                         : size <= 128_KiB ? 192
+                                           : 48;
+    dlfs::core::DlfsConfig cfg;
+    cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
+    const double dl = dlfs::bench::run_dlfs(w, cfg).samples_per_sec;
+    const double e4 = dlfs::bench::run_ext4(w, 1).samples_per_sec;
+    const double oc = dlfs::bench::run_octopus(w).samples_per_sec;
+    r_ext4.push_back(dl / e4);
+    r_octo.push_back(dl / oc);
+    t.add_row({dlfs::format_bytes(size), Table::num(e4 / 1e3, 1),
+               Table::num(oc / 1e3, 1), Table::num(dl / 1e3, 1),
+               Table::num(dl / e4, 2) + "x", Table::num(dl / oc, 2) + "x",
+               "Ksamples/s"});
+  }
+  t.print();
+
+  std::printf("\npaper-vs-measured headlines\n");
+  std::printf(
+      "  <=4KB : DLFS/Ext4 paper 9.72x | measured %.2fx ; DLFS/Octopus "
+      "paper 6.05x | measured %.2fx\n",
+      (r_ext4[0] + r_ext4[1]) / 2, (r_octo[0] + r_octo[1]) / 2);
+  std::printf(
+      "  >=16KB: DLFS/Ext4 paper 1.31x | measured %.2fx ; DLFS/Octopus "
+      "paper 1.12x | measured %.2fx\n",
+      (r_ext4[2] + r_ext4[3] + r_ext4[4]) / 3,
+      (r_octo[2] + r_octo[3] + r_octo[4]) / 3);
+  return 0;
+}

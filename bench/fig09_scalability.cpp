@@ -1,0 +1,65 @@
+// Fig. 9 — Scalability: aggregated throughput across 2..16 nodes (one
+// emulated NVMe device each) at 512 B and 128 KB samples.
+//
+// Paper headlines:
+//   * 512 B : DLFS 28.45x Ext4 and 104.38x Octopus on average;
+//             near-linear DLFS scaling with node count
+//   * 128 KB: DLFS +65.1% over Ext4; 1.37x over Octopus
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+using dlfs::Table;
+using dlfs::bench::Workload;
+using namespace dlfs::byte_literals;
+
+int main() {
+  dlfs::print_banner("Fig 9: scalability over 2..16 networked NVMe devices");
+
+  const std::vector<std::uint32_t> node_counts = {2, 4, 8, 16};
+  for (std::uint64_t size : {512_B, 128_KiB}) {
+    Table t({"nodes", "Ext4", "Octopus", "DLFS", "DLFS/Ext4", "DLFS/Octo",
+             "unit"});
+    double sum_e4 = 0, sum_oc = 0;
+    std::vector<double> dlfs_series;
+    for (auto nodes : node_counts) {
+      Workload w;
+      w.num_nodes = nodes;
+      w.sample_bytes = static_cast<std::uint32_t>(size);
+      w.samples_per_node = size == 512 ? 3072 : 192;
+      dlfs::core::DlfsConfig cfg;
+      cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
+      const double dl = dlfs::bench::run_dlfs(w, cfg).samples_per_sec;
+      const double e4 = dlfs::bench::run_ext4(w, 1).samples_per_sec;
+      const double oc = dlfs::bench::run_octopus(w).samples_per_sec;
+      sum_e4 += dl / e4;
+      sum_oc += dl / oc;
+      dlfs_series.push_back(dl);
+      t.add_row({Table::integer(nodes), Table::num(e4 / 1e3, 1),
+                 Table::num(oc / 1e3, 1), Table::num(dl / 1e3, 1),
+                 Table::num(dl / e4, 2) + "x", Table::num(dl / oc, 2) + "x",
+                 "Ksamples/s"});
+    }
+    std::printf("\nsample size %s\n", dlfs::format_bytes(size).c_str());
+    t.print();
+    const double n = static_cast<double>(node_counts.size());
+    if (size == 512) {
+      std::printf(
+          "paper: DLFS 28.45x Ext4 | measured %.2fx ; 104.38x Octopus | "
+          "measured %.2fx\n",
+          sum_e4 / n, sum_oc / n);
+    } else {
+      std::printf(
+          "paper: DLFS +65.1%% vs Ext4 | measured +%.1f%% ; 1.37x Octopus | "
+          "measured %.2fx\n",
+          (sum_e4 / n - 1.0) * 100.0, sum_oc / n);
+    }
+    std::printf("DLFS scaling 2->16 nodes: %.2fx (linear would be 8x)\n",
+                dlfs_series.back() / dlfs_series.front());
+  }
+  return 0;
+}

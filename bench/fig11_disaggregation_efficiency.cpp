@@ -1,0 +1,83 @@
+// Fig. 11 — Effective throughput on disaggregated NVMe devices
+// (128 KB samples).
+//
+//   DLFS-1C  : one client node reading from 1..16 remote NVMe-oF targets
+//   DLFS-16C : sixteen clients over the same pool
+//   NVMe-1C  : ideal — min(total device bandwidth, one client NIC)
+//   NVMe-16C : ideal — total device bandwidth
+//
+// Paper headlines: DLFS-1C reaches 93.4% of the ideal (NIC-capped beyond
+// ~2 devices); DLFS-16C scales linearly up to 88% of ideal.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+using dlfs::Table;
+using dlfs::bench::Workload;
+using namespace dlfs::byte_literals;
+
+int main() {
+  dlfs::print_banner(
+      "Fig 11: effective throughput on disaggregated NVMe devices (128 KiB)");
+
+  const auto& cal = dlfs::default_calibration();
+  const double dev_bw = cal.nvme.read_bw_bytes_per_sec;
+  const double nic_bw = cal.nic.bw_bytes_per_sec;
+  const double sample = 128.0 * 1024.0;
+
+  const std::vector<std::uint32_t> device_counts = {1, 2, 4, 8, 16};
+  Table t({"devices", "NVMe-1C", "DLFS-1C", "eff", "NVMe-16C", "DLFS-16C",
+           "eff", "unit"});
+  double eff1_sum = 0, eff16_sum = 0;
+  std::vector<double> dlfs16_series;
+  for (auto n : device_counts) {
+    // One client on a dedicated extra node; every device remote.
+    Workload w1;
+    w1.num_nodes = n + 1;
+    w1.clients = 1;
+    w1.storage = n;
+    w1.client_node_offset = n;  // the client lives on the extra node
+    w1.sample_bytes = static_cast<std::uint32_t>(sample);
+    w1.samples_per_node = 256;
+    dlfs::core::DlfsConfig cfg;
+    cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
+    cfg.prefetch_units = 16;  // one client must cover many devices
+    auto res1 = dlfs::bench::run_dlfs(w1, cfg);
+
+    Workload w16 = w1;
+    w16.num_nodes = std::max<std::uint32_t>(n, 16);
+    w16.clients = 16;
+    w16.storage = n;
+    dlfs::core::DlfsConfig cfg16 = cfg;
+    cfg16.prefetch_units = 4;
+    auto res16 = dlfs::bench::run_dlfs(w16, cfg16);
+
+    const double ideal1 =
+        std::min(static_cast<double>(n) * dev_bw, nic_bw) / sample;
+    const double ideal16 = static_cast<double>(n) * dev_bw / sample;
+    const double eff1 = res1.samples_per_sec / ideal1;
+    const double eff16 = res16.samples_per_sec / ideal16;
+    eff1_sum += eff1;
+    eff16_sum += eff16;
+    dlfs16_series.push_back(res16.samples_per_sec);
+    t.add_row({Table::integer(n), Table::num(ideal1 / 1e3, 1),
+               Table::num(res1.samples_per_sec / 1e3, 1),
+               Table::num(eff1 * 100, 1) + "%", Table::num(ideal16 / 1e3, 1),
+               Table::num(res16.samples_per_sec / 1e3, 1),
+               Table::num(eff16 * 100, 1) + "%", "Ksamples/s"});
+  }
+  t.print();
+  const double n = static_cast<double>(device_counts.size());
+  std::printf(
+      "\npaper: DLFS-1C 93.4%% of ideal | measured avg %.1f%% ; DLFS-16C up "
+      "to 88%% | measured avg %.1f%%\n",
+      eff1_sum / n * 100, eff16_sum / n * 100);
+  std::printf("DLFS-16C scaling 1->16 devices: %.2fx (linear = 16x)\n",
+              dlfs16_series.back() / dlfs16_series.front());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 13 — Training accuracy: application-driven full randomization
+// (Full_Rand) vs the DLFS-determined sample order (random chunks,
+// sequential within a chunk), over 100 epochs.
+//
+// The paper trains AlexNet on image data; the question it answers —
+// does chunk-relaxed ordering hurt SGD convergence? — is model-agnostic,
+// so we train an MLP on a synthetic 10-class task (see DESIGN.md §2).
+// A no-shuffle control is included to show the experiment *can* detect a
+// bad order.
+//
+// Paper headline: "no observable differences in the training accuracy".
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dnn/experiment.hpp"
+
+using dlfs::Table;
+using dlfs::dnn::OrderPolicy;
+
+int main() {
+  dlfs::print_banner("Fig 13: training accuracy, Full_Rand vs DLFS order");
+
+  dlfs::dnn::SyntheticTaskConfig tcfg;
+  tcfg.train_samples = 8192;
+  tcfg.test_samples = 2048;
+  tcfg.cluster_sigma = 2.2;  // hard enough that ordering could matter
+  dlfs::dnn::SyntheticTask task(tcfg);
+
+  dlfs::dnn::TrainRunConfig rcfg;
+  rcfg.epochs = 100;
+  rcfg.batch_size = 32;
+  rcfg.learning_rate = 0.03f;
+
+  const auto full =
+      dlfs::dnn::train_with_order(task, OrderPolicy::kFullRandom, rcfg);
+  const auto chunked =
+      dlfs::dnn::train_with_order(task, OrderPolicy::kDlfsChunked, rcfg);
+  const auto sequential =
+      dlfs::dnn::train_with_order(task, OrderPolicy::kSequential, rcfg);
+
+  Table t({"epoch", "Full_Rand", "DLFS", "No-shuffle (control)"});
+  for (std::size_t e = 9; e < rcfg.epochs; e += 10) {
+    t.add_row({Table::integer(e + 1),
+               Table::num(full.test_accuracy_per_epoch[e] * 100, 2) + "%",
+               Table::num(chunked.test_accuracy_per_epoch[e] * 100, 2) + "%",
+               Table::num(sequential.test_accuracy_per_epoch[e] * 100, 2) +
+                   "%"});
+  }
+  t.print();
+
+  const double gap =
+      (full.final_accuracy() - chunked.final_accuracy()) * 100.0;
+  std::printf(
+      "\npaper: no observable accuracy difference | measured final gap "
+      "Full_Rand - DLFS = %.2f pp (final: %.2f%% vs %.2f%%)\n",
+      gap, full.final_accuracy() * 100, chunked.final_accuracy() * 100);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared workload harness for the figure-reproduction benches: builds a
+// cluster, stages a fixed-size dataset on DLFS / Ext4 / OctoFS, runs one
+// epoch of random sample reads, and reports throughput and CPU numbers
+// out of the deterministic simulation.
+//
+// Methodology notes (mirrors the paper's §IV setup):
+//  * random reads, batch of 32 samples unless a figure says otherwise;
+//  * DLFS and Ext4 issue I/O from one core per client (the paper's
+//    single-core configuration) unless a sweep varies it;
+//  * multi-node Ext4 reads its node-local shard (the paper: "Ext4 reads
+//    data locally"); DLFS and OctoFS read the global dataset;
+//  * results come from simulated time, so one run is exact — the paper's
+//    five-run averaging guards against noise we don't have.
+
+#include <cstdint>
+
+#include "common/calibration.hpp"
+#include "dlfs/dlfs.hpp"
+#include "sim/time.hpp"
+
+namespace dlfs::bench {
+
+struct Workload {
+  std::uint32_t num_nodes = 1;
+  std::uint32_t clients = 0;  // 0 = every node
+  std::uint32_t storage = 0;  // 0 = every node
+  // Client i runs on node (client_node_offset + i) % num_nodes. Fig. 11's
+  // single-client case sets this past the storage nodes so every device
+  // is remote.
+  std::uint32_t client_node_offset = 0;
+  std::uint32_t sample_bytes = 4096;
+  std::size_t samples_per_node = 2000;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 42;
+  Calibration calibration{};
+};
+
+struct RunResult {
+  double samples_per_sec = 0.0;
+  double bytes_per_sec = 0.0;
+  double client_cpu_util = 0.0;  // mean across client I/O cores
+  dlsim::SimDuration elapsed = 0;
+  std::uint64_t samples = 0;
+  double lookup_us_avg = 0.0;  // mean per-sample lookup/open time
+};
+
+/// One epoch of dlfs_bread across all clients.
+[[nodiscard]] RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
+                                 dlsim::SimDuration injected_poll_compute = 0);
+
+/// One epoch of open/pread/close over node-local Ext4, `threads_per_node`
+/// reader threads per node (1 = Ext4-Base, >1 = Ext4-MC).
+[[nodiscard]] RunResult run_ext4(const Workload& w,
+                                 std::uint32_t threads_per_node = 1);
+
+/// One epoch of open+RDMA-read over OctoFS (one client per node).
+[[nodiscard]] RunResult run_octopus(const Workload& w);
+
+/// Fig. 10: per-lookup metadata cost (directory lookup for DLFS, open for
+/// Ext4, lookup RPC for OctoFS) measured over `measure_count` random
+/// samples with `files_per_node` staged per node.
+struct LookupTimes {
+  double dlfs_us = 0.0;
+  double ext4_us = 0.0;
+  double octopus_us = 0.0;
+};
+[[nodiscard]] LookupTimes measure_lookup_times(std::uint32_t num_nodes,
+                                               std::size_t files_per_node,
+                                               std::uint32_t sample_bytes,
+                                               std::size_t measure_count);
+
+}  // namespace dlfs::bench

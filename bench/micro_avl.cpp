@@ -1,0 +1,65 @@
+// Host-time microbenchmark (google-benchmark): the AVL sample directory
+// against std::map. This measures *real* nanoseconds on this machine —
+// it is what justifies the 150 ns dir_lookup constant in
+// common/calibration.hpp (see DESIGN.md §5).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "dlfs/avl_tree.hpp"
+#include "dlfs/sample_entry.hpp"
+
+namespace {
+
+using dlfs::core::AvlTree;
+using dlfs::core::SampleEntry;
+
+std::vector<std::uint64_t> keys_for(std::size_t n) {
+  dlfs::Rng rng(42);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next() & SampleEntry::kKeyMask;
+  return keys;
+}
+
+void BM_AvlInsert(benchmark::State& state) {
+  const auto keys = keys_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    AvlTree<std::uint64_t, SampleEntry> tree;
+    for (auto k : keys) {
+      benchmark::DoNotOptimize(tree.insert(k, SampleEntry(0, k, 0, 1)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_AvlInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_AvlLookup(benchmark::State& state) {
+  const auto keys = keys_for(static_cast<std::size_t>(state.range(0)));
+  AvlTree<std::uint64_t, SampleEntry> tree;
+  for (auto k : keys) (void)tree.insert(k, SampleEntry(0, k, 0, 1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AvlLookup)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_StdMapLookup(benchmark::State& state) {
+  const auto keys = keys_for(static_cast<std::size_t>(state.range(0)));
+  std::map<std::uint64_t, SampleEntry> tree;
+  for (auto k : keys) tree.emplace(k, SampleEntry(0, k, 0, 1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdMapLookup)->Arg(1 << 14)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

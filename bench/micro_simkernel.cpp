@@ -1,0 +1,67 @@
+// Host-time microbenchmark (google-benchmark): throughput of the DES
+// kernel itself — events/second through the scheduler, channel hand-offs,
+// and process spawn cost. These bound how large a simulated experiment
+// stays tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using dlsim::Channel;
+using dlsim::Simulator;
+using dlsim::Task;
+
+void BM_DelayEvents(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    sim.spawn([](Simulator& s, int count) -> Task<void> {
+      for (int i = 0; i < count; ++i) co_await s.delay(10);
+    }(sim, n));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelayEvents)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ChannelHandoff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Channel<int> ch(sim, 8);
+    sim.spawn([](Channel<int>& c, int count) -> Task<void> {
+      for (int i = 0; i < count; ++i) co_await c.push(i);
+      c.close();
+    }(ch, n));
+    sim.spawn([](Channel<int>& c) -> Task<void> {
+      for (;;) {
+        auto v = co_await c.pop();
+        if (!v) break;
+      }
+    }(ch));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelHandoff)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SpawnJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.spawn([](Simulator& s) -> Task<void> { co_await s.delay(1); }(sim));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnJoin)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Shuffle-quality demo: the §II-B motivation for DLFS's sample-level
+// directory. Packing small samples into TFRecord-style batched files
+// avoids small random I/O, but a framework then shuffles inside a
+// bounded buffer — and a small buffer barely shuffles. DLFS instead
+// indexes samples individually and shuffles globally (chunk-granular),
+// keeping quality high at any scale.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/record_file.hpp"
+#include "dnn/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "tfio/pipeline.hpp"
+
+using dlsim::Task;
+
+namespace {
+
+/// A source reading sequentially out of a TFRecord-like batched file.
+class RecordSource final : public dlfs::tfio::Source {
+ public:
+  explicit RecordSource(const std::vector<dlfs::dataset::RecordRef>& index)
+      : index_(&index) {}
+  dlsim::Task<std::optional<dlfs::tfio::Element>> next() override {
+    if (i_ >= index_->size()) co_return std::nullopt;
+    const auto& r = (*index_)[i_];
+    dlfs::tfio::Element e{static_cast<std::uint32_t>(i_), 0, r.length};
+    ++i_;
+    co_return e;
+  }
+
+ private:
+  const std::vector<dlfs::dataset::RecordRef>* index_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSamples = 20000;
+
+  // Pack kSamples small records into one batched file.
+  dlfs::dataset::RecordFileWriter writer;
+  std::vector<std::byte> payload(512);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    std::memcpy(payload.data(), &i, sizeof(i));
+    writer.append(payload);
+  }
+  dlfs::dataset::RecordFileReader reader(writer.bytes());
+  const auto index = *reader.scan();
+  std::printf("batched file: %zu records, %zu bytes\n", index.size(),
+              writer.bytes().size());
+
+  dlfs::Table t({"ordering", "shuffle quality (1.0 = uniform)"});
+
+  // TFRecord + shuffle buffer of various sizes.
+  for (std::size_t buffer : {256ul, 2048ul, 20000ul}) {
+    dlsim::Simulator sim;
+    dlsim::CpuCore core(sim, "reader");
+    dlfs::tfio::Pipeline p(core, std::make_unique<RecordSource>(index),
+                           dlfs::FrameworkCosts{});
+    p.shuffle(buffer, 42).batch(kSamples);
+    std::vector<std::uint32_t> order;
+    sim.spawn([](dlfs::tfio::Pipeline& p,
+                 std::vector<std::uint32_t>& out) -> Task<void> {
+      auto b = co_await p.next_batch();
+      for (const auto& e : b->elements) out.push_back(e.sample_id);
+    }(p, order));
+    sim.run();
+    sim.rethrow_failures();
+    t.add_row({"TFRecord, shuffle buffer " + std::to_string(buffer),
+               dlfs::Table::num(dlfs::tfio::shuffle_quality(order), 3)});
+  }
+
+  // DLFS chunk-granular global shuffle (512 samples per 256 KiB chunk).
+  const auto dlfs_order = dlfs::dnn::epoch_order(
+      dlfs::dnn::OrderPolicy::kDlfsChunked, kSamples, 42, 512);
+  t.add_row({"DLFS chunk-level batching",
+             dlfs::Table::num(dlfs::tfio::shuffle_quality(dlfs_order), 3)});
+
+  // Application-level full shuffle.
+  const auto full_order = dlfs::dnn::epoch_order(
+      dlfs::dnn::OrderPolicy::kFullRandom, kSamples, 42, 512);
+  t.add_row({"full randomization",
+             dlfs::Table::num(dlfs::tfio::shuffle_quality(full_order), 3)});
+
+  t.print();
+  std::printf(
+      "small shuffle buffers barely move samples from their file order;\n"
+      "DLFS's global chunk shuffle stays close to a uniform permutation.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "cluster/cluster.hpp"
+
+namespace dlfs::cluster {
+
+Cluster::Cluster(dlsim::Simulator& sim, std::uint32_t num_nodes,
+                 const NodeConfig& node_config, const NicParams& nic)
+    : sim_(&sim), fabric_(std::make_unique<hw::Fabric>(sim, num_nodes, nic)) {
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, node_config));
+  }
+}
+
+}  // namespace dlfs::cluster

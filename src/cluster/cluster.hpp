@@ -1,0 +1,36 @@
+#pragma once
+
+// Cluster: N nodes plus the fabric that connects them.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "hw/net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace dlfs::cluster {
+
+class Cluster {
+ public:
+  Cluster(dlsim::Simulator& sim, std::uint32_t num_nodes,
+          const NodeConfig& node_config = NodeConfig{},
+          const NicParams& nic = NicParams{});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(hw::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] hw::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] dlsim::Simulator& simulator() { return *sim_; }
+
+ private:
+  dlsim::Simulator* sim_;
+  std::unique_ptr<hw::Fabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace dlfs::cluster

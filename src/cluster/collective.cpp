@@ -1,0 +1,23 @@
+#include "cluster/collective.hpp"
+
+namespace dlfs::cluster {
+
+dlsim::Task<void> ring_allgather(dlsim::Simulator& sim, hw::Fabric& fabric,
+                                 Barrier& barrier, hw::NodeId me,
+                                 const std::vector<std::uint64_t>& shard_bytes) {
+  (void)sim;
+  const std::uint32_t n = static_cast<std::uint32_t>(shard_bytes.size());
+  if (n <= 1) co_return;
+  const hw::NodeId next = (me + 1) % n;
+  // Classic ring: in round r, node i forwards shard (i - r + n) % n to its
+  // right neighbor. A barrier between rounds keeps rounds aligned (real
+  // ring implementations synchronize implicitly through receives).
+  for (std::uint32_t r = 0; r < n - 1; ++r) {
+    co_await barrier.arrive();
+    const std::uint32_t shard = (me + n - r) % n;
+    co_await fabric.transfer(me, next, shard_bytes[shard]);
+  }
+  co_await barrier.arrive();
+}
+
+}  // namespace dlfs::cluster

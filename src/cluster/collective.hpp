@@ -1,0 +1,53 @@
+#pragma once
+
+// Collective communication for the mount-time protocol: a reusable
+// barrier and a ring allgather with fabric-accurate timing. The paper's
+// dlfs_mount is "a collective call from all processes": every node loads
+// its shard, builds its local AVL tree, and the trees are allgathered so
+// each node ends up with an identical full sample directory (§III-B.2).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace dlfs::cluster {
+
+/// Reusable (generation-counted) barrier for n participants.
+class Barrier {
+ public:
+  Barrier(dlsim::Simulator& sim, std::size_t n)
+      : n_(n), waiters_(sim) {}
+
+  [[nodiscard]] dlsim::Task<void> arrive() {
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      waiters_.wake_all();
+      co_return;
+    }
+    while (generation_ == gen) co_await waiters_.wait();
+  }
+
+  [[nodiscard]] std::size_t participants() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  dlsim::detail::WaitList waiters_;
+};
+
+/// Ring allgather of per-node shards. Caller `me` participates with all
+/// other nodes (each must call this concurrently). `shard_bytes[i]` is
+/// the contribution size of node i; after n-1 rounds every node holds all
+/// shards. The *data* merge is done by the caller (shared host memory);
+/// this models the communication time on the fabric.
+[[nodiscard]] dlsim::Task<void> ring_allgather(
+    dlsim::Simulator& sim, hw::Fabric& fabric, Barrier& barrier,
+    hw::NodeId me, const std::vector<std::uint64_t>& shard_bytes);
+
+}  // namespace dlfs::cluster

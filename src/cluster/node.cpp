@@ -1,0 +1,33 @@
+#include "cluster/node.hpp"
+
+namespace dlfs::cluster {
+
+namespace {
+std::unique_ptr<hw::BackingStore> make_store(const NodeConfig& c,
+                                             hw::NodeId id) {
+  if (c.synthetic_store) {
+    return std::make_unique<hw::SyntheticBackingStore>(
+        c.device_capacity, /*seed=*/0x5eed0000u + id);
+  }
+  return std::make_unique<hw::RamBackingStore>(c.device_capacity);
+}
+}  // namespace
+
+Node::Node(dlsim::Simulator& sim, hw::NodeId id, const NodeConfig& config)
+    : sim_(&sim),
+      id_(id),
+      pool_(config.pool_bytes, config.pool_chunk_bytes),
+      device_(std::make_unique<hw::NvmeDevice>(
+          sim, "nvme-node" + std::to_string(id), make_store(config, id),
+          config.nvme)) {}
+
+dlsim::CpuCore& Node::core(std::size_t i) {
+  while (cores_.size() <= i) {
+    cores_.push_back(std::make_unique<dlsim::CpuCore>(
+        *sim_,
+        "node" + std::to_string(id_) + "-core" + std::to_string(cores_.size())));
+  }
+  return *cores_[i];
+}
+
+}  // namespace dlfs::cluster

@@ -1,0 +1,54 @@
+#pragma once
+
+// Node: one compute/storage node in the simulated cluster — a huge-page
+// pool, one NVMe device (the paper's configuration: one device per node
+// in multi-node runs), and CPU cores for its I/O and copy threads.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/units.hpp"
+#include "hw/net/fabric.hpp"
+#include "hw/nvme/nvme_device.hpp"
+#include "mem/hugepage_pool.hpp"
+#include "sim/cpu.hpp"
+
+namespace dlfs::cluster {
+
+struct NodeConfig {
+  std::uint64_t device_capacity = 8ull * 1024 * 1024 * 1024;
+  /// Synthetic (deterministic-content) backing store for large runs, RAM
+  /// store for data-integrity tests.
+  bool synthetic_store = true;
+  std::uint64_t pool_bytes = 64ull * 1024 * 1024;
+  std::uint64_t pool_chunk_bytes = 256 * 1024;
+  NvmeParams nvme{};
+};
+
+class Node {
+ public:
+  Node(dlsim::Simulator& sim, hw::NodeId id, const NodeConfig& config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] hw::NodeId id() const { return id_; }
+  [[nodiscard]] mem::HugePagePool& pool() { return pool_; }
+  [[nodiscard]] hw::NvmeDevice& device() { return *device_; }
+  [[nodiscard]] dlsim::Simulator& simulator() { return *sim_; }
+
+  /// Lazily creates core `i` (one simulated thread per core).
+  [[nodiscard]] dlsim::CpuCore& core(std::size_t i);
+  [[nodiscard]] std::size_t num_cores() const { return cores_.size(); }
+
+ private:
+  dlsim::Simulator* sim_;
+  hw::NodeId id_;
+  mem::HugePagePool pool_;
+  std::unique_ptr<hw::NvmeDevice> device_;
+  std::vector<std::unique_ptr<dlsim::CpuCore>> cores_;
+};
+
+}  // namespace dlfs::cluster

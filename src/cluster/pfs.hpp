@@ -1,0 +1,62 @@
+#pragma once
+
+// Pfs: the backend parallel file system stub datasets are uploaded from.
+//
+// The paper's workflow (§III): "DL applications typically load the
+// training datasets into the burst buffers at the beginning of their
+// execution from the persistent file system." The PFS here is purely a
+// mount-time data source: per-client striped bandwidth, high request
+// latency — nothing in the evaluation reads it on the training path.
+
+#include <cstdint>
+#include <span>
+
+#include "common/calibration.hpp"
+#include "dataset/dataset.hpp"
+#include "hw/net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace dlfs::cluster {
+
+class Pfs {
+ public:
+  Pfs(dlsim::Simulator& sim, const dataset::Dataset& ds,
+      const PfsParams& params = PfsParams{})
+      : sim_(&sim), dataset_(&ds), params_(params) {}
+
+  [[nodiscard]] const dataset::Dataset& dataset() const { return *dataset_; }
+
+  /// Reads one whole sample into `out` (sized to the sample). Models one
+  /// PFS request: latency plus streaming at the per-client stripe rate.
+  [[nodiscard]] dlsim::Task<void> read_sample(std::size_t sample_id,
+                                              std::span<std::byte> out) {
+    dataset_->fill_content(sample_id, 0, out);
+    bytes_served_ += out.size();
+    co_await sim_->delay(
+        params_.request_latency +
+        dlsim::transfer_time(out.size(), params_.read_bw_bytes_per_sec));
+  }
+
+  /// Bulk sequential read of a range of samples in one streamed request —
+  /// what a well-written loader does at mount time.
+  [[nodiscard]] dlsim::Task<void> stream_samples(std::size_t first,
+                                                 std::size_t count,
+                                                 std::uint64_t total_bytes) {
+    bytes_served_ += total_bytes;
+    (void)first;
+    (void)count;
+    co_await sim_->delay(
+        params_.request_latency +
+        dlsim::transfer_time(total_bytes, params_.read_bw_bytes_per_sec));
+  }
+
+  [[nodiscard]] std::uint64_t bytes_served() const { return bytes_served_; }
+
+ private:
+  dlsim::Simulator* sim_;
+  const dataset::Dataset* dataset_;
+  PfsParams params_;
+  std::uint64_t bytes_served_ = 0;
+};
+
+}  // namespace dlfs::cluster

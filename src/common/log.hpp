@@ -1,0 +1,32 @@
+#pragma once
+
+// Minimal leveled logger. Defaults to warnings-and-above so test and bench
+// output stays clean; examples turn on info logging to narrate what the
+// system is doing.
+
+#include <cstdio>
+#include <string>
+
+namespace dlfs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+void log_message(LogLevel lvl, const std::string& msg);
+
+inline void log_debug(const std::string& msg) {
+  log_message(LogLevel::kDebug, msg);
+}
+inline void log_info(const std::string& msg) {
+  log_message(LogLevel::kInfo, msg);
+}
+inline void log_warn(const std::string& msg) {
+  log_message(LogLevel::kWarn, msg);
+}
+inline void log_error(const std::string& msg) {
+  log_message(LogLevel::kError, msg);
+}
+
+}  // namespace dlfs

@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dlfs {
+
+double Rng::next_gaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::exp_of(double x) { return std::exp(x); }
+
+}  // namespace dlfs

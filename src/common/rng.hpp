@@ -1,0 +1,93 @@
+#pragma once
+
+// Deterministic PRNG (xoshiro256**) and shuffle utilities.
+//
+// std::mt19937 + std::shuffle are implementation-defined across standard
+// libraries; experiments must produce identical sequences everywhere, so
+// we carry our own generator and Fisher–Yates shuffle. This is also what
+// backs dlfs_sequence(seed): every node seeds an identical Rng and derives
+// the same global sample order without communication (§III-D.1 of the
+// paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dlfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding per xoshiro authors' recommendation.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      word = mix64(x);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution exact for any bound.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast here).
+  double next_gaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return exp_of(mu + sigma * next_gaussian());
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A shuffled identity permutation of size n.
+  std::vector<std::uint64_t> permutation(std::uint64_t n) {
+    std::vector<std::uint64_t> p(n);
+    for (std::uint64_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double exp_of(double x);
+
+  std::uint64_t s_[4]{};
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dlfs

@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace dlfs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += "  ";
+      // Right-align everything but the first column (row label).
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out += cells[c];
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cells[c];
+      }
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (auto w : widths) rule += w + 2;
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string Table::num(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data());
+}
+
+std::string Table::integer(std::uint64_t v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%llu",
+                static_cast<unsigned long long>(v));
+  return std::string(buf.data());
+}
+
+void print_banner(const std::string& title) {
+  std::string bar(title.size() + 10, '=');
+  std::printf("\n%s\n==== %s ====\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+}
+
+}  // namespace dlfs

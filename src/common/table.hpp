@@ -1,0 +1,35 @@
+#pragma once
+
+// Fixed-width ASCII table printer. Every figure-reproduction bench prints
+// its series through this so the outputs are uniform and diffable.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dlfs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  [[nodiscard]] std::string render() const;
+
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("==== Fig 6: ... ====") used by benches.
+void print_banner(const std::string& title);
+
+}  // namespace dlfs

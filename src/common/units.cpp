@@ -1,0 +1,47 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dlfs {
+
+namespace {
+
+std::string format_scaled(double v, const char* const* suffixes,
+                          std::size_t n_suffixes, double base,
+                          const char* int_fmt, const char* frac_fmt) {
+  std::size_t idx = 0;
+  while (v >= base && idx + 1 < n_suffixes) {
+    v /= base;
+    ++idx;
+  }
+  std::array<char, 64> buf{};
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    std::snprintf(buf.data(), buf.size(), int_fmt,
+                  static_cast<unsigned long long>(v), suffixes[idx]);
+  } else {
+    std::snprintf(buf.data(), buf.size(), frac_fmt, v, suffixes[idx]);
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return format_scaled(static_cast<double>(bytes), kSuffix, 5, 1024.0,
+                       "%llu %s", "%.1f %s");
+}
+
+std::string format_rate(double bytes_per_sec) {
+  static const char* const kSuffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return format_scaled(bytes_per_sec, kSuffix, 5, 1000.0, "%llu %s",
+                       "%.2f %s");
+}
+
+std::string format_count(double v) {
+  static const char* const kSuffix[] = {"", " K", " M", " G"};
+  return format_scaled(v, kSuffix, 4, 1000.0, "%llu%s", "%.2f%s");
+}
+
+}  // namespace dlfs

@@ -1,0 +1,47 @@
+#pragma once
+
+// Byte-size literals and helpers shared across the repository.
+
+#include <cstdint>
+#include <string>
+
+namespace dlfs {
+
+inline namespace byte_literals {
+
+constexpr std::uint64_t operator""_B(unsigned long long v) { return v; }
+constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ull;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace byte_literals
+
+/// Rounds `v` up to the next multiple of `align` (align must be > 0).
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+constexpr std::uint64_t round_down(std::uint64_t v, std::uint64_t align) {
+  return v / align * align;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Human-readable byte size, e.g. "512 B", "4 KiB", "2.5 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable rate, e.g. "2.41 GB/s".
+std::string format_rate(double bytes_per_sec);
+
+/// Human-readable count, e.g. "1.25 M", "3.1 K".
+std::string format_count(double v);
+
+}  // namespace dlfs

@@ -1,0 +1,108 @@
+#include "dataset/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "hw/nvme/backing_store.hpp"
+
+namespace dlfs::dataset {
+
+Dataset::Dataset(std::string name, std::uint64_t content_seed,
+                 std::vector<SampleSpec> samples)
+    : name_(std::move(name)),
+      content_seed_(content_seed),
+      samples_(std::move(samples)) {
+  for (const auto& s : samples_) {
+    if (s.size == 0) throw std::invalid_argument("zero-size sample");
+    total_bytes_ += s.size;
+    max_bytes_ = std::max(max_bytes_, s.size);
+  }
+}
+
+void Dataset::fill_content(std::size_t id, std::uint64_t offset,
+                           std::span<std::byte> out) const {
+  const auto& s = samples_.at(id);
+  if (offset + out.size() > s.size) {
+    throw std::out_of_range("content request beyond sample size");
+  }
+  // Derive a per-sample seed; reuse the synthetic-store generator so the
+  // content function is identical everywhere.
+  const std::uint64_t sample_seed =
+      hash_combine(content_seed_, mix64(static_cast<std::uint64_t>(id)));
+  hw::SyntheticBackingStore::fill(sample_seed, offset, out);
+}
+
+std::byte Dataset::content_byte(std::size_t id, std::uint64_t offset) const {
+  std::byte b;
+  fill_content(id, offset, std::span<std::byte>(&b, 1));
+  return b;
+}
+
+namespace {
+
+std::vector<SampleSpec> make_specs(std::size_t n, std::uint32_t num_classes,
+                                   Rng& rng,
+                                   const std::function<std::uint32_t()>& size_fn,
+                                   const std::string& prefix) {
+  std::vector<SampleSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SampleSpec s;
+    s.name = prefix + "_" + std::to_string(i);
+    s.class_id = static_cast<std::uint32_t>(rng.next_below(num_classes));
+    s.size = size_fn();
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::uint32_t clamp_u32(double v, double lo, double hi) {
+  return static_cast<std::uint32_t>(std::clamp(v, lo, hi));
+}
+
+}  // namespace
+
+Dataset make_fixed_size_dataset(std::size_t n, std::uint32_t size,
+                                std::uint64_t seed,
+                                std::uint32_t num_classes) {
+  Rng rng(seed);
+  auto specs = make_specs(
+      n, num_classes, rng, [size]() { return size; },
+      "fixed" + std::to_string(size));
+  return Dataset("fixed-" + std::to_string(size), seed, std::move(specs));
+}
+
+Dataset make_imagenet_like_dataset(std::size_t n, std::uint64_t seed,
+                                   std::uint32_t num_classes) {
+  Rng rng(seed);
+  // ln(median) = ln(90 KB); P75 = exp(mu + 0.6745 sigma) = 147 KB
+  //   => sigma = ln(147/90) / 0.6745 ~= 0.727
+  const double mu = std::log(90.0e3);
+  const double sigma = 0.727;
+  auto specs = make_specs(
+      n, num_classes, rng,
+      [&rng, mu, sigma]() {
+        return clamp_u32(rng.next_lognormal(mu, sigma), 2048.0, 4.0 * 1024 * 1024);
+      },
+      "imagenet");
+  return Dataset("imagenet-like", seed, std::move(specs));
+}
+
+Dataset make_imdb_like_dataset(std::size_t n, std::uint64_t seed,
+                               std::uint32_t num_classes) {
+  Rng rng(seed);
+  // ln(median) = ln(900 B); P75 = 1.6 KB => sigma = ln(1600/900)/0.6745
+  const double mu = std::log(900.0);
+  const double sigma = std::log(1600.0 / 900.0) / 0.6745;
+  auto specs = make_specs(
+      n, num_classes, rng,
+      [&rng, mu, sigma]() {
+        return clamp_u32(rng.next_lognormal(mu, sigma), 64.0, 64.0 * 1024);
+      },
+      "imdb");
+  return Dataset("imdb-like", seed, std::move(specs));
+}
+
+}  // namespace dlfs::dataset

@@ -1,0 +1,82 @@
+#pragma once
+
+// Dataset model: what a DL training set looks like to the storage stack.
+//
+// A dataset is an ordered list of samples, each with a name, a class
+// label and a size. Content is a pure function of (dataset seed, sample
+// id, offset) so that any layer — the PFS stub, a file system, a test —
+// can generate or verify a sample's bytes without shipping gigabytes
+// around (the paper's evaluation likewise uses "a dummy dataset with
+// random values as the sample content").
+//
+// Size distributions are fitted to the paper's Fig. 1:
+//   ImageNet-like: log-normal, 75% of samples below 147 KB
+//   IMDB-like:     log-normal, 75% of samples below 1.6 KB
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace dlfs::dataset {
+
+struct SampleSpec {
+  std::string name;
+  std::uint32_t class_id = 0;
+  std::uint32_t size = 0;
+};
+
+class Dataset {
+ public:
+  Dataset(std::string name, std::uint64_t content_seed,
+          std::vector<SampleSpec> samples);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t content_seed() const { return content_seed_; }
+  [[nodiscard]] std::size_t num_samples() const { return samples_.size(); }
+  [[nodiscard]] const SampleSpec& sample(std::size_t i) const {
+    return samples_.at(i);
+  }
+  [[nodiscard]] const std::vector<SampleSpec>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint32_t max_sample_bytes() const { return max_bytes_; }
+
+  /// Fills `out` with sample `id`'s content starting at `offset` within
+  /// the sample. Deterministic; any layer can verify reads against this.
+  void fill_content(std::size_t id, std::uint64_t offset,
+                    std::span<std::byte> out) const;
+
+  /// One content byte (for spot checks).
+  [[nodiscard]] std::byte content_byte(std::size_t id,
+                                       std::uint64_t offset) const;
+
+ private:
+  std::string name_;
+  std::uint64_t content_seed_;
+  std::vector<SampleSpec> samples_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint32_t max_bytes_ = 0;
+};
+
+// --- generators -------------------------------------------------------------
+
+/// n samples of exactly `size` bytes — the micro-benchmark datasets used
+/// for every throughput figure (the paper sweeps 512 B ... 1 MB).
+Dataset make_fixed_size_dataset(std::size_t n, std::uint32_t size,
+                                std::uint64_t seed = 1,
+                                std::uint32_t num_classes = 10);
+
+/// ImageNet-like log-normal sizes (75% < 147 KB, clamped to [2 KiB, 4 MiB]).
+Dataset make_imagenet_like_dataset(std::size_t n, std::uint64_t seed = 1,
+                                   std::uint32_t num_classes = 1000);
+
+/// IMDB-like log-normal sizes (75% < 1.6 KB, clamped to [64 B, 64 KiB]).
+Dataset make_imdb_like_dataset(std::size_t n, std::uint64_t seed = 1,
+                               std::uint32_t num_classes = 2);
+
+}  // namespace dlfs::dataset

@@ -1,0 +1,96 @@
+#include "dataset/record_file.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace dlfs::dataset {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  std::byte b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::uint64_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + off, 4);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xffffffffu; }
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> data) {
+  static const auto table = make_crc_table();
+  for (std::byte b : data) {
+    state = table[(state ^ static_cast<std::uint8_t>(b)) & 0xff] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xffffffffu; }
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+void write_record_header(std::span<std::byte, 8> out, std::uint32_t length,
+                         std::uint32_t crc) {
+  std::memcpy(out.data(), &length, 4);
+  std::memcpy(out.data() + 4, &crc, 4);
+}
+
+RecordRef RecordFileWriter::append(std::span<const std::byte> payload) {
+  RecordRef ref;
+  ref.offset = bytes_.size();
+  ref.length = static_cast<std::uint32_t>(payload.size());
+  put_u32(bytes_, ref.length);
+  put_u32(bytes_, crc32(payload));
+  bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  index_.push_back(ref);
+  return ref;
+}
+
+std::optional<std::vector<RecordRef>> RecordFileReader::scan() const {
+  std::vector<RecordRef> out;
+  std::uint64_t pos = 0;
+  while (pos < file_.size()) {
+    if (pos + 8 > file_.size()) return std::nullopt;
+    RecordRef ref;
+    ref.offset = pos;
+    ref.length = get_u32(file_, pos);
+    if (pos + 8 + ref.length > file_.size()) return std::nullopt;
+    if (!read(ref)) return std::nullopt;  // checksum
+    out.push_back(ref);
+    pos += 8 + ref.length;
+  }
+  return out;
+}
+
+std::optional<std::span<const std::byte>> RecordFileReader::read(
+    const RecordRef& ref) const {
+  if (ref.offset + 8 + ref.length > file_.size()) return std::nullopt;
+  const std::uint32_t want = get_u32(file_, ref.offset + 4);
+  auto payload = file_.subspan(ref.payload_offset(), ref.length);
+  if (crc32(payload) != want) return std::nullopt;
+  return payload;
+}
+
+}  // namespace dlfs::dataset

@@ -1,0 +1,228 @@
+#pragma once
+
+// AvlTree: the balanced binary search tree backing the in-memory sample
+// directory (Fig. 3a: "the entire directory is partitioned into an array
+// of balanced AVL trees"). Written from scratch — the directory's lookup
+// cost model and the micro_avl benchmark measure precisely this
+// structure, so hiding it behind std::map would defeat the experiment.
+//
+// Not thread-safe by design: the directory is built once at mount and is
+// read-only afterwards (the paper leans on DL datasets being read-only to
+// avoid any coherence machinery).
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dlfs::core {
+
+template <typename K, typename V>
+class AvlTree {
+ public:
+  AvlTree() = default;
+  AvlTree(AvlTree&&) noexcept = default;
+  AvlTree& operator=(AvlTree&&) noexcept = default;
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+  ~AvlTree() { clear(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Inserts (key, value). Returns false (and leaves the tree unchanged)
+  /// if the key already exists.
+  bool insert(const K& key, V value) {
+    bool inserted = false;
+    root_ = insert_node(std::move(root_), key, std::move(value), inserted);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Finds a value by key; nullptr if absent. The non-const overload
+  /// permits in-place mutation (the V-bit updates on cache fill/evict).
+  [[nodiscard]] V* find(const K& key) {
+    Node* n = root_.get();
+    while (n) {
+      if (key < n->key) {
+        n = n->left.get();
+      } else if (n->key < key) {
+        n = n->right.get();
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    return const_cast<AvlTree*>(this)->find(key);
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Removes a key. Returns false if absent.
+  bool erase(const K& key) {
+    bool erased = false;
+    root_ = erase_node(std::move(root_), key, erased);
+    if (erased) --size_;
+    return erased;
+  }
+
+  /// In-order traversal (ascending key order).
+  void for_each(const std::function<void(const K&, const V&)>& fn) const {
+    visit(root_.get(), fn);
+  }
+
+  void clear() {
+    // Iterative teardown with an explicit stack: recursive unique_ptr
+    // destruction would overflow the native stack on deep trees, and the
+    // destructor must stay O(n) — the sample directory holds millions of
+    // entries.
+    if (root_) {
+      std::vector<NodePtr> stack;
+      stack.push_back(std::move(root_));
+      while (!stack.empty()) {
+        NodePtr n = std::move(stack.back());
+        stack.pop_back();
+        if (n->left) stack.push_back(std::move(n->left));
+        if (n->right) stack.push_back(std::move(n->right));
+      }
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] int height() const { return node_height(root_.get()); }
+
+  /// Validates AVL invariants (BST order + balance factors). O(n); used
+  /// by property tests.
+  [[nodiscard]] bool validate() const {
+    bool ok = true;
+    (void)check(root_.get(), nullptr, nullptr, ok);
+    return ok;
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    int height = 1;
+    Node(const K& k, V v) : key(k), value(std::move(v)) {}
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static int node_height(const Node* n) { return n ? n->height : 0; }
+  static int balance_of(const Node* n) {
+    return n ? node_height(n->left.get()) - node_height(n->right.get()) : 0;
+  }
+  static void update(Node* n) {
+    n->height =
+        1 + std::max(node_height(n->left.get()), node_height(n->right.get()));
+  }
+
+  static NodePtr rotate_right(NodePtr y) {
+    NodePtr x = std::move(y->left);
+    y->left = std::move(x->right);
+    update(y.get());
+    x->right = std::move(y);
+    update(x.get());
+    return x;
+  }
+
+  static NodePtr rotate_left(NodePtr x) {
+    NodePtr y = std::move(x->right);
+    x->right = std::move(y->left);
+    update(x.get());
+    y->left = std::move(x);
+    update(y.get());
+    return y;
+  }
+
+  static NodePtr rebalance(NodePtr n) {
+    update(n.get());
+    const int bf = balance_of(n.get());
+    if (bf > 1) {
+      if (balance_of(n->left.get()) < 0) n->left = rotate_left(std::move(n->left));
+      return rotate_right(std::move(n));
+    }
+    if (bf < -1) {
+      if (balance_of(n->right.get()) > 0) {
+        n->right = rotate_right(std::move(n->right));
+      }
+      return rotate_left(std::move(n));
+    }
+    return n;
+  }
+
+  static NodePtr insert_node(NodePtr n, const K& key, V&& value,
+                             bool& inserted) {
+    if (!n) {
+      inserted = true;
+      return std::make_unique<Node>(key, std::move(value));
+    }
+    if (key < n->key) {
+      n->left = insert_node(std::move(n->left), key, std::move(value),
+                            inserted);
+    } else if (n->key < key) {
+      n->right = insert_node(std::move(n->right), key, std::move(value),
+                             inserted);
+    } else {
+      inserted = false;
+      return n;
+    }
+    return inserted ? rebalance(std::move(n)) : std::move(n);
+  }
+
+  static NodePtr erase_node(NodePtr n, const K& key, bool& erased) {
+    if (!n) {
+      erased = false;
+      return nullptr;
+    }
+    if (key < n->key) {
+      n->left = erase_node(std::move(n->left), key, erased);
+    } else if (n->key < key) {
+      n->right = erase_node(std::move(n->right), key, erased);
+    } else {
+      erased = true;
+      if (!n->left) return std::move(n->right);
+      if (!n->right) return std::move(n->left);
+      // Replace with in-order successor.
+      Node* succ = n->right.get();
+      while (succ->left) succ = succ->left.get();
+      n->key = succ->key;
+      n->value = std::move(succ->value);
+      bool dummy = false;
+      n->right = erase_node(std::move(n->right), n->key, dummy);
+    }
+    return rebalance(std::move(n));
+  }
+
+  static void visit(const Node* n,
+                    const std::function<void(const K&, const V&)>& fn) {
+    if (!n) return;
+    visit(n->left.get(), fn);
+    fn(n->key, n->value);
+    visit(n->right.get(), fn);
+  }
+
+  // Returns subtree height; sets ok=false on any violated invariant.
+  static int check(const Node* n, const K* lo, const K* hi, bool& ok) {
+    if (!n) return 0;
+    if ((lo && !(*lo < n->key)) || (hi && !(n->key < *hi))) ok = false;
+    const int hl = check(n->left.get(), lo, &n->key, ok);
+    const int hr = check(n->right.get(), &n->key, hi, ok);
+    if (std::abs(hl - hr) > 1) ok = false;
+    if (n->height != 1 + std::max(hl, hr)) ok = false;
+    return 1 + std::max(hl, hr);
+  }
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dlfs::core

@@ -1,0 +1,703 @@
+#include "dlfs/dlfs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dataset/record_file.hpp"
+
+namespace dlfs::core {
+
+namespace {
+using namespace dlfs::byte_literals;
+
+/// Spans of a [offset, offset+len) window across an ordered list of
+/// fixed-size pieces (the chunk-split buffers of one read unit).
+std::vector<std::span<const std::byte>> window_views(
+    const std::vector<mem::DmaBuffer>& pieces, std::uint64_t piece_size,
+    std::uint64_t offset, std::uint32_t len) {
+  std::vector<std::span<const std::byte>> out;
+  std::uint64_t pos = offset;
+  std::uint32_t left = len;
+  while (left > 0) {
+    const std::size_t idx = static_cast<std::size_t>(pos / piece_size);
+    const std::uint64_t in_piece = pos % piece_size;
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, piece_size - in_piece));
+    out.push_back(pieces.at(idx).span().subspan(in_piece, n));
+    pos += n;
+    left -= n;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DlfsFleet
+
+DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
+                     const dataset::Dataset& ds, DlfsConfig config,
+                     std::vector<hw::NodeId> client_nodes,
+                     std::vector<hw::NodeId> storage_nodes)
+    : cluster_(&cluster),
+      pfs_(&pfs),
+      dataset_(&ds),
+      config_(config),
+      client_nodes_(std::move(client_nodes)),
+      storage_nodes_(std::move(storage_nodes)),
+      directory_(storage_nodes_.empty() ? cluster.size()
+                                        : static_cast<std::uint32_t>(
+                                              storage_nodes_.size())),
+      upload_barrier_(cluster.simulator(),
+                      storage_nodes_.empty() ? cluster.size()
+                                             : storage_nodes_.size()),
+      allgather_barrier_(cluster.simulator(),
+                         storage_nodes_.empty() ? cluster.size()
+                                                : storage_nodes_.size()),
+      ready_barrier_(cluster.simulator(), 1) {
+  if (client_nodes_.empty()) {
+    for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+      client_nodes_.push_back(i);
+    }
+  }
+  if (storage_nodes_.empty()) {
+    for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+      storage_nodes_.push_back(i);
+    }
+  }
+  ready_barrier_ = cluster::Barrier(cluster.simulator(), participants());
+
+  // Deterministic layout: every sample is owned by hash(name) % S; shards
+  // pack samples back-to-back from device offset 0 in dataset order —
+  // either raw (one extent per sample) or grouped into TFRecord-style
+  // batched files of record_file_samples each (8-byte header per record;
+  // the sample entry points at the payload, so the directory gives
+  // direct access to any sample inside a batched file).
+  const std::size_t n = dataset_->num_samples();
+  layout_.resize(n);
+  shard_samples_.resize(storage_nodes_.size());
+  record_files_.resize(storage_nodes_.size());
+  name_to_id_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& spec = dataset_->sample(i);
+    const std::uint16_t slot = directory_.owner_of(spec.name);
+    shard_samples_[slot].push_back(static_cast<std::uint32_t>(i));
+    name_to_id_.emplace(hash64(spec.name), static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint64_t> next_offset(storage_nodes_.size(), 0);
+  const std::uint32_t per_file = config_.record_file_samples;
+  for (std::uint16_t slot = 0; slot < storage_nodes_.size(); ++slot) {
+    auto& files = record_files_[slot];
+    for (std::size_t k = 0; k < shard_samples_[slot].size(); ++k) {
+      const std::uint32_t id = shard_samples_[slot][k];
+      const std::uint32_t size = dataset_->sample(id).size;
+      if (per_file > 0) {
+        if (k % per_file == 0) {
+          files.push_back(RecordFileInfo{
+              "rf" + std::to_string(slot) + "_" +
+                  std::to_string(files.size()),
+              next_offset[slot], 0, {}});
+        }
+        next_offset[slot] += 8;  // record header
+        files.back().sample_ids.push_back(id);
+      }
+      layout_[id] = SampleLocation{slot, next_offset[slot], size};
+      next_offset[slot] += size;
+      if (per_file > 0) {
+        auto& f = files.back();
+        const std::uint64_t len = next_offset[slot] - f.offset;
+        if (len > core::SampleEntry::kMaxLen) {
+          throw std::invalid_argument(
+              "record_file_samples groups more than 8 MiB per file; the "
+              "23-bit length field cannot address it");
+        }
+        f.len = static_cast<std::uint32_t>(len);
+      }
+    }
+  }
+  for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
+    const auto cap =
+        cluster_->node(storage_nodes_[s]).device().capacity();
+    if (next_offset[s] > cap) {
+      throw std::invalid_argument(
+          "dataset shard exceeds device capacity on storage slot " +
+          std::to_string(s));
+    }
+  }
+  plan_ = std::make_unique<BatchPlan>(layout_, config_.chunk_bytes,
+                                      config_.batching);
+  targets_.resize(storage_nodes_.size());
+  instances_.resize(client_nodes_.size());
+}
+
+DlfsFleet::~DlfsFleet() = default;
+
+std::optional<std::uint32_t> DlfsFleet::sample_id_of(
+    std::string_view name) const {
+  auto it = name_to_id_.find(hash64(name));
+  if (it == name_to_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
+  auto& sim = cluster_->simulator();
+  const auto& cal = config_.calibration;
+
+  // --- storage role: upload shard, build directory slice ------------------
+  if (p < storage_nodes_.size()) {
+    cluster::Node& node = cluster_->node(storage_nodes_[p]);
+    const auto& ids = shard_samples_[p];
+    std::uint64_t shard_bytes = 0;
+    for (auto id : ids) shard_bytes += layout_[id].len;
+
+    // One streamed PFS request for the whole shard.
+    co_await pfs_->stream_samples(ids.empty() ? 0 : ids.front(), ids.size(),
+                                  shard_bytes);
+
+    // Write the shard to the local device in 1 MiB segments, pipelined at
+    // queue depth 8. Contents are generated from the dataset's content
+    // function into a staging buffer (functionally real bytes).
+    {
+      auto qp = node.device().create_qpair(8);
+      constexpr std::uint64_t kSegment = 1_MiB;
+      std::vector<std::byte> staging(kSegment);
+      std::uint64_t seg_start = 0;  // device offset of the staged segment
+      std::uint64_t seg_fill = 0;
+      auto flush = [&]() -> dlsim::Task<void> {
+        if (seg_fill == 0) co_return;
+        while (qp->outstanding() >= qp->depth()) {
+          co_await qp->wait_for_completion();
+          (void)qp->poll();
+        }
+        const auto st =
+            qp->submit(hw::IoOp::kWrite, seg_start,
+                       std::span<std::byte>(staging.data(), seg_fill), 0);
+        if (st != hw::IoStatus::kOk) {
+          throw std::runtime_error("device write failed during mount");
+        }
+        seg_start += seg_fill;
+        seg_fill = 0;
+      };
+      auto emit = [&](std::span<const std::byte> bytes) -> dlsim::Task<void> {
+        std::size_t done = 0;
+        while (done < bytes.size()) {
+          if (seg_fill == kSegment) co_await flush();
+          const std::uint64_t ncopy = std::min<std::uint64_t>(
+              bytes.size() - done, kSegment - seg_fill);
+          std::memcpy(staging.data() + seg_fill, bytes.data() + done, ncopy);
+          seg_fill += ncopy;
+          done += ncopy;
+        }
+      };
+      std::vector<std::byte> scratch;
+      for (auto id : ids) {
+        const SampleLocation& loc = layout_[id];
+        scratch.resize(loc.len);
+        dataset_->fill_content(id, 0, scratch);
+        if (config_.record_file_samples > 0) {
+          // TFRecord-style header: length | crc32(payload).
+          std::array<std::byte, 8> header;
+          dataset::write_record_header(header, loc.len,
+                                       dataset::crc32(scratch));
+          co_await emit(header);
+        }
+        co_await emit(scratch);
+      }
+      co_await flush();
+      while (qp->outstanding() > 0) {
+        co_await qp->wait_for_completion();
+        (void)qp->poll();
+      }
+    }
+
+    // Build this node's AVL slice (host-side insert; ~300 ns/sample of
+    // simulated CPU — tree construction is pointer chasing + rebalance).
+    for (auto id : ids) {
+      const SampleLocation& loc = layout_[id];
+      directory_.insert(id, dataset_->sample(id).name, loc.nid, loc.offset,
+                        loc.len);
+    }
+    // File-oriented entries for the batched record files on this node.
+    for (const auto& f : record_files_[p]) {
+      directory_.insert_file(f.name, p, f.offset, f.len);
+    }
+    co_await node.core(0).compute(
+        300ull * std::max<std::size_t>(ids.size() + record_files_[p].size(),
+                                       1));
+
+    // All-gather the directory slices (data is shared in-process; the
+    // ring models the communication time of moving every slice).
+    co_await upload_barrier_.arrive();
+    std::vector<std::uint64_t> slice_bytes(storage_nodes_.size());
+    for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
+      slice_bytes[s] = directory_.shard_bytes(s);
+    }
+    co_await cluster::ring_allgather(sim, cluster_->fabric(),
+                                     allgather_barrier_, p, slice_bytes);
+  }
+
+  co_await ready_barrier_.arrive();
+
+  // --- client role: build the instance and its queues ---------------------
+  if (p < client_nodes_.size()) {
+    cluster::Node& node = cluster_->node(client_nodes_[p]);
+    // One I/O thread per client, pinned to the next free core of its node.
+    std::size_t ordinal = 0;
+    for (std::uint32_t q = 0; q < p; ++q) {
+      if (client_nodes_[q] == client_nodes_[p]) ++ordinal;
+    }
+    auto inst = std::unique_ptr<DlfsInstance>(
+        new DlfsInstance(*this, p, node, node.core(ordinal)));
+    for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
+      cluster::Node& snode = cluster_->node(storage_nodes_[s]);
+      std::unique_ptr<spdk::IoQueue> q;
+      if (storage_nodes_[s] == client_nodes_[p]) {
+        inst->driver_->attach(snode.device());
+        q = inst->driver_->create_io_queue(snode.device(),
+                                           config_.queue_depth);
+      } else {
+        if (!targets_[s]) {
+          targets_[s] = std::make_unique<spdk::NvmfTarget>(
+              sim, cluster_->fabric(), storage_nodes_[s], snode.device());
+        }
+        q = targets_[s]->connect(client_nodes_[p], *inst->pool_,
+                                 config_.queue_depth);
+      }
+      inst->engine_->attach_target(s, std::move(q));
+    }
+    instances_[p] = std::move(inst);
+  }
+  mounted_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// DlfsInstance
+
+DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
+                           cluster::Node& node, dlsim::CpuCore& core)
+    : fleet_(&fleet),
+      client_idx_(client_idx),
+      node_(&node),
+      io_core_(&core) {
+  const DlfsConfig& cfg = fleet.config_;
+  pool_ = std::make_unique<mem::HugePagePool>(cfg.pool_bytes,
+                                              cfg.chunk_bytes);
+  cache_ = std::make_unique<SampleCache>(*pool_, cfg.cache_chunks,
+                                         fleet.dataset_->num_samples());
+  driver_ = std::make_unique<spdk::NvmeDriver>(node.simulator(), *pool_);
+  IoEngineConfig ecfg;
+  ecfg.chunk_bytes = cfg.chunk_bytes;
+  ecfg.copy_threads = cfg.copy_threads;
+  engine_ = std::make_unique<IoEngine>(node.simulator(), *pool_, *cache_,
+                                       cfg.calibration, ecfg);
+}
+
+DlfsInstance::~DlfsInstance() = default;
+
+dlsim::Task<void> DlfsInstance::charge_lookup() {
+  lookup_time_total_ += fleet_->config_.calibration.dlfs.dir_lookup;
+  co_await io_core_->compute(fleet_->config_.calibration.dlfs.dir_lookup);
+}
+
+dlsim::Task<SampleHandle> DlfsInstance::open(std::string_view name) {
+  co_await charge_lookup();
+  const SampleEntry* e = fleet_->directory_.lookup(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("dlfs_open: no such sample '" +
+                                std::string(name) + "'");
+  }
+  const auto id = fleet_->sample_id_of(name);
+  assert(id.has_value());
+  co_return SampleHandle{*id, e};
+}
+
+dlsim::Task<SampleHandle> DlfsInstance::open_id(std::uint32_t sample_id) {
+  co_await charge_lookup();
+  const SampleEntry* e = fleet_->directory_.lookup_id(sample_id);
+  if (e == nullptr) {
+    throw std::invalid_argument("dlfs_open: bad sample id " +
+                                std::to_string(sample_id));
+  }
+  co_return SampleHandle{sample_id, e};
+}
+
+dlsim::Task<SampleHandle> DlfsInstance::open_file(std::string_view name) {
+  co_await charge_lookup();
+  const SampleEntry* e = fleet_->directory_.lookup_file(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("dlfs_open: no such batched file '" +
+                                std::string(name) + "'");
+  }
+  co_return SampleHandle{SampleHandle::kNoSample, e};
+}
+
+dlsim::Task<void> DlfsInstance::read(const SampleHandle& h,
+                                     std::span<std::byte> dst) {
+  const SampleEntry& e = *h.entry;
+  if (dst.size() < e.len()) {
+    throw std::invalid_argument("dlfs_read: destination too small");
+  }
+  if (h.sample_id == SampleHandle::kNoSample) {
+    // File-oriented read: straight through the engine, no sample cache.
+    co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
+                               dst.data());
+    ++samples_delivered_;
+    bytes_delivered_ += e.len();
+    co_return;
+  }
+  if (cache_->valid(h.sample_id)) {
+    cache_->note_hit();
+    auto views = cache_->pin(h.sample_id);
+    CopyJob job;
+    job.views = std::move(views);
+    job.dst = dst.data();
+    co_await engine_->run_copy_inline(*io_core_, std::move(job));
+    cache_->unpin(h.sample_id);
+  } else {
+    cache_->note_miss();
+    co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
+                               dst.data(), h.sample_id);
+  }
+  ++samples_delivered_;
+  bytes_delivered_ += e.len();
+}
+
+void DlfsInstance::sequence(std::uint64_t seed) {
+  for (const auto& [slot, fu] : fetched_) {
+    if (fu.view_pins > 0) {
+      throw std::logic_error(
+          "dlfs_sequence: zero-copy batches from the previous epoch are "
+          "still pinned; release_views() them first");
+    }
+  }
+  seq_.emplace(*fleet_->plan_, seed, client_idx_, fleet_->num_clients());
+  fetched_.clear();
+}
+
+dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
+                                       std::span<std::byte> arena) {
+  if (!seq_) {
+    throw std::logic_error("dlfs_bread: call dlfs_sequence(seed) first");
+  }
+  const auto mode = fleet_->config_.batching;
+  if (mode == BatchingMode::kNone) {
+    co_return co_await bread_unbatched(max_samples, arena);
+  }
+
+  Batch batch;
+  auto picks = seq_->take(max_samples);
+  if (picks.empty()) co_return batch;
+
+  // Frontend: directory lookups for every sample in the mini-batch.
+  std::size_t total = 0;
+  for (const auto& pk : picks) total += pk.count;
+  for (const auto& pk : picks) {
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      const auto& us = pk.unit->samples[pk.first_sample + i];
+      (void)fleet_->directory_.lookup_id(us.sample_id);  // the real tree walk
+    }
+  }
+  lookup_time_total_ +=
+      total * fleet_->config_.calibration.dlfs.dir_lookup;
+  co_await io_core_->compute(
+      total * (fleet_->config_.calibration.dlfs.dir_lookup +
+               fleet_->config_.calibration.dlfs.bread_per_sample));
+
+  // Arena layout: samples packed in pick order.
+  std::uint64_t arena_pos = 0;
+  auto place = [&](std::uint32_t sample_id, std::uint32_t len)
+      -> std::uint32_t {
+    if (arena_pos + len > arena.size()) {
+      throw std::invalid_argument("dlfs_bread: arena too small for batch");
+    }
+    const auto off = static_cast<std::uint32_t>(arena_pos);
+    batch.samples.push_back(BatchSample{
+        sample_id, fleet_->dataset_->sample(sample_id).class_id, off, len});
+    arena_pos += len;
+    return off;
+  };
+
+  if (mode == BatchingMode::kSampleLevel) {
+    // One request per sample, overlapped up to the queue depth; cache hits
+    // are served with a memcpy only.
+    std::vector<ReadExtent> extents;
+    extents.reserve(total);
+    for (const auto& pk : picks) {
+      for (std::uint32_t i = 0; i < pk.count; ++i) {
+        const auto& us = pk.unit->samples[pk.first_sample + i];
+        const SampleLocation& loc = fleet_->layout_[us.sample_id];
+        const auto off = place(us.sample_id, loc.len);
+        if (cache_->valid(us.sample_id)) {
+          cache_->note_hit();
+          CopyJob job;
+          job.views = cache_->pin(us.sample_id);
+          job.dst = arena.data() + off;
+          co_await engine_->run_copy_inline(*io_core_, std::move(job));
+          cache_->unpin(us.sample_id);
+        } else {
+          cache_->note_miss();
+          extents.push_back(ReadExtent{loc.nid, loc.offset, loc.len,
+                                       arena.data() + off, us.sample_id,
+                                       nullptr});
+        }
+      }
+    }
+    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
+  } else {
+    // Chunk-level: fetch whole data chunks (and edge-sample extents); as
+    // each chunk lands, its picked samples start copying out immediately
+    // (copy threads run while later chunks are still in flight).
+    dlsim::CountdownLatch latch(node_->simulator(), total);
+
+    // Arena placement happens up front, in pick order, so sample offsets
+    // are known before the copies are scheduled.
+    struct PendingCopy {
+      const UnitSample* us;
+      std::uint32_t arena_off;
+    };
+    std::unordered_map<std::size_t, std::vector<PendingCopy>> copies_by_slot;
+    for (const auto& pk : picks) {
+      auto& list = copies_by_slot[pk.unit_slot];
+      for (std::uint32_t i = 0; i < pk.count; ++i) {
+        const auto& us = pk.unit->samples[pk.first_sample + i];
+        list.push_back(PendingCopy{&us, place(us.sample_id, us.len)});
+      }
+    }
+
+    // With a copy pool, a resident unit's copies are scheduled as a
+    // detached process (channel pushes never stall the I/O loop) and run
+    // on the copy threads while later chunks are still in flight. Without
+    // a pool the frontend core itself copies — serially, after the fetch
+    // (it cannot poll and memcpy at once).
+    std::vector<std::pair<std::size_t, std::vector<PendingCopy>>> inline_work;
+    auto schedule_copies = [this, &arena, &latch, &inline_work](
+                               std::size_t slot,
+                               std::vector<PendingCopy> list) {
+      FetchedUnit& fu = fetched_.at(slot);
+      fu.delivered += static_cast<std::uint32_t>(list.size());
+      if (fleet_->config_.copy_threads == 0) {
+        inline_work.emplace_back(slot, std::move(list));
+        return;
+      }
+      node_->simulator().spawn_daemon(
+          [](DlfsInstance* self, FetchedUnit* fu,
+             std::vector<PendingCopy> list, std::span<std::byte> arena,
+             dlsim::CountdownLatch* latch) -> dlsim::Task<void> {
+            for (const auto& pc : list) {
+              CopyJob job;
+              job.views =
+                  window_views(fu->buffers, self->fleet_->config_.chunk_bytes,
+                               pc.us->offset_in_unit, pc.us->len);
+              job.dst = arena.data() + pc.arena_off;
+              job.latch = latch;
+              co_await self->engine_->enqueue_copy(std::move(job));
+            }
+          }(this, &fu, std::move(list), arena, &latch),
+          "bread-copies");
+    };
+
+    std::vector<ReadExtent> extents;
+    std::vector<std::size_t> slots_fetching;
+    auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
+      if (fetched_.contains(slot)) return false;
+      if (std::find(slots_fetching.begin(), slots_fetching.end(), slot) !=
+          slots_fetching.end()) {
+        return false;
+      }
+      slots_fetching.push_back(slot);
+      auto& fu = fetched_[slot];  // stable address (node-based map)
+      extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
+                                   nullptr, std::nullopt, &fu.buffers,
+                                   {}});
+      return true;
+    };
+
+    for (const auto& pk : picks) {
+      if (add_fetch(pk.unit_slot, pk.unit)) {
+        // Copies start the moment this unit's buffers arrive.
+        auto it = copies_by_slot.find(pk.unit_slot);
+        if (it != copies_by_slot.end() && !it->second.empty()) {
+          auto list = std::move(it->second);
+          it->second.clear();
+          extents.back().on_buffers_ready =
+              [this, slot = pk.unit_slot, list = std::move(list),
+               &schedule_copies]() mutable {
+                schedule_copies(slot, std::move(list));
+              };
+        }
+      }
+    }
+    // Units already resident from earlier read-ahead: copy right away.
+    for (auto& [slot, list] : copies_by_slot) {
+      if (!list.empty() && fetched_.contains(slot)) {
+        schedule_copies(slot, std::move(list));
+        list.clear();
+      }
+    }
+    // Read-ahead: keep the next prefetch_units units resident so the
+    // device pipeline stays full across bread calls.
+    for (std::size_t slot :
+         seq_->upcoming_slots(fleet_->config_.prefetch_units)) {
+      (void)add_fetch(slot, seq_->unit_at(slot));
+    }
+    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
+    for (auto& [slot, list] : inline_work) {
+      FetchedUnit& fu = fetched_.at(slot);
+      for (const auto& pc : list) {
+        CopyJob job;
+        job.views = window_views(fu.buffers, fleet_->config_.chunk_bytes,
+                                 pc.us->offset_in_unit, pc.us->len);
+        job.dst = arena.data() + pc.arena_off;
+        job.latch = &latch;
+        co_await engine_->run_copy_inline(*io_core_, std::move(job));
+      }
+    }
+    co_await latch.wait();
+    // Release fully-consumed units.
+    for (const auto& pk : picks) maybe_release_unit(pk.unit_slot);
+  }
+
+  batch.bytes = arena_pos;
+  samples_delivered_ += batch.samples.size();
+  bytes_delivered_ += arena_pos;
+  co_return batch;
+}
+
+void DlfsInstance::maybe_release_unit(std::size_t slot) {
+  auto it = fetched_.find(slot);
+  if (it == fetched_.end()) return;
+  const ReadUnit* unit = seq_ ? seq_->unit_at(slot) : nullptr;
+  if (unit == nullptr) return;
+  if (it->second.view_pins == 0 &&
+      it->second.delivered == unit->samples.size()) {
+    fetched_.erase(it);
+  }
+}
+
+dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
+  if (!seq_) {
+    throw std::logic_error("dlfs_bread: call dlfs_sequence(seed) first");
+  }
+  if (fleet_->config_.batching != BatchingMode::kChunkLevel) {
+    throw std::logic_error(
+        "bread_views requires chunk-level batching (samples must live in "
+        "resident data chunks)");
+  }
+  ViewBatch batch;
+  auto picks = seq_->take(max_samples);
+  if (picks.empty()) co_return batch;
+
+  std::size_t total = 0;
+  for (const auto& pk : picks) total += pk.count;
+  for (const auto& pk : picks) {
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      (void)fleet_->directory_.lookup_id(
+          pk.unit->samples[pk.first_sample + i].sample_id);
+    }
+  }
+  lookup_time_total_ +=
+      total * fleet_->config_.calibration.dlfs.dir_lookup;
+  co_await io_core_->compute(
+      total * (fleet_->config_.calibration.dlfs.dir_lookup +
+               fleet_->config_.calibration.dlfs.bread_per_sample));
+
+  // Fetch the units backing this batch (plus read-ahead), then hand out
+  // views — no copy stage at all.
+  std::vector<ReadExtent> extents;
+  std::vector<std::size_t> slots_fetching;
+  auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
+    if (fetched_.contains(slot)) return;
+    if (std::find(slots_fetching.begin(), slots_fetching.end(), slot) !=
+        slots_fetching.end()) {
+      return;
+    }
+    slots_fetching.push_back(slot);
+    auto& fu = fetched_[slot];
+    extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len, nullptr,
+                                 std::nullopt, &fu.buffers, {}});
+  };
+  for (const auto& pk : picks) add_fetch(pk.unit_slot, pk.unit);
+  for (std::size_t slot :
+       seq_->upcoming_slots(fleet_->config_.prefetch_units)) {
+    add_fetch(slot, seq_->unit_at(slot));
+  }
+  co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
+
+  for (const auto& pk : picks) {
+    FetchedUnit& fu = fetched_.at(pk.unit_slot);
+    ++fu.view_pins;
+    batch.pinned_slots.push_back(pk.unit_slot);
+    fu.delivered += pk.count;
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      const auto& us = pk.unit->samples[pk.first_sample + i];
+      ViewSample vs;
+      vs.sample_id = us.sample_id;
+      vs.class_id = fleet_->dataset_->sample(us.sample_id).class_id;
+      vs.len = us.len;
+      vs.pieces = window_views(fu.buffers, fleet_->config_.chunk_bytes,
+                               us.offset_in_unit, us.len);
+      batch.bytes += us.len;
+      batch.samples.push_back(std::move(vs));
+      // Handing out a view costs only completion bookkeeping.
+      co_await io_core_->compute(
+          fleet_->config_.calibration.dlfs.completion_handling);
+    }
+  }
+  batch.token = 1;
+  samples_delivered_ += batch.samples.size();
+  bytes_delivered_ += batch.bytes;
+  co_return batch;
+}
+
+void DlfsInstance::release_views(ViewBatch& batch) {
+  if (batch.token == 2) {
+    throw std::logic_error("release_views: batch already released");
+  }
+  if (batch.token == 0) return;  // empty batch (end of epoch)
+  batch.token = 2;
+  for (std::size_t slot : batch.pinned_slots) {
+    auto it = fetched_.find(slot);
+    if (it == fetched_.end()) continue;
+    if (it->second.view_pins == 0) {
+      throw std::logic_error("release_views: pin underflow");
+    }
+    --it->second.view_pins;
+    maybe_release_unit(slot);
+  }
+  batch.pinned_slots.clear();
+  batch.samples.clear();
+}
+
+dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
+                                                 std::span<std::byte> arena) {
+  // DLFS-Base: each sample is a synchronous dlfs_read — no overlap.
+  Batch batch;
+  auto picks = seq_->take(max_samples);
+  std::uint64_t arena_pos = 0;
+  for (const auto& pk : picks) {
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      const auto& us = pk.unit->samples[pk.first_sample + i];
+      const SampleLocation& loc = fleet_->layout_[us.sample_id];
+      if (arena_pos + loc.len > arena.size()) {
+        throw std::invalid_argument("dlfs_bread: arena too small for batch");
+      }
+      SampleHandle h{us.sample_id,
+                     fleet_->directory_.lookup_id(us.sample_id)};
+      co_await charge_lookup();
+      co_await read(h, arena.subspan(arena_pos, loc.len));
+      batch.samples.push_back(BatchSample{
+          us.sample_id, fleet_->dataset_->sample(us.sample_id).class_id,
+          static_cast<std::uint32_t>(arena_pos), loc.len});
+      arena_pos += loc.len;
+    }
+  }
+  batch.bytes = arena_pos;
+  // read() already counted samples/bytes.
+  co_return batch;
+}
+
+}  // namespace dlfs::core

@@ -1,0 +1,174 @@
+#pragma once
+
+// IoEngine: DLFS's backend layer (§III-C) — the prep/post/poll/copy
+// pipeline over SPDK queue pairs.
+//
+//   prep  — build one SPDK request per data chunk of the extent (requests
+//           larger than the chunk size split into multiple, each with its
+//           own cache chunk, exactly as §III-C.1 describes)
+//   post  — submit to the target's queue pair, bounded by queue depth
+//   poll  — busy-poll completion queues; every harvested completion is
+//           pushed to the shared completion queue (SCQ)
+//   copy  — a pool of copy threads drains the SCQ and memcpys sample data
+//           from the huge-page cache chunks to the application buffer
+//
+// The engine runs *in the calling coroutine* (the paper drives DLFS with
+// one I/O thread on one core; the caller's core is charged for all prep,
+// post, poll and completion-handling work). Copy threads are separate
+// daemons with their own cores. Fig. 7(b)'s experiment — how much
+// application compute can be folded into the polling loop — is the
+// `injected_compute` hook, executed once per polling iteration.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "dlfs/sample_cache.hpp"
+#include "mem/hugepage_pool.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "spdk/io_queue.hpp"
+
+namespace dlfs::core {
+
+struct IoEngineConfig {
+  std::uint64_t chunk_bytes = 256 * 1024;  // request split size (paper default)
+  std::uint32_t copy_threads = 2;
+  std::uint32_t scq_capacity = 4096;
+  // Busy-poll quantum used when waiting on event-driven (remote) queues.
+  dlsim::SimDuration poll_quantum = 500;
+  // Transient media errors are re-posted this many times before the read
+  // fails (NVMe drivers retry retryable statuses the same way).
+  std::uint32_t max_retries = 3;
+};
+
+/// A read failed even after max_retries re-posts.
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::uint16_t nid, std::uint64_t offset)
+      : std::runtime_error("unrecoverable I/O error on storage node " +
+                           std::to_string(nid) + " at offset " +
+                           std::to_string(offset)),
+        nid(nid),
+        offset(offset) {}
+  std::uint16_t nid;
+  std::uint64_t offset;
+};
+
+/// One device extent to read. If `dst` is non-null the data is copied
+/// there by the copy stage; if additionally `cache_sample_id` is set, the
+/// chunks are retained in the sample cache afterwards (V bit set). If
+/// `dst` is null the chunks are handed back through `out_buffers`
+/// (chunk-level batching reads whole data chunks this way and copies
+/// samples out separately).
+struct ReadExtent {
+  std::uint16_t nid = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::byte* dst = nullptr;
+  std::optional<std::size_t> cache_sample_id{};
+  std::vector<mem::DmaBuffer>* out_buffers = nullptr;
+  // Invoked as soon as this extent's buffers land in *out_buffers, while
+  // the remaining extents are still in flight — dlfs_bread uses it to
+  // start copying a data chunk's samples out without waiting for the
+  // whole batch (keeps copy threads and the NIC busy simultaneously).
+  std::function<void()> on_buffers_ready{};
+};
+
+/// Work item on the shared completion queue.
+struct CopyJob {
+  // Either owned pieces (sample-level reads) ...
+  std::vector<mem::DmaBuffer> owned_pieces;
+  std::vector<std::uint32_t> piece_lens;
+  // ... or borrowed views (copies out of a resident data chunk).
+  std::vector<std::span<const std::byte>> views;
+  std::byte* dst = nullptr;
+  std::optional<std::size_t> cache_sample_id{};
+  dlsim::CountdownLatch* latch = nullptr;
+};
+
+class IoEngine {
+ public:
+  IoEngine(dlsim::Simulator& sim, mem::HugePagePool& pool, SampleCache& cache,
+           const Calibration& cal, const IoEngineConfig& config);
+  ~IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  /// Registers the queue used to reach storage node `nid`.
+  void attach_target(std::uint16_t nid, std::unique_ptr<spdk::IoQueue> queue);
+  [[nodiscard]] std::size_t num_targets() const { return targets_.size(); }
+
+  /// Reads a batch of extents; resumes when every extent's data has been
+  /// copied (or its buffers handed over). `core` is the I/O thread's CPU.
+  /// `injected_compute` > 0 folds that much application computation into
+  /// every polling-loop iteration (Fig. 7b).
+  [[nodiscard]] dlsim::Task<void> read_extents(
+      dlsim::CpuCore& core, std::vector<ReadExtent> extents,
+      dlsim::SimDuration injected_compute = 0);
+
+  /// Convenience: one extent, synchronously (the dlfs_read fast path —
+  /// "DLFS-Base" when used for every sample).
+  [[nodiscard]] dlsim::Task<void> read_one(dlsim::CpuCore& core,
+                                           std::uint16_t nid,
+                                           std::uint64_t offset,
+                                           std::uint32_t len, std::byte* dst,
+                                           std::optional<std::size_t>
+                                               cache_sample_id = {});
+
+  /// Enqueues a copy of already-resident bytes (cache hits, chunk-batched
+  /// sample delivery). The latch is counted down after the memcpy.
+  [[nodiscard]] dlsim::Task<void> enqueue_copy(CopyJob job);
+
+  /// Copy-stage work executed inline when copy_threads == 0; exposed so
+  /// the API layer can account hits identically.
+  [[nodiscard]] dlsim::Task<void> run_copy_inline(dlsim::CpuCore& core,
+                                                  CopyJob job);
+
+  [[nodiscard]] const IoEngineConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t requests_posted() const { return posted_; }
+  [[nodiscard]] std::uint64_t completions_harvested() const {
+    return harvested_;
+  }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
+  /// Aggregate busy time of the copy-thread pool.
+  [[nodiscard]] dlsim::SimDuration copy_busy_ns() const;
+
+ private:
+  struct Piece {
+    std::size_t extent_idx;
+    std::uint64_t offset;
+    std::uint32_t len;
+    mem::DmaBuffer buffer;
+    std::uint32_t attempts = 0;
+  };
+
+  dlsim::Task<void> copy_thread_loop(std::size_t idx);
+  void do_copy(CopyJob& job);
+  [[nodiscard]] dlsim::SimDuration copy_cost(const CopyJob& job) const;
+  dlsim::Task<void> wait_any(dlsim::CpuCore& core,
+                             const std::vector<std::uint16_t>& nids);
+
+  dlsim::Simulator* sim_;
+  mem::HugePagePool* pool_;
+  SampleCache* cache_;
+  const Calibration* cal_;
+  IoEngineConfig config_;
+  std::vector<std::unique_ptr<spdk::IoQueue>> targets_;  // index = nid
+  std::unique_ptr<dlsim::Channel<CopyJob>> scq_;
+  std::vector<std::unique_ptr<dlsim::CpuCore>> copy_cores_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t harvested_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t bytes_copied_ = 0;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace dlfs::core

@@ -1,0 +1,94 @@
+#include "dlfs/sample_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dlfs::core {
+
+SampleCache::SampleCache(mem::HugePagePool& pool, std::size_t capacity_chunks,
+                         std::size_t num_samples)
+    : pool_(&pool), capacity_(capacity_chunks), valid_bits_(num_samples, 0) {}
+
+std::vector<std::span<const std::byte>> SampleCache::pin(
+    std::size_t sample_id) {
+  auto it = map_.find(sample_id);
+  if (it == map_.end()) return {};
+  Entry& e = it->second;
+  ++e.pins;
+  // Refresh recency.
+  lru_.erase(e.lru_pos);
+  lru_.push_front(sample_id);
+  e.lru_pos = lru_.begin();
+  std::vector<std::span<const std::byte>> out;
+  out.reserve(e.pieces.size());
+  for (std::size_t i = 0; i < e.pieces.size(); ++i) {
+    out.push_back(e.pieces[i].span().subspan(0, e.piece_lens[i]));
+  }
+  return out;
+}
+
+void SampleCache::unpin(std::size_t sample_id) {
+  auto it = map_.find(sample_id);
+  if (it == map_.end()) throw std::logic_error("unpin of non-resident sample");
+  if (it->second.pins == 0) throw std::logic_error("unpin without pin");
+  --it->second.pins;
+}
+
+void SampleCache::insert(std::size_t sample_id,
+                         std::vector<mem::DmaBuffer> pieces,
+                         std::vector<std::uint32_t> piece_lens) {
+  assert(pieces.size() == piece_lens.size());
+  if (sample_id >= valid_bits_.size()) {
+    throw std::out_of_range("sample id beyond dataset size");
+  }
+  if (map_.contains(sample_id)) return;  // already resident (racing reads)
+  const std::size_t need = pieces.size();
+  if (need > capacity_) return;  // can never fit; don't retain
+  evict_until_fits(need);
+  if (chunks_used_ + need > capacity_) return;  // everything pinned
+  Entry e;
+  e.pieces = std::move(pieces);
+  e.piece_lens = std::move(piece_lens);
+  lru_.push_front(sample_id);
+  e.lru_pos = lru_.begin();
+  chunks_used_ += need;
+  map_.emplace(sample_id, std::move(e));
+  valid_bits_[sample_id] = 1;
+}
+
+void SampleCache::evict(std::size_t sample_id) {
+  auto it = map_.find(sample_id);
+  if (it == map_.end() || it->second.pins > 0) return;
+  chunks_used_ -= it->second.pieces.size();
+  lru_.erase(it->second.lru_pos);
+  valid_bits_[sample_id] = 0;
+  map_.erase(it);
+}
+
+bool SampleCache::evict_lru_one() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const std::size_t victim = *it;
+    if (map_.at(victim).pins > 0) continue;
+    evict(victim);
+    return true;
+  }
+  return false;
+}
+
+void SampleCache::evict_until_fits(std::size_t incoming_chunks) {
+  if (chunks_used_ + incoming_chunks <= capacity_) return;
+  // Walk from the LRU end, skipping pinned entries.
+  auto it = lru_.end();
+  while (chunks_used_ + incoming_chunks > capacity_ && it != lru_.begin()) {
+    --it;
+    const std::size_t victim = *it;
+    Entry& e = map_.at(victim);
+    if (e.pins > 0) continue;
+    chunks_used_ -= e.pieces.size();
+    valid_bits_[victim] = 0;
+    it = lru_.erase(it);
+    map_.erase(victim);
+  }
+}
+
+}  // namespace dlfs::core

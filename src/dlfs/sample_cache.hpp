@@ -1,0 +1,94 @@
+#pragma once
+
+// SampleCache: the huge-page-backed sample cache of §III-C.1, plus the
+// per-instance V-bit sidecar.
+//
+// "We allocate the sample cache on huge pages to store the data read from
+// local/remote NVMe devices ... the cache is divided into many fixed-size
+// chunks (256 KB by default)."
+//
+// Completed sample reads are retained in an LRU keyed by sample id; the
+// V bit of a sample is on exactly while a copy is resident here, so a
+// dlfs_read can serve a hit with a memcpy and no device I/O. Entries
+// pinned by an in-flight copy are never evicted. Capacity is counted in
+// pool chunks, mirroring how the real cache is carved.
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/hugepage_pool.hpp"
+
+namespace dlfs::core {
+
+class SampleCache {
+ public:
+  /// `capacity_chunks` bounds the resident set; the pool is where chunk
+  /// memory comes from (shared with in-flight I/O buffers).
+  SampleCache(mem::HugePagePool& pool, std::size_t capacity_chunks,
+              std::size_t num_samples);
+
+  SampleCache(const SampleCache&) = delete;
+  SampleCache& operator=(const SampleCache&) = delete;
+
+  /// The per-instance V bit (paper: tracked in the sample entry; here a
+  /// sidecar because entries are shared between in-process nodes).
+  [[nodiscard]] bool valid(std::size_t sample_id) const {
+    return valid_bits_[sample_id] != 0;
+  }
+
+  /// A resident sample's bytes, as the list of chunk-piece spans it
+  /// occupies (in order). Also refreshes LRU recency and pins the entry
+  /// until unpin(). Returns empty if not resident.
+  [[nodiscard]] std::vector<std::span<const std::byte>> pin(
+      std::size_t sample_id);
+  void unpin(std::size_t sample_id);
+
+  /// Inserts a completed read: takes ownership of the chunk buffers
+  /// holding the sample (piece i holds bytes [piece_len[i]] of it).
+  /// Evicts LRU victims (clearing their V bits) to stay within capacity;
+  /// if everything is pinned the insert is skipped (the data still
+  /// reaches the application; it just isn't retained).
+  void insert(std::size_t sample_id, std::vector<mem::DmaBuffer> pieces,
+              std::vector<std::uint32_t> piece_lens);
+
+  /// Drops a resident sample (no-op if absent or pinned).
+  void evict(std::size_t sample_id);
+
+  /// Evicts the least-recently-used unpinned entry; returns false if
+  /// nothing can be evicted. The I/O engine calls this under huge-page
+  /// pool pressure — the cache and in-flight DMA buffers share the pool,
+  /// so a full cache must yield chunks back to keep I/O flowing.
+  bool evict_lru_one();
+
+  [[nodiscard]] std::size_t resident_samples() const { return map_.size(); }
+  [[nodiscard]] std::size_t resident_chunks() const { return chunks_used_; }
+  [[nodiscard]] std::size_t capacity_chunks() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  void note_hit() { ++hits_; }
+  void note_miss() { ++misses_; }
+
+ private:
+  struct Entry {
+    std::vector<mem::DmaBuffer> pieces;
+    std::vector<std::uint32_t> piece_lens;
+    std::list<std::size_t>::iterator lru_pos;
+    std::uint32_t pins = 0;
+  };
+
+  void evict_until_fits(std::size_t incoming_chunks);
+
+  mem::HugePagePool* pool_;
+  std::size_t capacity_;
+  std::vector<std::uint8_t> valid_bits_;
+  std::unordered_map<std::size_t, Entry> map_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::size_t chunks_used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dlfs::core

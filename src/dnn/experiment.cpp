@@ -1,0 +1,116 @@
+#include "dnn/experiment.hpp"
+
+#include <stdexcept>
+
+namespace dlfs::dnn {
+
+namespace {
+
+void fill_split(Rng& rng, const Matrix& centers, double sigma,
+                std::size_t num_classes, Matrix& x,
+                std::vector<std::uint32_t>& y) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto cls = static_cast<std::uint32_t>(rng.next_below(num_classes));
+    y[r] = cls;
+    for (std::size_t d = 0; d < x.cols(); ++d) {
+      x.at(r, d) = centers.at(cls, d) +
+                   static_cast<float>(rng.next_gaussian() * sigma);
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticTask::SyntheticTask(const SyntheticTaskConfig& config)
+    : config_(config),
+      train_x_(config.train_samples, config.feature_dim),
+      train_y_(config.train_samples),
+      test_x_(config.test_samples, config.feature_dim),
+      test_y_(config.test_samples) {
+  Rng rng(config.seed);
+  Matrix centers(config.num_classes, config.feature_dim);
+  for (auto& v : centers.data()) {
+    v = static_cast<float>(rng.next_gaussian());
+  }
+  fill_split(rng, centers, config.cluster_sigma, config.num_classes, train_x_,
+             train_y_);
+  fill_split(rng, centers, config.cluster_sigma, config.num_classes, test_x_,
+             test_y_);
+}
+
+std::vector<std::uint32_t> epoch_order(OrderPolicy policy, std::size_t n,
+                                       std::uint64_t epoch_seed,
+                                       std::size_t samples_per_chunk) {
+  std::vector<std::uint32_t> order(n);
+  switch (policy) {
+    case OrderPolicy::kSequential: {
+      for (std::size_t i = 0; i < n; ++i) {
+        order[i] = static_cast<std::uint32_t>(i);
+      }
+      return order;
+    }
+    case OrderPolicy::kFullRandom: {
+      Rng rng(epoch_seed);
+      auto perm = rng.permutation(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        order[i] = static_cast<std::uint32_t>(perm[i]);
+      }
+      return order;
+    }
+    case OrderPolicy::kDlfsChunked: {
+      // Exactly the dlfs_bread order: build the same chunk plan bread
+      // uses (uniform small samples, one storage node) and walk one
+      // epoch sequence.
+      const std::uint32_t sample_bytes = 512;
+      std::vector<core::SampleLocation> layout(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        layout[i] = core::SampleLocation{
+            0, static_cast<std::uint64_t>(i) * sample_bytes, sample_bytes};
+      }
+      core::BatchPlan plan(layout, samples_per_chunk * sample_bytes,
+                           core::BatchingMode::kChunkLevel);
+      core::EpochSequence seq(plan, epoch_seed, 0, 1);
+      order.clear();
+      order.reserve(n);
+      for (auto picks = seq.take(n); !picks.empty(); picks = seq.take(n)) {
+        for (const auto& pk : picks) {
+          for (std::uint32_t k = 0; k < pk.count; ++k) {
+            order.push_back(pk.unit->samples[pk.first_sample + k].sample_id);
+          }
+        }
+      }
+      return order;
+    }
+  }
+  throw std::logic_error("unknown order policy");
+}
+
+TrainResult train_with_order(const SyntheticTask& task, OrderPolicy policy,
+                             const TrainRunConfig& config) {
+  const auto& cfg = task.config();
+  Mlp model({cfg.feature_dim, config.hidden_dim, cfg.num_classes},
+            config.model_seed);
+  TrainResult result;
+  const std::size_t n = cfg.train_samples;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = epoch_order(policy, n, /*epoch_seed=*/1000 + epoch,
+                                   config.samples_per_chunk);
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t b = std::min(config.batch_size, n - start);
+      Matrix x(b, cfg.feature_dim);
+      std::vector<std::uint32_t> y(b);
+      for (std::size_t i = 0; i < b; ++i) {
+        const std::uint32_t id = order[start + i];
+        const float* src = task.train_x().row(id);
+        std::copy(src, src + cfg.feature_dim, x.row(i));
+        y[i] = task.train_y()[id];
+      }
+      (void)model.train_step(x, y, config.learning_rate);
+    }
+    result.test_accuracy_per_epoch.push_back(
+        model.evaluate(task.test_x(), task.test_y()));
+  }
+  return result;
+}
+
+}  // namespace dlfs::dnn

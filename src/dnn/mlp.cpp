@@ -1,0 +1,116 @@
+#include "dnn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlfs::dnn {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, std::uint64_t seed)
+    : sizes_(std::move(layer_sizes)) {
+  if (sizes_.size() < 2) throw std::invalid_argument("mlp needs >= 2 layers");
+  Rng rng(seed);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix(sizes_[l], sizes_[l + 1]);
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(sizes_[l]));  // He init
+    for (auto& v : layer.w.data()) {
+      v = static_cast<float>(rng.next_gaussian()) * scale;
+    }
+    layer.bias.assign(sizes_[l + 1], 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) const {
+  Matrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z;
+    matmul(h, layers_[l].w, z);
+    add_bias_rows(z, layers_[l].bias);
+    if (l + 1 < layers_.size()) relu_inplace(z);
+    h = std::move(z);
+  }
+  softmax_rows(h);
+  return h;
+}
+
+float Mlp::train_step(const Matrix& x,
+                      const std::vector<std::uint32_t>& labels,
+                      float learning_rate) {
+  const std::size_t batch = x.rows();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("labels/batch size mismatch");
+  }
+
+  // Forward, keeping activations and pre-activations.
+  std::vector<Matrix> acts;     // inputs of each layer
+  std::vector<Matrix> pres;     // pre-activations (for relu backward)
+  acts.push_back(x);
+  Matrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z;
+    matmul(h, layers_[l].w, z);
+    add_bias_rows(z, layers_[l].bias);
+    pres.push_back(z);
+    if (l + 1 < layers_.size()) {
+      relu_inplace(z);
+      acts.push_back(z);
+    }
+    h = std::move(z);
+  }
+  softmax_rows(h);
+
+  // Loss + output gradient (softmax cross-entropy): dz = (p - y) / batch.
+  float loss = 0.0f;
+  Matrix dz = h;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const std::uint32_t y = labels[r];
+    loss += -std::log(std::max(h.at(r, y), 1e-12f));
+    dz.at(r, y) -= 1.0f;
+  }
+  loss /= static_cast<float>(batch);
+  for (auto& v : dz.data()) v /= static_cast<float>(batch);
+
+  // Backward through the layers.
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    Matrix dw;
+    matmul_at(acts[li], dz, dw);  // in × out
+    std::vector<float> db(layer.bias.size(), 0.0f);
+    for (std::size_t r = 0; r < dz.rows(); ++r) {
+      const float* row = dz.row(r);
+      for (std::size_t c = 0; c < db.size(); ++c) db[c] += row[c];
+    }
+    Matrix dx;
+    if (li > 0) {
+      matmul_bt(dz, layer.w, dx);
+      relu_backward(pres[li - 1], dx);
+    }
+    // SGD update.
+    for (std::size_t i = 0; i < layer.w.data().size(); ++i) {
+      layer.w.data()[i] -= learning_rate * dw.data()[i];
+    }
+    for (std::size_t c = 0; c < layer.bias.size(); ++c) {
+      layer.bias[c] -= learning_rate * db[c];
+    }
+    if (li > 0) dz = std::move(dx);
+  }
+  return loss;
+}
+
+double Mlp::evaluate(const Matrix& x,
+                     const std::vector<std::uint32_t>& labels) const {
+  const Matrix p = forward(x);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.cols(); ++c) {
+      if (p.at(r, c) > p.at(r, best)) best = c;
+    }
+    if (best == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(p.rows());
+}
+
+}  // namespace dlfs::dnn

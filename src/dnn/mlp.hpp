@@ -1,0 +1,47 @@
+#pragma once
+
+// A small multilayer perceptron with softmax cross-entropy, trained by
+// mini-batch SGD — the model for the Fig. 13 sample-ordering experiment.
+// (The paper trains AlexNet; what the experiment actually tests is
+// whether DLFS's chunk-relaxed sample order degrades convergence, and
+// that property is model-agnostic — any SGD learner sensitive to input
+// ordering will expose a bad order. See DESIGN.md §2.)
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnn/tensor.hpp"
+
+namespace dlfs::dnn {
+
+class Mlp {
+ public:
+  /// layers = {in, hidden..., out}; weights He-initialized from `seed`.
+  Mlp(std::vector<std::size_t> layer_sizes, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t input_dim() const { return sizes_.front(); }
+  [[nodiscard]] std::size_t num_classes() const { return sizes_.back(); }
+
+  /// Forward pass: returns class probabilities (batch × classes).
+  [[nodiscard]] Matrix forward(const Matrix& x) const;
+
+  /// One SGD step on a batch; returns the mean cross-entropy loss.
+  float train_step(const Matrix& x, const std::vector<std::uint32_t>& labels,
+                   float learning_rate);
+
+  /// Top-1 accuracy on a labelled set.
+  [[nodiscard]] double evaluate(const Matrix& x,
+                                const std::vector<std::uint32_t>& labels) const;
+
+ private:
+  struct Layer {
+    Matrix w;                 // in × out
+    std::vector<float> bias;  // out
+  };
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace dlfs::dnn

@@ -1,0 +1,84 @@
+#include "dnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlfs::dnn {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  out = Matrix(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) continue;
+      const float* brow = b.row(k);
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  out = Matrix(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* arow = a.row(i);
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  out = Matrix(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_bias_rows(Matrix& x, const std::vector<float>& bias) {
+  assert(bias.size() == x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void relu_inplace(Matrix& x) {
+  for (auto& v : x.data()) v = std::max(v, 0.0f);
+}
+
+void relu_backward(const Matrix& pre, Matrix& grad) {
+  assert(pre.rows() == grad.rows() && pre.cols() == grad.cols());
+  for (std::size_t i = 0; i < pre.data().size(); ++i) {
+    if (pre.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  }
+}
+
+void softmax_rows(Matrix& x) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] /= sum;
+  }
+}
+
+}  // namespace dlfs::dnn

@@ -1,0 +1,69 @@
+#pragma once
+
+// Minimal dense-matrix math for the training-accuracy experiment
+// (Fig. 13). Row-major float matrices with just the operations an MLP
+// needs. Written for clarity, not BLAS-level speed — the experiment's
+// models are tiny.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dlfs::dnn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* row(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const float* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b  (a: m×k, b: k×n, out: m×n)
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T  (a: m×k, b: n×k, out: m×n)
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b  (a: k×m, b: k×n, out: m×n)
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds `bias` (1×n) to every row of m×n `x`.
+void add_bias_rows(Matrix& x, const std::vector<float>& bias);
+
+/// In-place ReLU; returns the pre-activation copy needed for backprop.
+void relu_inplace(Matrix& x);
+
+/// dx := dy masked by (x_pre > 0).
+void relu_backward(const Matrix& pre, Matrix& grad);
+
+/// Row-wise softmax in place.
+void softmax_rows(Matrix& x);
+
+}  // namespace dlfs::dnn

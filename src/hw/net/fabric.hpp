@@ -1,0 +1,82 @@
+#pragma once
+
+// Fabric: the FDR-InfiniBand-class network connecting nodes.
+//
+// Topology model: every node has one NIC (full duplex, one egress and one
+// ingress pipe) attached to a single non-blocking switch with fixed
+// cut-through latency. A transfer of b bytes from src to dst:
+//
+//   start  = max(now, egress_free[src], ingress_free[dst])
+//   finish = start + latency + b / bandwidth
+//   both pipes busy until start + b / bandwidth
+//
+// This captures the two network effects the paper's evaluation depends
+// on: a single client's NIC caps its aggregate throughput once enough
+// NVMe-oF targets are attached (Fig. 11's NVMe-1C ideal curve bends at
+// two devices), and per-message latency penalizes per-sample RPCs
+// (Octopus' metadata lookups, Fig. 10).
+//
+// Loopback (src == dst) bypasses the NIC: DMA within one node.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dlfs::hw {
+
+using NodeId = std::uint32_t;
+
+/// Size we charge for a control message (NVMe-oF capsule, RPC header).
+inline constexpr std::uint64_t kControlMessageBytes = 64;
+
+class Fabric {
+ public:
+  Fabric(dlsim::Simulator& sim, std::uint32_t num_nodes,
+         const NicParams& params = NicParams{});
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(egress_free_.size());
+  }
+  [[nodiscard]] const NicParams& params() const { return params_; }
+
+  /// Moves `bytes` from src to dst; resumes when the last byte lands.
+  [[nodiscard]] dlsim::Task<void> transfer(NodeId src, NodeId dst,
+                                           std::uint64_t bytes);
+
+  /// A small control message (command capsule / RPC header).
+  [[nodiscard]] dlsim::Task<void> send_control(NodeId src, NodeId dst) {
+    return transfer(src, dst, kControlMessageBytes);
+  }
+
+  // --- statistics ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t bytes_sent(NodeId node) const {
+    check_node(node);
+    return bytes_sent_[node];
+  }
+  [[nodiscard]] std::uint64_t bytes_received(NodeId node) const {
+    check_node(node);
+    return bytes_received_[node];
+  }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  void check_node(NodeId n) const {
+    if (n >= egress_free_.size()) {
+      throw std::out_of_range("fabric: bad node id " + std::to_string(n));
+    }
+  }
+
+  dlsim::Simulator* sim_;
+  NicParams params_;
+  std::vector<dlsim::SimTime> egress_free_;
+  std::vector<dlsim::SimTime> ingress_free_;
+  std::vector<std::uint64_t> bytes_sent_;
+  std::vector<std::uint64_t> bytes_received_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace dlfs::hw

@@ -1,0 +1,105 @@
+#include "hw/nvme/backing_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dlfs::hw {
+
+namespace {
+void check_range(std::uint64_t offset, std::size_t len, std::uint64_t cap) {
+  if (offset + len > cap) {
+    throw std::out_of_range("backing store access beyond capacity: offset=" +
+                            std::to_string(offset) + " len=" +
+                            std::to_string(len) + " cap=" +
+                            std::to_string(cap));
+  }
+}
+}  // namespace
+
+RamBackingStore::RamBackingStore(std::uint64_t capacity, std::size_t page_size)
+    : capacity_(capacity), page_size_(page_size) {
+  if (page_size == 0) throw std::invalid_argument("page_size must be > 0");
+}
+
+void RamBackingStore::read(std::uint64_t offset,
+                           std::span<std::byte> out) const {
+  check_range(offset, out.size(), capacity_);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t page = pos / page_size_;
+    const std::size_t in_page = static_cast<std::size_t>(pos % page_size_);
+    const std::size_t n =
+        std::min(out.size() - done, page_size_ - in_page);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      std::memset(out.data() + done, 0, n);
+    } else {
+      std::memcpy(out.data() + done, it->second.get() + in_page, n);
+    }
+    done += n;
+  }
+}
+
+void RamBackingStore::write(std::uint64_t offset,
+                            std::span<const std::byte> in) {
+  check_range(offset, in.size(), capacity_);
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t page = pos / page_size_;
+    const std::size_t in_page = static_cast<std::size_t>(pos % page_size_);
+    const std::size_t n = std::min(in.size() - done, page_size_ - in_page);
+    auto& slot = pages_[page];
+    if (!slot) {
+      slot = std::make_unique<std::byte[]>(page_size_);
+      std::memset(slot.get(), 0, page_size_);
+    }
+    std::memcpy(slot.get() + in_page, in.data() + done, n);
+    done += n;
+  }
+}
+
+SyntheticBackingStore::SyntheticBackingStore(std::uint64_t capacity,
+                                             std::uint64_t seed)
+    : capacity_(capacity), seed_(seed) {}
+
+void SyntheticBackingStore::fill(std::uint64_t seed, std::uint64_t offset,
+                                 std::span<std::byte> out) {
+  // Generate 8 bytes at a time from mix64 over the aligned word index.
+  std::size_t i = 0;
+  // Leading unaligned bytes.
+  while (i < out.size() && ((offset + i) & 7) != 0) {
+    const std::uint64_t pos = offset + i;
+    const std::uint64_t w = dlfs::mix64(seed ^ (pos >> 3));
+    out[i] = static_cast<std::byte>((w >> (8 * (pos & 7))) & 0xff);
+    ++i;
+  }
+  // Aligned words.
+  while (i + 8 <= out.size()) {
+    const std::uint64_t w = dlfs::mix64(seed ^ ((offset + i) >> 3));
+    std::memcpy(out.data() + i, &w, 8);
+    i += 8;
+  }
+  // Trailing bytes.
+  while (i < out.size()) {
+    const std::uint64_t pos = offset + i;
+    const std::uint64_t w = dlfs::mix64(seed ^ (pos >> 3));
+    out[i] = static_cast<std::byte>((w >> (8 * (pos & 7))) & 0xff);
+    ++i;
+  }
+}
+
+void SyntheticBackingStore::read(std::uint64_t offset,
+                                 std::span<std::byte> out) const {
+  check_range(offset, out.size(), capacity_);
+  fill(seed_, offset, out);
+}
+
+void SyntheticBackingStore::write(std::uint64_t offset,
+                                  std::span<const std::byte> in) {
+  check_range(offset, in.size(), capacity_);
+  bytes_written_ += in.size();
+}
+
+}  // namespace dlfs::hw

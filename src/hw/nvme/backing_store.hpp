@@ -1,0 +1,96 @@
+#pragma once
+
+// Backing stores for the simulated NVMe device: where the bytes actually
+// live. Two flavours:
+//
+//  * RamBackingStore   — sparse page-granular RAM store; every byte written
+//                        is stored and read back exactly. Used by tests and
+//                        small experiments where end-to-end data integrity
+//                        is asserted.
+//  * SyntheticBackingStore — deterministic content computed from (seed,
+//                        offset); writes are checked for shape but the
+//                        payload is discarded. Used by the large-scale
+//                        throughput benches (16 nodes × GBs of dataset
+//                        would not fit in host RAM), mirroring the paper's
+//                        own use of a "dummy dataset with random values".
+//                        Reads are still fully verifiable: any reader can
+//                        recompute the expected bytes for an offset.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dlfs::hw {
+
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  /// Fills `out` with the device contents at [offset, offset + out.size()).
+  virtual void read(std::uint64_t offset, std::span<std::byte> out) const = 0;
+
+  /// Writes `in` at `offset`.
+  virtual void write(std::uint64_t offset, std::span<const std::byte> in) = 0;
+
+  /// Device capacity in bytes.
+  [[nodiscard]] virtual std::uint64_t capacity() const = 0;
+};
+
+/// Sparse RAM store: pages materialize on first write; unwritten reads as 0.
+class RamBackingStore final : public BackingStore {
+ public:
+  explicit RamBackingStore(std::uint64_t capacity,
+                           std::size_t page_size = 64 * 1024);
+
+  void read(std::uint64_t offset, std::span<std::byte> out) const override;
+  void write(std::uint64_t offset, std::span<const std::byte> in) override;
+  [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }
+
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] std::size_t page_size() const { return page_size_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::size_t page_size_;
+  // page index -> page bytes
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> pages_;
+};
+
+/// Deterministic synthetic content: byte at `offset` is a pure function of
+/// (seed, offset). expected_byte() lets any test recompute what a read
+/// must return.
+class SyntheticBackingStore final : public BackingStore {
+ public:
+  SyntheticBackingStore(std::uint64_t capacity, std::uint64_t seed);
+
+  void read(std::uint64_t offset, std::span<std::byte> out) const override;
+  void write(std::uint64_t offset, std::span<const std::byte> in) override;
+  [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+  [[nodiscard]] std::byte expected_byte(std::uint64_t offset) const {
+    return word_byte(seed_, offset);
+  }
+
+  /// Fills a span with the content function — shared with read().
+  static void fill(std::uint64_t seed, std::uint64_t offset,
+                   std::span<std::byte> out);
+
+ private:
+  static std::byte word_byte(std::uint64_t seed, std::uint64_t offset) {
+    const std::uint64_t w = dlfs::mix64(seed ^ (offset >> 3));
+    return static_cast<std::byte>((w >> (8 * (offset & 7))) & 0xff);
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t seed_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace dlfs::hw

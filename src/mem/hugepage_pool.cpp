@@ -1,0 +1,71 @@
+#include "mem/hugepage_pool.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace dlfs::mem {
+
+DmaBuffer& DmaBuffer::operator=(DmaBuffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = std::exchange(o.pool_, nullptr);
+    chunk_ = std::exchange(o.chunk_, 0);
+    span_ = std::exchange(o.span_, {});
+  }
+  return *this;
+}
+
+void DmaBuffer::release() {
+  if (pool_) {
+    pool_->free_chunk(chunk_);
+    pool_ = nullptr;
+    span_ = {};
+  }
+}
+
+namespace {
+std::size_t checked_chunk_count(std::size_t total_bytes,
+                                std::size_t chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("chunk_size must be > 0");
+  return ceil_div(total_bytes, chunk_size);
+}
+}  // namespace
+
+HugePagePool::HugePagePool(std::size_t total_bytes, std::size_t chunk_size)
+    : chunk_size_(chunk_size),
+      total_chunks_(checked_chunk_count(total_bytes, chunk_size)),
+      arena_bytes_(total_chunks_ * chunk_size) {
+  if (total_chunks_ == 0) {
+    throw std::invalid_argument("pool must hold at least one chunk");
+  }
+  // for_overwrite: skip zero-initialization — chunk contents are always
+  // written by DMA before being read (multi-hundred-MiB pools otherwise
+  // cost a memset per benchmark configuration).
+  arena_ = std::make_unique_for_overwrite<std::byte[]>(arena_bytes_);
+  free_list_.reserve(total_chunks_);
+  // Push in reverse so allocation order starts at chunk 0.
+  for (std::size_t i = total_chunks_; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+DmaBuffer HugePagePool::allocate() {
+  if (free_list_.empty()) throw PoolExhausted{};
+  const std::size_t idx = free_list_.back();
+  free_list_.pop_back();
+  peak_used_ = std::max(peak_used_, used_chunks());
+  return DmaBuffer(this, idx,
+                   std::span<std::byte>(arena_.get() + idx * chunk_size_,
+                                        chunk_size_));
+}
+
+std::vector<DmaBuffer> HugePagePool::allocate_many(std::size_t n) {
+  if (free_list_.size() < n) throw PoolExhausted{};
+  std::vector<DmaBuffer> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(allocate());
+  return out;
+}
+
+void HugePagePool::free_chunk(std::size_t idx) { free_list_.push_back(idx); }
+
+}  // namespace dlfs::mem

@@ -1,0 +1,103 @@
+#pragma once
+
+// HugePagePool: the pinned-memory arena SPDK-style I/O requires.
+//
+// The real SPDK mandates that all I/O buffers live on huge pages so the
+// user-space driver can pin and DMA-map them. We reproduce the *rule*
+// (device I/O rejects buffers not carved from a registered pool — see
+// spdk::NvmeDriver) with an arena allocator: one contiguous host
+// allocation carved into fixed-size chunks, handed out as RAII DmaBuffer
+// handles. DLFS's sample cache (§III-C.1 of the paper) sits directly on
+// top of this pool, with the 256 KiB default chunk size the paper uses.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dlfs::mem {
+
+class HugePagePool;
+
+/// RAII handle to one pool chunk. Movable; returns the chunk on destruction.
+class DmaBuffer {
+ public:
+  DmaBuffer() = default;
+  DmaBuffer(DmaBuffer&& o) noexcept
+      : pool_(std::exchange(o.pool_, nullptr)),
+        chunk_(std::exchange(o.chunk_, 0)),
+        span_(std::exchange(o.span_, {})) {}
+  DmaBuffer& operator=(DmaBuffer&& o) noexcept;
+  DmaBuffer(const DmaBuffer&) = delete;
+  DmaBuffer& operator=(const DmaBuffer&) = delete;
+  ~DmaBuffer() { release(); }
+
+  [[nodiscard]] bool valid() const { return pool_ != nullptr; }
+  [[nodiscard]] std::span<std::byte> span() const { return span_; }
+  [[nodiscard]] std::byte* data() const { return span_.data(); }
+  [[nodiscard]] std::size_t size() const { return span_.size(); }
+  [[nodiscard]] std::size_t chunk_index() const { return chunk_; }
+
+  void release();
+
+ private:
+  friend class HugePagePool;
+  DmaBuffer(HugePagePool* pool, std::size_t chunk, std::span<std::byte> span)
+      : pool_(pool), chunk_(chunk), span_(span) {}
+
+  HugePagePool* pool_ = nullptr;
+  std::size_t chunk_ = 0;
+  std::span<std::byte> span_{};
+};
+
+/// Thrown when the pool is exhausted.
+class PoolExhausted : public std::runtime_error {
+ public:
+  PoolExhausted() : std::runtime_error("huge-page pool exhausted") {}
+};
+
+class HugePagePool {
+ public:
+  /// `total_bytes` is rounded up to a whole number of chunks.
+  HugePagePool(std::size_t total_bytes, std::size_t chunk_size);
+
+  HugePagePool(const HugePagePool&) = delete;
+  HugePagePool& operator=(const HugePagePool&) = delete;
+
+  /// Allocates one chunk; throws PoolExhausted when empty.
+  [[nodiscard]] DmaBuffer allocate();
+
+  /// Allocates n chunks (all-or-nothing).
+  [[nodiscard]] std::vector<DmaBuffer> allocate_many(std::size_t n);
+
+  /// True if `p` points inside this pool — the SPDK "is this DMA-safe
+  /// memory" check enforced by the user-level driver.
+  [[nodiscard]] bool owns(const std::byte* p) const {
+    return p >= arena_.get() && p < arena_.get() + arena_bytes_;
+  }
+
+  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+  [[nodiscard]] std::size_t total_chunks() const { return total_chunks_; }
+  [[nodiscard]] std::size_t free_chunks() const { return free_list_.size(); }
+  [[nodiscard]] std::size_t used_chunks() const {
+    return total_chunks_ - free_list_.size();
+  }
+  /// High-water mark of simultaneously used chunks.
+  [[nodiscard]] std::size_t peak_used_chunks() const { return peak_used_; }
+
+ private:
+  friend class DmaBuffer;
+  void free_chunk(std::size_t idx);
+
+  std::size_t chunk_size_;
+  std::size_t total_chunks_;
+  std::size_t arena_bytes_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::vector<std::size_t> free_list_;
+  std::size_t peak_used_ = 0;
+};
+
+}  // namespace dlfs::mem

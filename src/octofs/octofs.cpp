@@ -1,0 +1,115 @@
+#include "octofs/octofs.hpp"
+
+#include <stdexcept>
+
+namespace dlfs::octofs {
+
+OctoFs::OctoFs(cluster::Cluster& cluster, const Calibration& cal)
+    : cluster_(&cluster), cal_(&cal), servers_(cluster.size()) {
+  for (std::uint32_t n = 0; n < cluster.size(); ++n) {
+    cluster_->node(n).device().claim(hw::DeviceOwner::kUserSpace);
+    servers_[n].metadata_lock =
+        std::make_unique<dlsim::Mutex>(cluster.simulator());
+    servers_[n].metadata_core = std::make_unique<dlsim::CpuCore>(
+        cluster.simulator(), "octofs-md-" + std::to_string(n));
+  }
+}
+
+OctoFs::~OctoFs() {
+  for (std::uint32_t n = 0; n < cluster_->size(); ++n) {
+    cluster_->node(n).device().release(hw::DeviceOwner::kUserSpace);
+  }
+}
+
+dlsim::Task<void> OctoFs::stage_file(const std::string& name,
+                                     std::span<const std::byte> data) {
+  const std::uint16_t owner = owner_of(name);
+  Server& srv = servers_[owner];
+  if (srv.metadata.contains(name)) {
+    throw std::invalid_argument("octofs: duplicate file " + name);
+  }
+  const std::uint64_t offset = srv.next_offset;
+  srv.next_offset += data.size();
+  auto& device = cluster_->node(owner).device();
+  if (srv.next_offset > device.capacity()) {
+    throw std::runtime_error("octofs: server region full");
+  }
+  if (!srv.staging_qpair) srv.staging_qpair = device.create_qpair(1);
+  auto& qp = *srv.staging_qpair;
+  auto span = std::span<std::byte>(const_cast<std::byte*>(data.data()),
+                                   data.size());
+  if (qp.submit(hw::IoOp::kWrite, offset, span, 0) != hw::IoStatus::kOk) {
+    throw std::runtime_error("octofs: stage write failed");
+  }
+  co_await qp.wait_for_completion();
+  (void)qp.poll();
+  srv.metadata.emplace(name,
+                       FileMeta{owner, offset,
+                                static_cast<std::uint32_t>(data.size())});
+  ++total_files_;
+}
+
+OctoFs::Client::Client(OctoFs& fs, hw::NodeId node, dlsim::CpuCore& core)
+    : fs_(&fs), node_(node), core_(&core) {
+  qpairs_.reserve(fs.servers_.size());
+  for (std::uint32_t s = 0; s < fs.servers_.size(); ++s) {
+    // Octopus performs synchronous client-active reads: QD 1.
+    qpairs_.push_back(fs.cluster_->node(s).device().create_qpair(1));
+  }
+}
+
+dlsim::Task<std::optional<FileMeta>> OctoFs::Client::open(
+    const std::string& name) {
+  const std::uint16_t owner = fs_->owner_of(name);
+  Server& srv = fs_->servers_[owner];
+  co_await core_->compute(fs_->cal_->octopus.client_lookup_work);
+  if (owner == node_) {
+    ++lookups_local_;
+    // Even a local lookup reads the NVM-resident metadata record.
+    co_await fs_->cluster_->simulator().delay(
+        fs_->cal_->octopus.metadata_nvm_read);
+  } else {
+    ++lookups_remote_;
+    // RPC to the owner: request capsule, serialized server-side handling
+    // (including the NVM metadata read) on the owner's metadata core,
+    // reply capsule.
+    auto& fabric = fs_->cluster_->fabric();
+    co_await fabric.send_control(node_, owner);
+    {
+      auto guard = co_await srv.metadata_lock->scoped_lock();
+      co_await srv.metadata_core->compute(
+          fs_->cal_->octopus.metadata_server_work);
+      co_await fs_->cluster_->simulator().delay(
+          fs_->cal_->octopus.metadata_nvm_read);
+    }
+    co_await fabric.send_control(owner, node_);
+  }
+  auto it = srv.metadata.find(name);
+  if (it == srv.metadata.end()) co_return std::nullopt;
+  co_return it->second;
+}
+
+dlsim::Task<void> OctoFs::Client::read(const FileMeta& meta,
+                                       std::span<std::byte> out) {
+  if (out.size() < meta.len) {
+    throw std::invalid_argument("octofs: read buffer too small");
+  }
+  co_await core_->compute(fs_->cal_->octopus.client_read_work);
+  auto& fabric = fs_->cluster_->fabric();
+  // One-sided RDMA read: request capsule to the owner's NIC (no server
+  // CPU), storage-medium time at the owner, data back over the wire.
+  co_await fabric.send_control(node_, meta.owner);
+  auto& qp = *qpairs_[meta.owner];
+  if (qp.submit(hw::IoOp::kRead, meta.offset, out.subspan(0, meta.len), 0) !=
+      hw::IoStatus::kOk) {
+    throw std::runtime_error("octofs: device read failed");
+  }
+  co_await qp.wait_for_completion();
+  (void)qp.poll();
+  co_await fabric.transfer(meta.owner, node_, meta.len);
+  // Staging-buffer to application copy.
+  co_await core_->compute(dlsim::transfer_time(
+      meta.len, fs_->cal_->octopus.copy_bw_bytes_per_sec));
+}
+
+}  // namespace dlfs::octofs

@@ -1,0 +1,120 @@
+#pragma once
+
+// OctoFs: the Octopus-like baseline (Lu et al., USENIX ATC'17) the paper
+// compares against — an RDMA-enabled distributed file system with
+// *distributed* metadata.
+//
+// The two properties the paper's analysis attributes Octopus' behaviour
+// to are modeled first-class:
+//
+//  1. Metadata is hash-partitioned across server nodes and looked up with
+//     an RPC to the owner on every open — "Octopus suffers from frequent
+//     inter-node communication for sample lookup" (§IV-B). Server-side
+//     handling serializes on the owner's metadata core, so many clients
+//     queue up behind each other at scale (Fig. 10's flat curve).
+//  2. Data reads are client-active RDMA reads from the owner's
+//     NVM region (emulated, like the paper does, with an NVMe-timed
+//     store): a read request capsule, the storage-medium time, and the
+//     data transfer back — with no DL-specific batching, so every small
+//     sample pays the full round trip.
+//
+// Staging, like the DLFS mount, places each file on its hash owner.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/hash.hpp"
+#include "common/calibration.hpp"
+#include "sim/cpu.hpp"
+#include "sim/sync.hpp"
+
+namespace dlfs::octofs {
+
+struct FileMeta {
+  std::uint16_t owner = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+};
+
+class OctoFs {
+ public:
+  /// Servers run on every cluster node; each node's device becomes that
+  /// server's NVM data region (claimed for user space — Octopus maps it
+  /// directly, no kernel FS involved).
+  OctoFs(cluster::Cluster& cluster, const Calibration& cal);
+  ~OctoFs();
+
+  OctoFs(const OctoFs&) = delete;
+  OctoFs& operator=(const OctoFs&) = delete;
+
+  [[nodiscard]] std::uint16_t owner_of(std::string_view name) const {
+    return static_cast<std::uint16_t>(hash64(name) % servers_.size());
+  }
+
+  /// Places a file's bytes on its owner node (staging; device-write timed).
+  [[nodiscard]] dlsim::Task<void> stage_file(const std::string& name,
+                                             std::span<const std::byte> data);
+
+  /// Per-client session pinned to a node + core.
+  class Client {
+   public:
+    Client(OctoFs& fs, hw::NodeId node, dlsim::CpuCore& core);
+
+    /// Metadata lookup: local map probe if this node owns the file,
+    /// otherwise an RPC to the owner. nullopt if the file doesn't exist.
+    [[nodiscard]] dlsim::Task<std::optional<FileMeta>> open(
+        const std::string& name);
+
+    /// RDMA read of the whole file into `out`.
+    [[nodiscard]] dlsim::Task<void> read(const FileMeta& meta,
+                                         std::span<std::byte> out);
+
+    [[nodiscard]] dlsim::CpuCore& core() { return *core_; }
+    [[nodiscard]] std::uint64_t lookups_remote() const {
+      return lookups_remote_;
+    }
+    [[nodiscard]] std::uint64_t lookups_local() const {
+      return lookups_local_;
+    }
+
+   private:
+    OctoFs* fs_;
+    hw::NodeId node_;
+    dlsim::CpuCore* core_;
+    // One QD-1 qpair per (client, server): Octopus reads synchronously.
+    std::vector<std::unique_ptr<hw::NvmeQueuePair>> qpairs_;
+    std::uint64_t lookups_remote_ = 0;
+    std::uint64_t lookups_local_ = 0;
+  };
+
+  [[nodiscard]] std::unique_ptr<Client> make_client(hw::NodeId node,
+                                                    dlsim::CpuCore& core) {
+    return std::make_unique<Client>(*this, node, core);
+  }
+
+  [[nodiscard]] std::size_t num_files() const { return total_files_; }
+
+ private:
+  friend class Client;
+
+  struct Server {
+    std::unordered_map<std::string, FileMeta> metadata;
+    std::uint64_t next_offset = 0;
+    std::unique_ptr<dlsim::Mutex> metadata_lock;  // one metadata core
+    std::unique_ptr<dlsim::CpuCore> metadata_core;
+    std::unique_ptr<hw::NvmeQueuePair> staging_qpair;
+  };
+
+  cluster::Cluster* cluster_;
+  const Calibration* cal_;
+  std::vector<Server> servers_;
+  std::size_t total_files_ = 0;
+};
+
+}  // namespace dlfs::octofs

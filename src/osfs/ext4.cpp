@@ -1,0 +1,280 @@
+#include "osfs/ext4.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace dlfs::osfs {
+
+namespace {
+constexpr std::uint64_t kBlock = 4096;
+}
+
+OsThread::OsThread(Ext4Fs& fs, dlsim::CpuCore& core) : core_(&core) {
+  // blk-mq: one hardware context per CPU.
+  blk_queue_ = fs.device_->create_qpair(fs.config_.blk_queue_depth);
+}
+
+Ext4Fs::Ext4Fs(dlsim::Simulator& sim, hw::NvmeDevice& device,
+               const Calibration& cal, const Ext4Config& config)
+    : sim_(&sim),
+      device_(&device),
+      cal_(&cal),
+      config_(config),
+      kernel_lock_(sim),
+      page_cache_(config.page_cache_pages) {
+  device_->claim(hw::DeviceOwner::kKernel);
+}
+
+Ext4Fs::~Ext4Fs() { device_->release(hw::DeviceOwner::kKernel); }
+
+// --- low-level block I/O (blocking, through the calling thread's queue) ----
+
+dlsim::Task<void> Ext4Fs::block_read(OsThread& t, std::uint64_t dev_off,
+                                     std::span<std::byte> out) {
+  // The kernel block layer retries retryable NVMe statuses a few times
+  // before surfacing EIO.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    co_await t.core().compute(cal_->kernel.block_layer);
+    auto& qp = *t.blk_queue_;
+    const auto st = qp.submit(hw::IoOp::kRead, dev_off, out, 0);
+    if (st != hw::IoStatus::kOk) {
+      throw std::runtime_error("ext4: block read failed at offset " +
+                               std::to_string(dev_off));
+    }
+    // The kernel thread blocks (schedules out) until the interrupt: the
+    // context-switch pair is CPU work, the device wait is not.
+    co_await t.core().compute(cal_->kernel.context_switch);
+    co_await qp.wait_for_completion();
+    auto done = qp.poll();
+    if (done.empty() || done.front().status == hw::IoStatus::kOk) co_return;
+  }
+  throw std::runtime_error("ext4: EIO at offset " + std::to_string(dev_off));
+}
+
+dlsim::Task<void> Ext4Fs::block_write(OsThread& t, std::uint64_t dev_off,
+                                      std::span<const std::byte> in) {
+  co_await t.core().compute(cal_->kernel.block_layer);
+  auto& qp = *t.blk_queue_;
+  // The device model moves data at submit; the span stays valid across it.
+  auto mutable_span = std::span<std::byte>(
+      const_cast<std::byte*>(in.data()), in.size());
+  const auto st = qp.submit(hw::IoOp::kWrite, dev_off, mutable_span, 0);
+  if (st != hw::IoStatus::kOk) {
+    throw std::runtime_error("ext4: block write failed");
+  }
+  co_await t.core().compute(cal_->kernel.context_switch);
+  co_await qp.wait_for_completion();
+  (void)qp.poll();
+}
+
+dlsim::Task<void> Ext4Fs::metadata_device_reads(OsThread& t) {
+  // Directory (htree leaf) block, then the inode-table block.
+  std::array<std::byte, kBlock> scratch;
+  co_await block_read(t, 0, scratch);          // dir block (superblock area
+  co_await block_read(t, kBlock, scratch);     // + inode table, modeled)
+}
+
+// --- dentry cache -----------------------------------------------------------
+
+bool Ext4Fs::dentry_probe(const std::string& path) {
+  auto it = dentry_map_.find(path);
+  if (it == dentry_map_.end()) {
+    ++dentry_misses_;
+    return false;
+  }
+  ++dentry_hits_;
+  dentry_lru_.splice(dentry_lru_.begin(), dentry_lru_, it->second);
+  return true;
+}
+
+void Ext4Fs::dentry_insert(const std::string& path) {
+  if (dentry_map_.contains(path)) return;
+  if (dentry_map_.size() >= config_.dentry_cache_entries &&
+      !dentry_lru_.empty()) {
+    dentry_map_.erase(dentry_lru_.back());
+    dentry_lru_.pop_back();
+  }
+  dentry_lru_.push_front(path);
+  dentry_map_[path] = dentry_lru_.begin();
+}
+
+dlsim::Task<std::optional<std::uint64_t>> Ext4Fs::resolve(
+    OsThread& t, const std::string& path) {
+  // Path walk: charge one dcache probe per component.
+  std::size_t components = 1 + static_cast<std::size_t>(std::count(
+                                   path.begin(), path.end(), '/'));
+  co_await t.core().compute(cal_->kernel.dcache_lookup * components);
+  auto it = dirmap_.find(path);
+  if (it == dirmap_.end()) co_return std::nullopt;
+  if (!dentry_probe(path)) {
+    // Cold lookup: htree block + inode from the device, then cache it.
+    co_await metadata_device_reads(t);
+    auto guard = co_await kernel_lock_.scoped_lock();
+    dentry_insert(path);
+  }
+  co_await t.core().compute(cal_->kernel.inode_lookup);
+  co_return it->second;
+}
+
+std::uint64_t Ext4Fs::phys_offset(const Inode& ino,
+                                  std::uint64_t file_off) const {
+  const std::uint64_t logical_block = file_off / kBlock;
+  for (const auto& e : ino.extents) {
+    if (logical_block >= e.logical_block &&
+        logical_block < e.logical_block + e.count) {
+      return (e.phys_block + (logical_block - e.logical_block)) * kBlock +
+             file_off % kBlock;
+    }
+  }
+  throw std::logic_error("ext4: unmapped block in inode " +
+                         std::to_string(ino.ino));
+}
+
+// --- write path -------------------------------------------------------------
+
+dlsim::Task<int> Ext4Fs::create(OsThread& t, const std::string& path) {
+  co_await t.core().compute(cal_->kernel.syscall);
+  auto guard = co_await kernel_lock_.scoped_lock();
+  if (dirmap_.contains(path)) {
+    throw std::invalid_argument("ext4: create of existing path " + path);
+  }
+  const std::uint64_t ino = next_ino_++;
+  dirmap_[path] = ino;
+  files_[path] = ino;
+  inodes_[ino] = Inode{ino};
+  dentry_insert(path);
+  // Directory + inode updates: journalled metadata, amortized; charge the
+  // in-memory work only (staging time is not part of any figure).
+  co_await t.core().compute(cal_->kernel.inode_lookup);
+  const int fd = next_fd_++;
+  fds_[fd] = OpenFile{ino};
+  co_return fd;
+}
+
+dlsim::Task<void> Ext4Fs::append(OsThread& t, int fd,
+                                 std::span<const std::byte> data) {
+  co_await t.core().compute(cal_->kernel.syscall);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw std::invalid_argument("ext4: bad fd");
+  Inode& ino = inodes_.at(it->second.ino);
+  const std::uint64_t blocks_needed =
+      ceil_div(ino.size + data.size(), kBlock) - ceil_div(ino.size, kBlock);
+  std::uint64_t write_phys;
+  {
+    auto guard = co_await kernel_lock_.scoped_lock();
+    if (blocks_needed > 0) {
+      // Bump allocation is contiguous: extend the last extent when possible.
+      const std::uint64_t first_new = next_block_;
+      next_block_ += blocks_needed;
+      if ((first_new + blocks_needed) * kBlock > device_->capacity()) {
+        throw std::runtime_error("ext4: device full");
+      }
+      if (!ino.extents.empty() &&
+          ino.extents.back().phys_block + ino.extents.back().count ==
+              first_new) {
+        ino.extents.back().count += blocks_needed;
+      } else {
+        ino.extents.push_back(Extent{ceil_div(ino.size, kBlock), first_new,
+                                     blocks_needed});
+      }
+    }
+    write_phys = phys_offset(ino, ino.size);
+    ino.size += data.size();
+  }
+  co_await block_write(t, write_phys, data);
+}
+
+// --- read path --------------------------------------------------------------
+
+dlsim::Task<std::optional<int>> Ext4Fs::open(OsThread& t,
+                                             const std::string& path) {
+  ++opens_;
+  co_await t.core().compute(cal_->kernel.syscall);
+  auto ino = co_await resolve(t, path);
+  if (!ino) co_return std::nullopt;
+  const int fd = next_fd_++;
+  fds_[fd] = OpenFile{*ino};
+  co_return fd;
+}
+
+dlsim::Task<std::uint64_t> Ext4Fs::pread(OsThread& t, int fd,
+                                         std::span<std::byte> out,
+                                         std::uint64_t offset) {
+  ++reads_;
+  co_await t.core().compute(cal_->kernel.syscall);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw std::invalid_argument("ext4: bad fd");
+  const Inode& ino = inodes_.at(it->second.ino);
+  if (offset >= ino.size) co_return 0;
+  const std::uint64_t n =
+      std::min<std::uint64_t>(out.size(), ino.size - offset);
+
+  const std::uint64_t first_page = offset / kBlock;
+  const std::uint64_t last_page = (offset + n - 1) / kBlock;
+
+  // Probe the page cache per page; coalesce runs of misses into single
+  // device commands.
+  std::uint64_t page = first_page;
+  while (page <= last_page) {
+    bool hit;
+    {
+      auto guard = co_await kernel_lock_.scoped_lock();
+      co_await t.core().compute(cal_->kernel.page_cache_probe);
+      hit = page_cache_.contains(ino.ino, page);
+    }
+    if (hit) {
+      ++page;
+      continue;
+    }
+    std::uint64_t run_end = page + 1;
+    while (run_end <= last_page) {
+      auto guard = co_await kernel_lock_.scoped_lock();
+      co_await t.core().compute(cal_->kernel.page_cache_probe);
+      if (page_cache_.contains(ino.ino, run_end)) break;
+      ++run_end;
+    }
+    // Map + read the run [page, run_end).
+    co_await t.core().compute(cal_->kernel.extent_lookup);
+    const std::uint64_t run_bytes = (run_end - page) * kBlock;
+    std::vector<std::byte> pages_buf(run_bytes);
+    co_await block_read(t, phys_offset(ino, page * kBlock), pages_buf);
+    {
+      auto guard = co_await kernel_lock_.scoped_lock();
+      for (std::uint64_t p = page; p < run_end; ++p) {
+        page_cache_.insert(ino.ino, p);
+      }
+    }
+    page = run_end;
+  }
+
+  // copy_to_user: functional copy straight from the device store (the
+  // page cache holds presence, not bytes — see page_cache.hpp).
+  device_->store().read(phys_offset(ino, offset), out.subspan(0, n));
+  co_await t.core().compute(
+      dlsim::transfer_time(n, cal_->kernel.copy_bw_bytes_per_sec));
+  co_return n;
+}
+
+dlsim::Task<void> Ext4Fs::close(OsThread& t, int fd) {
+  co_await t.core().compute(cal_->kernel.syscall);
+  if (fds_.erase(fd) == 0) throw std::invalid_argument("ext4: bad fd");
+}
+
+dlsim::Task<std::optional<std::uint64_t>> Ext4Fs::file_size(
+    OsThread& t, const std::string& path) {
+  co_await t.core().compute(cal_->kernel.syscall);
+  auto ino = co_await resolve(t, path);
+  if (!ino) co_return std::nullopt;
+  co_return inodes_.at(*ino).size;
+}
+
+void Ext4Fs::drop_caches() {
+  page_cache_.drop_all();
+  dentry_lru_.clear();
+  dentry_map_.clear();
+}
+
+}  // namespace dlfs::osfs

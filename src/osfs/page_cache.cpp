@@ -1,0 +1,46 @@
+#include "osfs/page_cache.hpp"
+
+namespace dlfs::osfs {
+
+bool PageCache::contains(std::uint64_t ino, std::uint64_t page) {
+  auto it = map_.find(Key{ino, page});
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void PageCache::insert(std::uint64_t ino, std::uint64_t page) {
+  const Key k{ino, page};
+  if (auto it = map_.find(k); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(k);
+  map_[k] = lru_.begin();
+}
+
+void PageCache::invalidate(std::uint64_t ino) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->ino == ino) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::drop_all() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace dlfs::osfs

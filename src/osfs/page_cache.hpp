@@ -1,0 +1,61 @@
+#pragma once
+
+// PageCache: the kernel page cache used by the Ext4-like baseline.
+//
+// This is a *timing* structure: it tracks which (inode, page) pairs are
+// resident so the read path knows whether to go to the device. Actual
+// bytes always come from the device's backing store (the dataset is
+// read-only once staged, so the contents are identical either way); the
+// savings a hit delivers — no block-layer trip, no device time — are the
+// part that matters to the evaluation.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace dlfs::osfs {
+
+class PageCache {
+ public:
+  explicit PageCache(std::size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  struct Key {
+    std::uint64_t ino;
+    std::uint64_t page;
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Probe; refreshes LRU position on hit.
+  [[nodiscard]] bool contains(std::uint64_t ino, std::uint64_t page);
+
+  /// Inserts (evicting the LRU page if full).
+  void insert(std::uint64_t ino, std::uint64_t page);
+
+  /// Drops every page of an inode (used by unlink / cold-cache setup).
+  void invalidate(std::uint64_t ino);
+
+  /// Drops everything (echo 3 > /proc/sys/vm/drop_caches).
+  void drop_all();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.ino * 0x9e3779b97f4a7c15ull ^
+                                        k.page);
+    }
+  };
+
+  std::size_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dlfs::osfs

@@ -1,0 +1,109 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace dlsim {
+
+Simulator::~Simulator() {
+  // Tear down an aborted simulation without double-frees: queue entries are
+  // *non-owning* references to suspended frames, so they are never destroyed
+  // directly. Instead we destroy each live process' root frame; destroying a
+  // suspended coroutine runs the destructors of its locals, which recursively
+  // destroys every child Task frame it owns (including any whose handle sits
+  // in the queue).
+  while (!queue_.empty()) queue_.pop();
+  for (auto& p : processes_) {
+    if (p->root) {
+      p->root.destroy();
+      p->root = {};
+    }
+  }
+}
+
+void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(h && "scheduling a null coroutine handle");
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(Item{t, seq_++, h});
+}
+
+Task<void> Simulator::process_wrapper(
+    Task<void> inner, std::shared_ptr<detail::ProcessState> st, bool daemon) {
+  try {
+    co_await std::move(inner);
+  } catch (...) {
+    st->error = std::current_exception();
+  }
+  st->done = true;
+  st->root = {};  // the frame self-destroys at final suspend
+  if (!daemon) --live_;
+  for (auto j : st->joiners) schedule_now(j);
+  st->joiners.clear();
+}
+
+Process Simulator::spawn_impl(Task<void> t, std::string name, bool daemon) {
+  assert(t.valid() && "spawning an empty Task");
+  auto st = std::make_shared<detail::ProcessState>();
+  st->name = std::move(name);
+  processes_.push_back(st);
+  if (!daemon) ++live_;
+  Task<void> wrapper = process_wrapper(std::move(t), st, daemon);
+  auto h = wrapper.release();
+  h.promise().self_destroy = true;
+  st->root = h;
+  schedule_now(h);
+  return Process{st};
+}
+
+Process Simulator::spawn(Task<void> t, std::string name) {
+  return spawn_impl(std::move(t), std::move(name), /*daemon=*/false);
+}
+
+Process Simulator::spawn_daemon(Task<void> t, std::string name) {
+  return spawn_impl(std::move(t), std::move(name), /*daemon=*/true);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.t;
+  ++processed_;
+  item.h.resume();
+  return true;
+}
+
+void Simulator::run(bool allow_blocked) {
+  while (step()) {
+  }
+  if (!allow_blocked && live_ > 0) throw DeadlockError(live_, now_);
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  if (t > now_) now_ = t;
+}
+
+void Simulator::rethrow_failures() const {
+  for (const auto& p : processes_) {
+    if (p->error) std::rethrow_exception(p->error);
+  }
+}
+
+Task<void> Process::join() const {
+  auto st = state_;
+  if (!st) co_return;
+  if (!st->done) {
+    struct Awaiter {
+      detail::ProcessState* st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        st->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await Awaiter{st.get()};
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace dlsim

@@ -1,0 +1,168 @@
+#pragma once
+
+// Simulator: the discrete-event loop at the heart of the repository.
+//
+// Every piece of the reproduced system — NVMe devices, NICs, kernel
+// syscall paths, DLFS copy threads — is a coroutine (Task<void>) spawned
+// onto one Simulator. The Simulator owns a time-ordered queue of
+// resumptions; `co_await sim.delay(d)` suspends the current coroutine and
+// resumes it d simulated nanoseconds later. Events at the same timestamp
+// run in FIFO spawn order, so every run is bit-for-bit deterministic.
+//
+// The host process is single-threaded; all concurrency is simulated.
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace dlsim {
+
+class Simulator;
+
+/// Thrown by Simulator::run() when the event queue drains while spawned
+/// processes are still blocked: the simulated system has deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  DeadlockError(std::size_t blocked, SimTime at)
+      : std::runtime_error("simulation deadlock: " + std::to_string(blocked) +
+                           " process(es) blocked at t=" + std::to_string(at) +
+                           "ns"),
+        blocked_processes(blocked),
+        time(at) {}
+  std::size_t blocked_processes;
+  SimTime time;
+};
+
+namespace detail {
+struct ProcessState {
+  bool done = false;
+  std::exception_ptr error;
+  std::string name;
+  std::vector<std::coroutine_handle<>> joiners;
+  // Root coroutine frame of the process; non-null while the process is
+  // alive. Destroying it cascades into every child frame it owns, which is
+  // how Simulator::~Simulator tears down an aborted simulation safely.
+  std::coroutine_handle<> root{};
+};
+}  // namespace detail
+
+/// Handle to a spawned top-level coroutine. Copyable; all copies refer to
+/// the same underlying process.
+class Process {
+ public:
+  Process() = default;
+
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+  [[nodiscard]] bool failed() const { return state_ && state_->error != nullptr; }
+  [[nodiscard]] const std::string& name() const { return state_->name; }
+
+  /// Rethrows the process' terminal exception, if any.
+  void rethrow() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+  /// Awaitable: suspends until the process finishes, then rethrows its
+  /// error (if any) in the awaiting coroutine.
+  [[nodiscard]] Task<void> join() const;
+
+ private:
+  friend class Simulator;
+  explicit Process(std::shared_ptr<detail::ProcessState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t live_processes() const { return live_; }
+
+  /// Schedules a raw coroutine resumption (used by awaitables and the sync
+  /// primitives; application code should prefer delay()/spawn()).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Awaitable that suspends the current coroutine for `d` nanoseconds.
+  [[nodiscard]] auto delay(SimDuration d) {
+    struct Awaiter {
+      Simulator& sim;
+      SimDuration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_at(sim.now_ + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that reschedules the coroutine at the current time, behind
+  /// everything already queued for this instant.
+  [[nodiscard]] auto yield() { return delay(0); }
+
+  /// Starts a top-level simulated process. The coroutine begins executing
+  /// at the current simulated time, once the event loop reaches it.
+  Process spawn(Task<void> t, std::string name = {});
+
+  /// Starts a daemon process: a server loop expected to idle forever
+  /// (an NVMe-oF target poller, a copy-thread pool). Daemons do not count
+  /// toward deadlock detection in run().
+  Process spawn_daemon(Task<void> t, std::string name = {});
+
+  /// Runs one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue is empty. Throws DeadlockError if spawned
+  /// processes remain blocked (pass allow_blocked to tolerate that, e.g.
+  /// for servers that idle forever waiting on a channel).
+  void run(bool allow_blocked = false);
+
+  /// Runs events up to and including time `t`; `now()` is `t` afterwards
+  /// (even if the queue drained earlier).
+  void run_until(SimTime t);
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// After run(), rethrows the first process failure encountered (processes
+  /// that fail also rethrow at join()).
+  void rethrow_failures() const;
+
+ private:
+  Process spawn_impl(Task<void> t, std::string name, bool daemon);
+  Task<void> process_wrapper(Task<void> inner,
+                             std::shared_ptr<detail::ProcessState> st,
+                             bool daemon);
+
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<std::shared_ptr<detail::ProcessState>> processes_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dlsim

@@ -1,0 +1,181 @@
+#pragma once
+
+// Task<T>: the lazy coroutine type used by every simulated activity.
+//
+// A Task does not run until it is co_awaited (or handed to
+// Simulator::spawn). Completion transfers control back to the awaiting
+// coroutine via symmetric transfer, so arbitrarily deep await chains use
+// O(1) native stack. Exceptions thrown inside a task propagate to the
+// awaiter at the co_await expression, exactly like a function call.
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+namespace dlsim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation{};
+  // Set for coroutines owned by the Simulator (detached processes): the
+  // frame frees itself at the final suspend point instead of relying on a
+  // Task destructor.
+  bool self_destroy = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.self_destroy) h.destroy();
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine returning a value of type T (or void).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      result.template emplace<1>(std::forward<U>(v));
+    }
+    void unhandled_exception() {
+      result.template emplace<2>(std::current_exception());
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+
+  /// Releases ownership of the coroutine frame (used by Simulator::spawn).
+  handle_type release() { return std::exchange(h_, {}); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the child coroutine now
+      }
+      T await_resume() {
+        auto& r = h.promise().result;
+        if (r.index() == 2) std::rethrow_exception(std::get<2>(std::move(r)));
+        assert(r.index() == 1 && "task finished without a value");
+        return std::get<1>(std::move(r));
+      }
+    };
+    assert(h_ && "co_await on an empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  handle_type h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+
+  handle_type release() { return std::exchange(h_, {}); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    assert(h_ && "co_await on an empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  handle_type h_{};
+};
+
+}  // namespace dlsim

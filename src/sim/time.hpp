@@ -1,0 +1,48 @@
+#pragma once
+
+// Simulated-time types for the discrete-event simulation kernel.
+//
+// All simulated time is kept in integer nanoseconds. 2^64 ns is ~584 years,
+// so overflow is not a practical concern for any experiment in this repo.
+
+#include <cstdint>
+
+namespace dlsim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline namespace literals {
+
+constexpr SimDuration operator""_ns(unsigned long long v) { return v; }
+constexpr SimDuration operator""_us(unsigned long long v) { return v * 1000ull; }
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return v * 1'000'000ull;
+}
+constexpr SimDuration operator""_sec(unsigned long long v) {
+  return v * 1'000'000'000ull;
+}
+
+}  // namespace literals
+
+/// Converts a simulated duration to (floating-point) seconds, for reporting.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) * 1e-9;
+}
+
+/// Converts a simulated duration to (floating-point) microseconds.
+constexpr double to_micros(SimDuration d) { return static_cast<double>(d) * 1e-3; }
+
+/// Converts a simulated duration to (floating-point) milliseconds.
+constexpr double to_millis(SimDuration d) { return static_cast<double>(d) * 1e-6; }
+
+/// Duration of moving `bytes` through a pipe of `bytes_per_sec` bandwidth.
+constexpr SimDuration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  return static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_sec *
+                                  1e9);
+}
+
+}  // namespace dlsim

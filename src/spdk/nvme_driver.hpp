@@ -1,0 +1,48 @@
+#pragma once
+
+// NvmeDriver: the local user-space NVMe driver (SPDK's nvme library).
+//
+// attach() claims the device away from the kernel — the real SPDK
+// requires `nvme` to be unbound and the device given to vfio/uio first,
+// and our NvmeDevice enforces the same exclusivity. I/O queues created
+// here validate that every buffer lives in the driver's huge-page pool.
+
+#include <memory>
+#include <unordered_set>
+
+#include "mem/hugepage_pool.hpp"
+#include "spdk/io_queue.hpp"
+
+namespace dlfs::spdk {
+
+class NvmeDriver {
+ public:
+  NvmeDriver(dlsim::Simulator& sim, mem::HugePagePool& pool)
+      : sim_(&sim), pool_(&pool) {}
+
+  NvmeDriver(const NvmeDriver&) = delete;
+  NvmeDriver& operator=(const NvmeDriver&) = delete;
+  ~NvmeDriver();
+
+  /// Claims the device for user-space I/O. Throws std::logic_error if the
+  /// kernel still owns it.
+  void attach(hw::NvmeDevice& dev);
+  void detach(hw::NvmeDevice& dev);
+  [[nodiscard]] bool attached(hw::NvmeDevice& dev) const {
+    return devices_.contains(&dev);
+  }
+
+  /// Creates an I/O queue on an attached device (depth 0 = device max).
+  [[nodiscard]] std::unique_ptr<IoQueue> create_io_queue(
+      hw::NvmeDevice& dev, std::uint32_t depth = 0);
+
+  [[nodiscard]] mem::HugePagePool& pool() { return *pool_; }
+  [[nodiscard]] dlsim::Simulator& simulator() { return *sim_; }
+
+ private:
+  dlsim::Simulator* sim_;
+  mem::HugePagePool* pool_;
+  std::unordered_set<hw::NvmeDevice*> devices_;
+};
+
+}  // namespace dlfs::spdk

@@ -1,0 +1,219 @@
+#include "spdk/nvmf.hpp"
+
+#include <cassert>
+#include <optional>
+
+namespace dlfs::spdk {
+
+namespace {
+
+/// One command capsule as it travels client -> target.
+struct RemoteCmd {
+  IoOp op = IoOp::kRead;
+  std::uint64_t offset = 0;
+  std::span<std::byte> buf{};
+  std::uint64_t user_tag = 0;
+};
+
+}  // namespace
+
+class RemoteIoQueue;
+
+struct NvmfTarget::Connection {
+  Connection(dlsim::Simulator& sim, hw::NodeId client,
+             std::unique_ptr<hw::NvmeQueuePair> qpair, std::uint32_t depth)
+      : client_node(client),
+        qp(std::move(qpair)),
+        inbound(sim, /*capacity=*/depth),
+        expected(sim, /*capacity=*/depth),
+        slots(sim, depth) {}
+
+  hw::NodeId client_node;
+  std::unique_ptr<hw::NvmeQueuePair> qp;
+  dlsim::Channel<RemoteCmd> inbound;
+  // Completion metadata in device-FIFO order.
+  dlsim::Channel<RemoteCmd> expected;
+  dlsim::Semaphore slots;
+  RemoteIoQueue* client_queue = nullptr;
+};
+
+/// Initiator-side queue (lives on the client).
+class RemoteIoQueue final : public IoQueue {
+ public:
+  RemoteIoQueue(dlsim::Simulator& sim, hw::Fabric& fabric,
+                hw::NodeId client_node, hw::NodeId target_node,
+                mem::HugePagePool& client_pool, NvmfTarget::Connection& conn,
+                std::uint32_t depth)
+      : sim_(&sim),
+        fabric_(&fabric),
+        client_node_(client_node),
+        target_node_(target_node),
+        pool_(&client_pool),
+        conn_(&conn),
+        depth_(depth),
+        ready_waiters_(sim) {
+    conn_->client_queue = this;
+  }
+
+  ~RemoteIoQueue() override {
+    // Tear down the server-side loops; in-flight commands may still drain
+    // into ready_ (discarded with us).
+    conn_->inbound.close();
+    conn_->client_queue = nullptr;
+  }
+
+  IoStatus submit(IoOp op, std::uint64_t offset, std::span<std::byte> buf,
+                  std::uint64_t user_tag) override {
+    if (outstanding_ >= depth_) return IoStatus::kQueueFull;
+    if (!buf.empty() && !pool_->owns(buf.data())) {
+      return IoStatus::kInvalidBuffer;
+    }
+    if (offset + buf.size() > conn_->qp->device().capacity()) {
+      return IoStatus::kOutOfRange;
+    }
+    ++outstanding_;
+    sim_->spawn(send_command(RemoteCmd{op, offset, buf, user_tag}),
+                "nvmf-send");
+    return IoStatus::kOk;
+  }
+
+  std::vector<IoCompletion> poll(std::size_t max) override {
+    std::vector<IoCompletion> out;
+    while (!ready_.empty() && out.size() < max) {
+      out.push_back(ready_.front());
+      ready_.pop_front();
+    }
+    return out;
+  }
+
+  dlsim::Task<void> wait_for_completion() override {
+    while (ready_.empty() && outstanding_ > 0) {
+      co_await ready_waiters_.wait();
+    }
+  }
+
+  std::uint32_t outstanding() const override { return outstanding_; }
+  std::uint32_t depth() const override { return depth_; }
+
+  /// Called by the target's harvester when the data has landed.
+  void deliver(IoCompletion c) {
+    assert(outstanding_ > 0);
+    --outstanding_;
+    ready_.push_back(c);
+    ready_waiters_.wake_all();
+  }
+
+  [[nodiscard]] hw::NodeId client_node() const { return client_node_; }
+
+ private:
+  dlsim::Task<void> send_command(RemoteCmd cmd) {
+    // Command capsule over the wire, then into the target's inbound queue.
+    co_await fabric_->send_control(client_node_, target_node_);
+    co_await conn_->inbound.push(cmd);
+  }
+
+  dlsim::Simulator* sim_;
+  hw::Fabric* fabric_;
+  hw::NodeId client_node_;
+  hw::NodeId target_node_;
+  mem::HugePagePool* pool_;
+  NvmfTarget::Connection* conn_;
+  std::uint32_t depth_;
+  std::uint32_t outstanding_ = 0;
+  std::deque<IoCompletion> ready_;
+  dlsim::detail::WaitList ready_waiters_;
+};
+
+NvmfTarget::NvmfTarget(dlsim::Simulator& sim, hw::Fabric& fabric,
+                       hw::NodeId node, hw::NvmeDevice& device)
+    : sim_(&sim),
+      fabric_(&fabric),
+      node_(node),
+      device_(&device),
+      poller_core_(sim, "nvmf-target-" + std::to_string(node)),
+      poller_mutex_(sim) {
+  device_->claim(hw::DeviceOwner::kUserSpace);
+}
+
+NvmfTarget::~NvmfTarget() {
+  for (auto& c : connections_) c->inbound.close();
+  device_->release(hw::DeviceOwner::kUserSpace);
+}
+
+std::unique_ptr<IoQueue> NvmfTarget::connect(hw::NodeId client_node,
+                                             mem::HugePagePool& client_pool,
+                                             std::uint32_t depth) {
+  if (depth == 0) depth = device_->params().max_queue_depth;
+  auto conn = std::make_unique<Connection>(
+      *sim_, client_node, device_->create_qpair(depth), depth);
+  Connection& ref = *conn;
+  connections_.push_back(std::move(conn));
+  sim_->spawn_daemon(dispatcher_loop(ref), "nvmf-dispatcher");
+  sim_->spawn_daemon(harvester_loop(ref), "nvmf-harvester");
+  return std::make_unique<RemoteIoQueue>(*sim_, *fabric_, client_node, node_,
+                                         client_pool, ref, depth);
+}
+
+dlsim::Task<void> NvmfTarget::dispatcher_loop(Connection& conn) {
+  const auto& nic = fabric_->params();
+  for (;;) {
+    std::optional<RemoteCmd> cmd = co_await conn.inbound.pop();
+    if (!cmd) {
+      conn.expected.close();
+      co_return;
+    }
+    // Target CPU: parse the capsule and build the device command;
+    // serialized on the single poller core.
+    {
+      auto guard = co_await poller_mutex_.scoped_lock();
+      co_await poller_core_.compute(nic.per_message_cpu + 300);
+    }
+    co_await conn.slots.acquire();
+    const IoStatus st =
+        conn.qp->submit(cmd->op, cmd->offset, cmd->buf, cmd->user_tag);
+    assert(st == IoStatus::kOk && "slot semaphore must bound submissions");
+    (void)st;
+    co_await conn.expected.push(*cmd);
+  }
+}
+
+dlsim::Task<void> NvmfTarget::harvester_loop(Connection& conn) {
+  for (;;) {
+    std::optional<RemoteCmd> exp = co_await conn.expected.pop();
+    if (!exp) co_return;
+    // The per-connection qpair completes in FIFO order, so the head
+    // completion corresponds to `exp`.
+    std::vector<IoCompletion> done = conn.qp->poll(1);
+    while (done.empty()) {
+      co_await conn.qp->wait_for_completion();
+      done = conn.qp->poll(1);
+    }
+    conn.slots.release();
+    IoCompletion completion = done.front();
+    completion.user_tag = exp->user_tag;
+    {
+      auto guard = co_await poller_mutex_.scoped_lock();
+      co_await poller_core_.compute(fabric_->params().per_message_cpu);
+    }
+    // Pipeline the RDMA write back to the client: the NIC pipe model
+    // serializes bandwidth; spawning keeps the harvester free to process
+    // the next completion.
+    sim_->spawn(return_data(conn, completion, exp->buf.size()),
+                "nvmf-return");
+  }
+}
+
+dlsim::Task<void> NvmfTarget::return_data(Connection& conn,
+                                          IoCompletion completion,
+                                          std::uint64_t bytes) {
+  if (completion.status == IoStatus::kOk) {
+    co_await fabric_->transfer(node_, conn.client_node, bytes);
+  } else {
+    // Errors carry no payload: just the completion capsule.
+    co_await fabric_->send_control(node_, conn.client_node);
+  }
+  // Completion capsule rides behind the data (RDMA_WRITE + flagged CQE).
+  if (conn.client_queue != nullptr) conn.client_queue->deliver(completion);
+}
+
+}  // namespace dlfs::spdk

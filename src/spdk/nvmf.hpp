@@ -1,0 +1,75 @@
+#pragma once
+
+// NVMe over Fabrics: user-level target and initiator (SPDK nvmf).
+//
+// An NvmfTarget runs on the storage node and exports one NVMe device.
+// Each client connection gets its own server-side I/O queue pair (as in
+// SPDK, where each host connection maps to a dedicated qpair), serviced
+// by two daemon coroutines on the target:
+//
+//   dispatcher: inbound command capsules -> device submission (bounded by
+//               the connection's queue depth via a slot semaphore)
+//   harvester:  device completions (FIFO per qpair) -> RDMA-write of the
+//               data back into the client's registered buffer -> client
+//               completion
+//
+// All target-side per-command CPU work serializes on the target's single
+// poller core (SPDK reactor model), so a flood of small commands from
+// many clients saturates the target CPU — one of the effects chunk-level
+// batching exists to avoid.
+//
+// The initiator side (RemoteIoQueue) implements spdk::IoQueue, so DLFS
+// cannot tell a remote device from a local one — the disaggregation
+// transparency the paper builds on.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hw/net/fabric.hpp"
+#include "mem/hugepage_pool.hpp"
+#include "sim/cpu.hpp"
+#include "sim/sync.hpp"
+#include "spdk/io_queue.hpp"
+
+namespace dlfs::spdk {
+
+class NvmfTarget {
+ public:
+  NvmfTarget(dlsim::Simulator& sim, hw::Fabric& fabric, hw::NodeId node,
+             hw::NvmeDevice& device);
+  NvmfTarget(const NvmfTarget&) = delete;
+  NvmfTarget& operator=(const NvmfTarget&) = delete;
+  ~NvmfTarget();
+
+  /// Establishes a connection from `client_node`; returns the initiator's
+  /// queue. `client_pool` is the client's registered (huge-page) memory —
+  /// RDMA writes land only there. depth 0 = device max.
+  [[nodiscard]] std::unique_ptr<IoQueue> connect(hw::NodeId client_node,
+                                                 mem::HugePagePool& client_pool,
+                                                 std::uint32_t depth = 0);
+
+  [[nodiscard]] hw::NodeId node() const { return node_; }
+  [[nodiscard]] hw::NvmeDevice& device() { return *device_; }
+  /// The target's poller core: its utilization measures target-side CPU.
+  [[nodiscard]] dlsim::CpuCore& poller_core() { return poller_core_; }
+
+ private:
+  friend class RemoteIoQueue;
+  struct Connection;
+
+  dlsim::Task<void> dispatcher_loop(Connection& conn);
+  dlsim::Task<void> harvester_loop(Connection& conn);
+  dlsim::Task<void> return_data(Connection& conn, IoCompletion completion,
+                                std::uint64_t bytes);
+
+  dlsim::Simulator* sim_;
+  hw::Fabric* fabric_;
+  hw::NodeId node_;
+  hw::NvmeDevice* device_;
+  dlsim::CpuCore poller_core_;
+  dlsim::Mutex poller_mutex_;  // serializes work on the single poller core
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace dlfs::spdk

@@ -1,0 +1,60 @@
+#include "tfio/pipeline.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace dlfs::tfio {
+
+dlsim::Task<std::optional<Element>> Pipeline::next_element() {
+  if (shuffle_buffer_size_ == 0) {
+    co_return co_await source_->next();
+  }
+  // Fill the buffer.
+  while (!upstream_done_ && buffer_.size() < shuffle_buffer_size_) {
+    auto e = co_await source_->next();
+    if (!e) {
+      upstream_done_ = true;
+      break;
+    }
+    buffer_.push_back(*e);
+  }
+  if (buffer_.empty()) co_return std::nullopt;
+  const std::size_t idx =
+      static_cast<std::size_t>(rng_.next_below(buffer_.size()));
+  Element out = buffer_[idx];
+  buffer_[idx] = buffer_.back();
+  buffer_.pop_back();
+  co_return out;
+}
+
+dlsim::Task<std::optional<MiniBatch>> Pipeline::next_batch() {
+  MiniBatch mb;
+  mb.elements.reserve(batch_size_);
+  while (mb.elements.size() < batch_size_) {
+    auto e = co_await next_element();
+    if (!e) break;
+    // Per-element framework work: tensor wrap, iterator advance.
+    co_await core_->compute(costs_.per_sample);
+    mb.elements.push_back(*e);
+  }
+  if (mb.elements.empty()) co_return std::nullopt;
+  // Per-batch work: collation, session hand-off.
+  co_await core_->compute(costs_.per_batch);
+  elements_delivered_ += mb.elements.size();
+  co_return mb;
+}
+
+double shuffle_quality(const std::vector<std::uint32_t>& delivered) {
+  if (delivered.size() < 2) return 0.0;
+  const double n = static_cast<double>(delivered.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    total += std::abs(static_cast<double>(delivered[i]) -
+                      static_cast<double>(i));
+  }
+  // Expected mean displacement of a uniform permutation is n/3; normalize
+  // so a perfect shuffle scores ~1.
+  return (total / n) / (n / 3.0);
+}
+
+}  // namespace dlfs::tfio

@@ -1,0 +1,100 @@
+#pragma once
+
+// tfio: a TensorFlow-Dataset-style input pipeline (the paper's §IV-E
+// "customized TensorFlow API" enabling TF on top of DLFS, Octopus and
+// Ext4).
+//
+// Pull-based: a Source produces sample elements from some file system; a
+// Pipeline layers an optional shuffle buffer and batching on top, and
+// charges the framework's per-sample / per-batch overheads (tensor wrap,
+// iterator bookkeeping) to the training thread's core. Fig. 12 measures
+// exactly this stack's throughput over each FS.
+//
+// The shuffle stage reproduces tf.data's bounded shuffle buffer: keep B
+// elements, emit a uniformly random one, refill from upstream. §II-B's
+// observation — "if the size of the shuffle buffer is not large enough,
+// the learner only obtains partially shuffled samples" — is measurable
+// with shuffle_quality().
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/rng.hpp"
+#include "sim/cpu.hpp"
+#include "sim/task.hpp"
+
+namespace dlfs::tfio {
+
+struct Element {
+  std::uint32_t sample_id = 0;
+  std::uint32_t class_id = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Pull-based element source (one per underlying file system).
+class Source {
+ public:
+  virtual ~Source() = default;
+  /// Next element, or nullopt at end of epoch.
+  [[nodiscard]] virtual dlsim::Task<std::optional<Element>> next() = 0;
+};
+
+struct MiniBatch {
+  std::vector<Element> elements;
+  [[nodiscard]] std::uint64_t bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& e : elements) b += e.bytes;
+    return b;
+  }
+};
+
+class Pipeline {
+ public:
+  Pipeline(dlsim::CpuCore& core, std::unique_ptr<Source> source,
+           const FrameworkCosts& costs)
+      : core_(&core), source_(std::move(source)), costs_(costs) {}
+
+  /// Inserts a bounded shuffle buffer (tf.data semantics).
+  Pipeline& shuffle(std::size_t buffer_size, std::uint64_t seed) {
+    shuffle_buffer_size_ = buffer_size;
+    rng_ = Rng(seed);
+    return *this;
+  }
+
+  Pipeline& batch(std::size_t n) {
+    batch_size_ = n;
+    return *this;
+  }
+
+  /// Next mini-batch (short or nullopt at end of data).
+  [[nodiscard]] dlsim::Task<std::optional<MiniBatch>> next_batch();
+
+  [[nodiscard]] std::uint64_t elements_delivered() const {
+    return elements_delivered_;
+  }
+
+ private:
+  [[nodiscard]] dlsim::Task<std::optional<Element>> next_element();
+
+  dlsim::CpuCore* core_;
+  std::unique_ptr<Source> source_;
+  FrameworkCosts costs_;
+  std::size_t batch_size_ = 32;
+  std::size_t shuffle_buffer_size_ = 0;  // 0 = no shuffle stage
+  Rng rng_{0};
+  std::vector<Element> buffer_;
+  bool upstream_done_ = false;
+  std::uint64_t elements_delivered_ = 0;
+};
+
+/// How shuffled a delivered order is: mean normalized displacement of
+/// each sample from its source position, in [0, 1]. ~0 for the identity
+/// order; -> 1 as the permutation approaches uniform random (expected
+/// value 1/2 * ... normalized so that a uniform shuffle scores ~1).
+[[nodiscard]] double shuffle_quality(
+    const std::vector<std::uint32_t>& delivered);
+
+}  // namespace dlfs::tfio

@@ -1,0 +1,64 @@
+#include "tfio/sources.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlfs::tfio {
+
+DlfsSource::DlfsSource(core::DlfsInstance& instance, std::uint64_t epoch_seed,
+                       std::size_t io_batch, std::uint32_t max_sample_bytes)
+    : instance_(&instance),
+      io_batch_(io_batch),
+      arena_(io_batch * static_cast<std::size_t>(max_sample_bytes)) {
+  instance_->sequence(epoch_seed);
+}
+
+dlsim::Task<std::optional<Element>> DlfsSource::next() {
+  if (cursor_ >= pending_.samples.size()) {
+    pending_ = co_await instance_->bread(io_batch_, arena_);
+    cursor_ = 0;
+    if (pending_.samples.empty()) co_return std::nullopt;
+  }
+  const auto& s = pending_.samples[cursor_++];
+  co_return Element{s.sample_id, s.class_id, s.len};
+}
+
+Ext4Source::Ext4Source(osfs::Ext4Fs& fs, osfs::OsThread& thread,
+                       std::vector<FileRef> files)
+    : fs_(&fs), thread_(&thread), files_(std::move(files)) {
+  std::uint32_t max_bytes = 0;
+  for (const auto& f : files_) max_bytes = std::max(max_bytes, f.bytes);
+  scratch_.resize(max_bytes);
+}
+
+dlsim::Task<std::optional<Element>> Ext4Source::next() {
+  if (cursor_ >= files_.size()) co_return std::nullopt;
+  const FileRef& f = files_[cursor_++];
+  auto fd = co_await fs_->open(*thread_, f.path);
+  if (!fd) throw std::runtime_error("tfio: missing file " + f.path);
+  const auto n = co_await fs_->pread(
+      *thread_, *fd, std::span<std::byte>(scratch_.data(), f.bytes), 0);
+  co_await fs_->close(*thread_, *fd);
+  if (n != f.bytes) throw std::runtime_error("tfio: short read of " + f.path);
+  co_return Element{f.sample_id, f.class_id, f.bytes};
+}
+
+OctoSource::OctoSource(octofs::OctoFs::Client& client,
+                       std::vector<FileRef> files)
+    : client_(&client), files_(std::move(files)) {
+  std::uint32_t max_bytes = 0;
+  for (const auto& f : files_) max_bytes = std::max(max_bytes, f.bytes);
+  scratch_.resize(max_bytes);
+}
+
+dlsim::Task<std::optional<Element>> OctoSource::next() {
+  if (cursor_ >= files_.size()) co_return std::nullopt;
+  const FileRef& f = files_[cursor_++];
+  auto meta = co_await client_->open(f.name);
+  if (!meta) throw std::runtime_error("tfio: missing file " + f.name);
+  co_await client_->read(*meta,
+                         std::span<std::byte>(scratch_.data(), f.bytes));
+  co_return Element{f.sample_id, f.class_id, f.bytes};
+}
+
+}  // namespace dlfs::tfio

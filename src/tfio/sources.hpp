@@ -1,0 +1,86 @@
+#pragma once
+
+// Concrete tfio Sources, one per file system under comparison (Fig. 12):
+//
+//   DlfsSource  — dlfs_bread through a DlfsInstance (order comes from the
+//                 epoch sequence installed by dlfs_sequence)
+//   Ext4Source  — open/pread/close per sample from a (pre-shuffled) local
+//                 file list, the way TF reads raw image files from disk
+//   OctoSource  — open (possibly remote lookup) + RDMA read per sample
+//
+// Every source delivers sample *metadata* plus fully materialized bytes
+// into its scratch arena; Element carries sizes only (the pipeline's
+// framework costs are charged per element; the FS already charged its
+// own I/O and copy time).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlfs/dlfs.hpp"
+#include "octofs/octofs.hpp"
+#include "osfs/ext4.hpp"
+#include "tfio/pipeline.hpp"
+
+namespace dlfs::tfio {
+
+class DlfsSource final : public Source {
+ public:
+  /// The instance must already be mounted; installs the epoch order.
+  DlfsSource(core::DlfsInstance& instance, std::uint64_t epoch_seed,
+             std::size_t io_batch, std::uint32_t max_sample_bytes);
+
+  [[nodiscard]] dlsim::Task<std::optional<Element>> next() override;
+
+ private:
+  core::DlfsInstance* instance_;
+  std::size_t io_batch_;
+  std::vector<std::byte> arena_;
+  core::Batch pending_;
+  std::size_t cursor_ = 0;
+};
+
+class Ext4Source final : public Source {
+ public:
+  struct FileRef {
+    std::string path;
+    std::uint32_t sample_id;
+    std::uint32_t class_id;
+    std::uint32_t bytes;
+  };
+
+  /// `files` must already be in read order (shuffle before constructing).
+  Ext4Source(osfs::Ext4Fs& fs, osfs::OsThread& thread,
+             std::vector<FileRef> files);
+
+  [[nodiscard]] dlsim::Task<std::optional<Element>> next() override;
+
+ private:
+  osfs::Ext4Fs* fs_;
+  osfs::OsThread* thread_;
+  std::vector<FileRef> files_;
+  std::vector<std::byte> scratch_;
+  std::size_t cursor_ = 0;
+};
+
+class OctoSource final : public Source {
+ public:
+  struct FileRef {
+    std::string name;
+    std::uint32_t sample_id;
+    std::uint32_t class_id;
+    std::uint32_t bytes;
+  };
+
+  OctoSource(octofs::OctoFs::Client& client, std::vector<FileRef> files);
+
+  [[nodiscard]] dlsim::Task<std::optional<Element>> next() override;
+
+ private:
+  octofs::OctoFs::Client* client_;
+  std::vector<FileRef> files_;
+  std::vector<std::byte> scratch_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dlfs::tfio

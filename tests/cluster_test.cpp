@@ -1,0 +1,153 @@
+// Tests for the cluster layer: nodes, barrier, ring allgather, PFS stub.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "cluster/collective.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::cluster::Barrier;
+using dlfs::cluster::Cluster;
+using dlfs::cluster::NodeConfig;
+using dlfs::cluster::Pfs;
+using dlsim::SimTime;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+TEST(ClusterNode, BuildsDevicesAndPools) {
+  Simulator sim;
+  NodeConfig nc;
+  nc.device_capacity = 16_MiB;
+  Cluster c(sim, 3, nc);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.node(0).device().capacity(), 16_MiB);
+  EXPECT_EQ(c.fabric().num_nodes(), 3u);
+  EXPECT_NE(&c.node(0).device(), &c.node(1).device());
+}
+
+TEST(ClusterNode, CoresCreatedLazily) {
+  Simulator sim;
+  Cluster c(sim, 1);
+  EXPECT_EQ(c.node(0).num_cores(), 0u);
+  auto& core2 = c.node(0).core(2);
+  EXPECT_EQ(c.node(0).num_cores(), 3u);
+  EXPECT_EQ(&c.node(0).core(2), &core2);
+}
+
+TEST(Barrier, AllArriveTogether) {
+  Simulator sim;
+  Barrier bar(sim, 3);
+  std::vector<SimTime> released(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulator& s, Barrier& b, SimTime& out,
+                 dlsim::SimDuration d) -> Task<void> {
+      co_await s.delay(d);
+      co_await b.arrive();
+      out = s.now();
+    }(sim, bar, released[i], static_cast<dlsim::SimDuration>(i * 10)));
+  }
+  sim.run();
+  EXPECT_EQ(released[0], 20u);  // all release when the slowest arrives
+  EXPECT_EQ(released[1], 20u);
+  EXPECT_EQ(released[2], 20u);
+}
+
+TEST(Barrier, Reusable) {
+  Simulator sim;
+  Barrier bar(sim, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulator& s, Barrier& b, int& done) -> Task<void> {
+      for (int r = 0; r < 5; ++r) {
+        co_await s.delay(1);
+        co_await b.arrive();
+      }
+      ++done;
+    }(sim, bar, rounds_done));
+  }
+  sim.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(RingAllgather, CompletesAndTakesWireTime) {
+  Simulator sim;
+  dlfs::hw::Fabric fabric(sim, 4);
+  Barrier bar(sim, 4);
+  std::vector<std::uint64_t> shards = {1_MiB, 1_MiB, 1_MiB, 1_MiB};
+  std::vector<SimTime> done(4, 0);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    sim.spawn([](Simulator& s, dlfs::hw::Fabric& f, Barrier& b,
+                 std::uint32_t me, const std::vector<std::uint64_t>& sh,
+                 SimTime& out) -> Task<void> {
+      co_await dlfs::cluster::ring_allgather(s, f, b, me, sh);
+      out = s.now();
+    }(sim, fabric, bar, n, shards, done[n]));
+  }
+  sim.run();
+  // 3 rounds of 1 MiB at 6.8 GB/s ~= 3 * 154us plus latencies.
+  const SimTime min_expected = 3 * dlsim::transfer_time(1_MiB, 6.8e9);
+  for (auto t : done) {
+    EXPECT_GE(t, min_expected);
+    EXPECT_LT(t, min_expected + 100_us);
+  }
+  // Every node sent 3 shards.
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(fabric.bytes_sent(n), 3 * 1_MiB);
+  }
+}
+
+TEST(RingAllgather, SingleNodeIsFree) {
+  Simulator sim;
+  dlfs::hw::Fabric fabric(sim, 1);
+  Barrier bar(sim, 1);
+  std::vector<std::uint64_t> shards = {123};
+  SimTime done = 1;
+  sim.spawn([](Simulator& s, dlfs::hw::Fabric& f, Barrier& b,
+               const std::vector<std::uint64_t>& sh,
+               SimTime& out) -> Task<void> {
+    co_await dlfs::cluster::ring_allgather(s, f, b, 0, sh);
+    out = s.now();
+  }(sim, fabric, bar, shards, done));
+  sim.run();
+  EXPECT_EQ(done, 0u);
+}
+
+TEST(Pfs, StreamTimingMatchesBandwidth) {
+  Simulator sim;
+  auto ds = dlfs::dataset::make_fixed_size_dataset(10, 1_MiB);
+  Pfs pfs(sim, ds);
+  SimTime done = 0;
+  sim.spawn([](Simulator& s, Pfs& p, SimTime& out) -> Task<void> {
+    co_await p.stream_samples(0, 10, 10_MiB);
+    out = s.now();
+  }(sim, pfs, done));
+  sim.run();
+  // 10 MiB at 1 GB/s ~= 10.5ms + 0.5ms latency.
+  EXPECT_GT(done, 10_ms);
+  EXPECT_LT(done, 12_ms);
+  EXPECT_EQ(pfs.bytes_served(), 10_MiB);
+}
+
+TEST(Pfs, ReadSampleFillsContent) {
+  Simulator sim;
+  auto ds = dlfs::dataset::make_fixed_size_dataset(10, 2048);
+  Pfs pfs(sim, ds);
+  std::vector<std::byte> buf(2048), want(2048);
+  ds.fill_content(4, 0, want);
+  sim.spawn([](Pfs& p, std::span<std::byte> b) -> Task<void> {
+    co_await p.read_sample(4, b);
+  }(pfs, buf));
+  sim.run();
+  EXPECT_EQ(std::memcmp(buf.data(), want.data(), 2048), 0);
+}
+
+}  // namespace

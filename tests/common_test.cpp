@@ -1,0 +1,190 @@
+// Tests for common utilities: units, hashing, RNG, statistics, tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace dlfs::byte_literals;
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648ull);
+  EXPECT_EQ(512_B, 512u);
+}
+
+TEST(Units, Rounding) {
+  EXPECT_EQ(dlfs::round_up(1, 4096), 4096u);
+  EXPECT_EQ(dlfs::round_up(4096, 4096), 4096u);
+  EXPECT_EQ(dlfs::round_up(4097, 4096), 8192u);
+  EXPECT_EQ(dlfs::round_up(0, 4096), 0u);
+  EXPECT_EQ(dlfs::round_down(4097, 4096), 4096u);
+  EXPECT_EQ(dlfs::ceil_div(10, 3), 4u);
+  EXPECT_EQ(dlfs::ceil_div(9, 3), 3u);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(dlfs::format_bytes(512), "512 B");
+  EXPECT_EQ(dlfs::format_bytes(4096), "4 KiB");
+  EXPECT_EQ(dlfs::format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(dlfs::format_bytes(1_MiB), "1 MiB");
+}
+
+TEST(Hash, DeterministicAndDispersed) {
+  EXPECT_EQ(dlfs::hash64("sample_000001"), dlfs::hash64("sample_000001"));
+  EXPECT_NE(dlfs::hash64("sample_000001"), dlfs::hash64("sample_000002"));
+  // 48-bit truncation must still disperse: no collisions among 100k keys.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = dlfs::hash64("file_" + std::to_string(i)) &
+                   ((1ull << 48) - 1);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hash, Mix64AvoidsFixedPointZero) {
+  EXPECT_NE(dlfs::mix64(0), 0u);
+  EXPECT_NE(dlfs::mix64(1), dlfs::mix64(2));
+}
+
+TEST(Rng, DeterministicSequence) {
+  dlfs::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  dlfs::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  dlfs::Rng rng(7);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // within 10% of expected
+  }
+}
+
+TEST(Rng, NextBelowZeroAndOne) {
+  dlfs::Rng rng(1);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  dlfs::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  dlfs::Rng rng(123);
+  dlfs::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  // Median of lognormal(mu, sigma) is exp(mu).
+  dlfs::Rng rng(321);
+  dlfs::Percentiles p;
+  for (int i = 0; i < 100000; ++i) p.add(rng.next_lognormal(3.0, 0.8));
+  EXPECT_NEAR(p.median(), std::exp(3.0), std::exp(3.0) * 0.05);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  dlfs::Rng rng(5);
+  auto p = rng.permutation(1000);
+  std::set<std::uint64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Rng, ShuffleIsSeedDeterministic) {
+  dlfs::Rng a(99), b(99);
+  auto pa = a.permutation(500);
+  auto pb = b.permutation(500);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Summary, BasicMoments) {
+  dlfs::Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, Empty) {
+  dlfs::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentiles, ExactValues) {
+  dlfs::Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+  EXPECT_NEAR(p.median(), 50.5, 0.5);
+  EXPECT_NEAR(p.percentile(75), 75.25, 0.5);
+}
+
+TEST(Histogram, BucketsAndCdf) {
+  auto h = dlfs::Histogram::pow2(1.0, 16.0);  // 1,2,4,8,16
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  h.add(16.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.cdf(2.0), 0.5, 1e-9);
+  EXPECT_NEAR(h.cdf(16.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.cdf(1e9), 1.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  dlfs::Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "123.45"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123.45"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(dlfs::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(dlfs::Table::integer(42), "42");
+}
+
+}  // namespace

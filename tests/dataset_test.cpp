@@ -1,0 +1,164 @@
+// Tests for the dataset model: generators, size distributions (fitted to
+// the paper's Fig. 1), deterministic content, and the TFRecord-like
+// batched format.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/record_file.hpp"
+
+namespace {
+
+using dlfs::dataset::Dataset;
+using dlfs::dataset::RecordFileReader;
+using dlfs::dataset::RecordFileWriter;
+using namespace dlfs::byte_literals;
+
+TEST(Dataset, FixedSizeGenerator) {
+  auto ds = dlfs::dataset::make_fixed_size_dataset(100, 4096, 7, 10);
+  EXPECT_EQ(ds.num_samples(), 100u);
+  EXPECT_EQ(ds.total_bytes(), 100u * 4096u);
+  EXPECT_EQ(ds.max_sample_bytes(), 4096u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ds.sample(i).size, 4096u);
+    EXPECT_LT(ds.sample(i).class_id, 10u);
+  }
+}
+
+TEST(Dataset, NamesAreUnique) {
+  auto ds = dlfs::dataset::make_fixed_size_dataset(1000, 512);
+  std::set<std::string> names;
+  for (const auto& s : ds.samples()) names.insert(s.name);
+  EXPECT_EQ(names.size(), 1000u);
+}
+
+TEST(Dataset, ContentIsDeterministicAndPerSample) {
+  auto ds = dlfs::dataset::make_fixed_size_dataset(10, 1000, 5);
+  std::vector<std::byte> a(1000), b(1000), c(1000);
+  ds.fill_content(3, 0, a);
+  ds.fill_content(3, 0, b);
+  ds.fill_content(4, 0, c);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), 1000), 0);
+  EXPECT_NE(std::memcmp(a.data(), c.data(), 1000), 0);
+}
+
+TEST(Dataset, PartialContentMatchesWhole) {
+  auto ds = dlfs::dataset::make_fixed_size_dataset(5, 4096, 5);
+  std::vector<std::byte> whole(4096), part(100);
+  ds.fill_content(2, 0, whole);
+  ds.fill_content(2, 1234, part);
+  EXPECT_EQ(std::memcmp(part.data(), whole.data() + 1234, 100), 0);
+}
+
+TEST(Dataset, ContentBeyondSampleThrows) {
+  auto ds = dlfs::dataset::make_fixed_size_dataset(5, 100, 5);
+  std::vector<std::byte> buf(200);
+  EXPECT_THROW(ds.fill_content(0, 0, buf), std::out_of_range);
+}
+
+TEST(Dataset, ImagenetLikeQuartileMatchesFig1) {
+  // The paper: "about 75% of samples are less than 147 KB".
+  auto ds = dlfs::dataset::make_imagenet_like_dataset(20000, 42);
+  dlfs::Percentiles p;
+  for (const auto& s : ds.samples()) p.add(s.size);
+  EXPECT_NEAR(p.percentile(75), 147e3, 15e3);
+  // All clamped into the representable range.
+  EXPECT_GE(p.percentile(0), 2048.0);
+  EXPECT_LE(p.percentile(100), 4.0 * 1024 * 1024);
+}
+
+TEST(Dataset, ImdbLikeQuartileMatchesFig1) {
+  // "75% of samples are less than 1.6 KB".
+  auto ds = dlfs::dataset::make_imdb_like_dataset(20000, 42);
+  dlfs::Percentiles p;
+  for (const auto& s : ds.samples()) p.add(s.size);
+  EXPECT_NEAR(p.percentile(75), 1.6e3, 0.2e3);
+}
+
+TEST(Dataset, GeneratorsAreSeedDeterministic) {
+  auto a = dlfs::dataset::make_imagenet_like_dataset(100, 9);
+  auto b = dlfs::dataset::make_imagenet_like_dataset(100, 9);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.sample(i).size, b.sample(i).size);
+    EXPECT_EQ(a.sample(i).class_id, b.sample(i).class_id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record files
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(RecordFile, WriteReadRoundTrip) {
+  RecordFileWriter w;
+  auto r1 = w.append(bytes_of("hello"));
+  auto r2 = w.append(bytes_of("world!!"));
+  EXPECT_EQ(r1.offset, 0u);
+  EXPECT_EQ(r1.length, 5u);
+  EXPECT_EQ(r2.offset, 13u);  // 8-byte header + 5 payload
+
+  RecordFileReader reader(w.bytes());
+  auto p1 = reader.read(r1);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(std::memcmp(p1->data(), "hello", 5), 0);
+  auto p2 = reader.read(r2);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->size(), 7u);
+}
+
+TEST(RecordFile, ScanRecoversIndex) {
+  RecordFileWriter w;
+  for (int i = 0; i < 50; ++i) {
+    w.append(bytes_of("record_" + std::to_string(i)));
+  }
+  RecordFileReader reader(w.bytes());
+  auto idx = reader.scan();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(idx->size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*idx)[i].offset, w.index()[i].offset);
+  }
+}
+
+TEST(RecordFile, CorruptionDetectedByCrc) {
+  RecordFileWriter w;
+  auto ref = w.append(bytes_of("important data"));
+  auto file = w.take();
+  file[ref.payload_offset() + 3] ^= std::byte{0x01};  // flip one bit
+  RecordFileReader reader(file);
+  EXPECT_FALSE(reader.read(ref).has_value());
+  EXPECT_FALSE(reader.scan().has_value());
+}
+
+TEST(RecordFile, TruncatedFileFailsScan) {
+  RecordFileWriter w;
+  w.append(bytes_of("0123456789"));
+  auto file = w.take();
+  file.resize(file.size() - 3);
+  RecordFileReader reader(file);
+  EXPECT_FALSE(reader.scan().has_value());
+}
+
+TEST(RecordFile, EmptyFileScansToEmptyIndex) {
+  std::vector<std::byte> empty;
+  RecordFileReader reader(empty);
+  auto idx = reader.scan();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_TRUE(idx->empty());
+}
+
+TEST(RecordFile, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  auto data = bytes_of("123456789");
+  EXPECT_EQ(dlfs::dataset::crc32(data), 0xCBF43926u);
+}
+
+}  // namespace

@@ -1,0 +1,409 @@
+// Integration tests for the DLFS API: collective mount, dlfs_open /
+// dlfs_read (cache behaviour), dlfs_sequence / dlfs_bread in all three
+// batching modes, multi-node disaggregated reads, and data integrity
+// end-to-end (PFS -> device -> DLFS -> application buffer).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::cluster::Cluster;
+using dlfs::cluster::NodeConfig;
+using dlfs::cluster::Pfs;
+using dlfs::core::Batch;
+using dlfs::core::BatchingMode;
+using dlfs::core::DlfsConfig;
+using dlfs::core::DlfsFleet;
+using dlfs::core::DlfsInstance;
+using dlfs::core::SampleHandle;
+using dlfs::dataset::Dataset;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+struct Rig {
+  Simulator sim;
+  Cluster cluster;
+  Dataset ds;
+  Pfs pfs;
+  DlfsFleet fleet;
+
+  Rig(std::uint32_t nodes, Dataset dataset, DlfsConfig cfg = DlfsConfig{},
+      std::vector<dlfs::hw::NodeId> clients = {},
+      std::vector<dlfs::hw::NodeId> storage = {},
+      bool ram_store = true)
+      : cluster(sim, nodes, make_node_config(ram_store)),
+        ds(std::move(dataset)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, cfg, std::move(clients), std::move(storage)) {}
+
+  static NodeConfig make_node_config(bool ram_store) {
+    NodeConfig nc;
+    nc.synthetic_store = !ram_store;
+    nc.device_capacity = 1_GiB;
+    return nc;
+  }
+
+  void mount() {
+    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
+      sim.spawn(fleet.mount_participant(p), "mount-" + std::to_string(p));
+    }
+    sim.run();
+    sim.rethrow_failures();
+    ASSERT_TRUE(fleet.mounted());
+  }
+};
+
+bool sample_matches(const Dataset& ds, std::uint32_t id,
+                    std::span<const std::byte> got) {
+  std::vector<std::byte> want(ds.sample(id).size);
+  ds.fill_content(id, 0, want);
+  return got.size() == want.size() &&
+         std::memcmp(got.data(), want.data(), want.size()) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Mount
+
+TEST(DlfsMount, SingleNodeMountBuildsDirectory) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(100, 4096));
+  rig.mount();
+  EXPECT_EQ(rig.fleet.directory().num_samples(), 100u);
+  EXPECT_EQ(rig.fleet.directory().tree(0).size(), 100u);
+  EXPECT_TRUE(rig.fleet.directory().tree(0).validate());
+  // Data actually landed on the device.
+  EXPECT_EQ(rig.cluster.node(0).device().bytes_written(), 100u * 4096u);
+}
+
+TEST(DlfsMount, MultiNodeMountPartitionsData) {
+  Rig rig(4, dlfs::dataset::make_fixed_size_dataset(400, 4096));
+  rig.mount();
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    const auto w = rig.cluster.node(n).device().bytes_written();
+    EXPECT_GT(w, 0u);
+    total += w;
+  }
+  EXPECT_EQ(total, 400u * 4096u);
+  EXPECT_EQ(rig.fleet.directory().num_samples(), 400u);
+}
+
+TEST(DlfsMount, MountTakesSimulatedTime) {
+  Rig rig(2, dlfs::dataset::make_fixed_size_dataset(100, 64_KiB));
+  rig.mount();
+  // PFS streaming at 1 GB/s + device writes: must be visible in sim time.
+  EXPECT_GT(rig.sim.now(), 1_ms);
+}
+
+// ---------------------------------------------------------------------------
+// dlfs_open / dlfs_read
+
+TEST(DlfsRead, OpenReadReturnsExactContent) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(50, 8000));
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  bool ok = false;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst, bool& ok) -> Task<void> {
+    SampleHandle h = co_await inst.open("fixed8000_7");
+    EXPECT_EQ(h.entry->len(), 8000u);
+    std::vector<std::byte> buf(8000);
+    co_await inst.read(h, buf);
+    ok = sample_matches(r.ds, h.sample_id, buf);
+  }(rig, inst, ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(ok);
+}
+
+TEST(DlfsRead, OpenUnknownNameThrows) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(10, 512));
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  auto p = rig.sim.spawn([](DlfsInstance& i) -> Task<void> {
+    (void)co_await i.open("no-such-sample");
+  }(inst));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(DlfsRead, SecondReadHitsCache) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(10, 4096));
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  dlsim::SimTime t_miss = 0, t_hit = 0;
+  rig.sim.spawn([](Simulator& s, DlfsInstance& inst, dlsim::SimTime& tm,
+                   dlsim::SimTime& th) -> Task<void> {
+    SampleHandle h = co_await inst.open("fixed4096_3");
+    std::vector<std::byte> buf(4096);
+    const auto t0 = s.now();
+    co_await inst.read(h, buf);
+    tm = s.now() - t0;
+    const auto t1 = s.now();
+    co_await inst.read(h, buf);
+    th = s.now() - t1;
+  }(rig.sim, inst, t_miss, t_hit));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(inst.cache().hits(), 1u);
+  EXPECT_EQ(inst.cache().misses(), 1u);
+  // Cache hit skips the device: ~12us vs sub-us memcpy.
+  EXPECT_GT(t_miss, 10_us);
+  EXPECT_LT(t_hit, 2_us);
+}
+
+TEST(DlfsRead, ReadIntoTooSmallBufferThrows) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(10, 4096));
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  auto p = rig.sim.spawn([](DlfsInstance& i) -> Task<void> {
+    SampleHandle h = co_await i.open("fixed4096_0");
+    std::vector<std::byte> buf(100);
+    co_await i.read(h, buf);
+  }(inst));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+// ---------------------------------------------------------------------------
+// dlfs_sequence / dlfs_bread
+
+struct BreadResult {
+  std::vector<std::uint32_t> order;
+  std::uint64_t total_bytes = 0;
+  bool content_ok = true;
+};
+
+Task<void> drain_epoch(Rig& r, DlfsInstance& inst, std::size_t batch_size,
+                       BreadResult& out) {
+  std::vector<std::byte> arena(batch_size * (r.ds.max_sample_bytes() + 16));
+  for (;;) {
+    Batch b = co_await inst.bread(batch_size, arena);
+    if (b.samples.empty()) break;
+    for (const auto& s : b.samples) {
+      out.order.push_back(s.sample_id);
+      out.total_bytes += s.len;
+      if (!sample_matches(r.ds, s.sample_id,
+                          std::span<const std::byte>(
+                              arena.data() + s.offset_in_arena, s.len))) {
+        out.content_ok = false;
+      }
+    }
+  }
+}
+
+class BreadModeTest : public ::testing::TestWithParam<BatchingMode> {};
+
+TEST_P(BreadModeTest, EpochDeliversEverySampleOnceWithCorrectContent) {
+  DlfsConfig cfg;
+  cfg.batching = GetParam();
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(300, 3000), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(12345);
+  BreadResult res;
+  rig.sim.spawn(drain_epoch(rig, inst, 32, res));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(res.order.size(), 300u);
+  std::set<std::uint32_t> unique(res.order.begin(), res.order.end());
+  EXPECT_EQ(unique.size(), 300u);
+  EXPECT_TRUE(res.content_ok);
+  EXPECT_EQ(res.total_bytes, 300u * 3000u);
+}
+
+TEST_P(BreadModeTest, MultiNodeEpochCoversDatasetAcrossClients) {
+  DlfsConfig cfg;
+  cfg.batching = GetParam();
+  Rig rig(4, dlfs::dataset::make_fixed_size_dataset(400, 2048), cfg);
+  rig.mount();
+  std::vector<BreadResult> res(4);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    rig.fleet.instance(c).sequence(777);  // same seed everywhere
+  }
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    rig.sim.spawn(drain_epoch(rig, rig.fleet.instance(c), 16, res[c]));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  std::set<std::uint32_t> all;
+  for (const auto& r : res) {
+    EXPECT_TRUE(r.content_ok);
+    for (auto id : r.order) EXPECT_TRUE(all.insert(id).second);
+  }
+  EXPECT_EQ(all.size(), 400u);  // disjoint cover of the whole dataset
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BreadModeTest,
+                         ::testing::Values(BatchingMode::kNone,
+                                           BatchingMode::kSampleLevel,
+                                           BatchingMode::kChunkLevel));
+
+TEST(DlfsBread, RequiresSequenceFirst) {
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(10, 512));
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  auto p = rig.sim.spawn([](DlfsInstance& i) -> Task<void> {
+    std::vector<std::byte> arena(64_KiB);
+    (void)co_await i.bread(4, arena);
+  }(inst));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(DlfsBread, SameSeedReproducesOrder) {
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kChunkLevel;
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(200, 1000), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  BreadResult r1, r2;
+  inst.sequence(99);
+  rig.sim.spawn(drain_epoch(rig, inst, 32, r1));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  inst.sequence(99);
+  rig.sim.spawn(drain_epoch(rig, inst, 32, r2));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(r1.order, r2.order);
+}
+
+TEST(DlfsBread, ChunkModeShufflesAtChunkGranularity) {
+  // 1024 x 512 B on one node = two 256 KiB chunks. Within a chunk the
+  // order is sequential; across epochs with different seeds the chunk
+  // order changes.
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kChunkLevel;
+  Rig rig(1, dlfs::dataset::make_fixed_size_dataset(1024, 512), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  BreadResult res;
+  inst.sequence(5);
+  rig.sim.spawn(drain_epoch(rig, inst, 64, res));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  ASSERT_EQ(res.order.size(), 1024u);
+  // Samples within one chunk arrive in ascending on-device order.
+  for (std::size_t i = 1; i < 512; ++i) {
+    EXPECT_EQ(res.order[i], res.order[i - 1] + 1);
+  }
+}
+
+TEST(DlfsBread, ChunkBatchingIssuesFarFewerRequests) {
+  DlfsConfig chunk_cfg;
+  chunk_cfg.batching = BatchingMode::kChunkLevel;
+  DlfsConfig sample_cfg;
+  sample_cfg.batching = BatchingMode::kSampleLevel;
+  std::uint64_t posted_chunk = 0, posted_sample = 0;
+  for (auto* pair : {&posted_chunk, &posted_sample}) {
+    const auto& cfg = pair == &posted_chunk ? chunk_cfg : sample_cfg;
+    Rig rig(1, dlfs::dataset::make_fixed_size_dataset(2048, 512), cfg);
+    rig.mount();
+    auto& inst = rig.fleet.instance(0);
+    inst.sequence(1);
+    BreadResult res;
+    rig.sim.spawn(drain_epoch(rig, inst, 32, res));
+    rig.sim.run();
+    rig.sim.rethrow_failures();
+    *pair = inst.engine().requests_posted();
+  }
+  // 2048 samples at 512 B = 1 MiB = 4 chunks vs 2048 per-sample requests.
+  EXPECT_EQ(posted_chunk, 4u);
+  EXPECT_EQ(posted_sample, 2048u);
+}
+
+TEST(DlfsBread, VariableSizeDatasetWithEdgeSamples) {
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kChunkLevel;
+  Rig rig(2, dlfs::dataset::make_imagenet_like_dataset(150, 3), cfg);
+  rig.mount();
+  EXPECT_GT(rig.fleet.plan().num_edge_units(), 0u);  // big samples cross
+  for (std::uint32_t c = 0; c < 2; ++c) rig.fleet.instance(c).sequence(4);
+  std::vector<BreadResult> res(2);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    rig.sim.spawn(drain_epoch(rig, rig.fleet.instance(c), 8, res[c]));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  std::set<std::uint32_t> all;
+  for (const auto& r : res) {
+    EXPECT_TRUE(r.content_ok);
+    for (auto id : r.order) all.insert(id);
+  }
+  EXPECT_EQ(all.size(), 150u);
+}
+
+// ---------------------------------------------------------------------------
+// Disaggregation topologies
+
+TEST(DlfsTopology, OneClientManyStorageNodes) {
+  // Fig. 11's DLFS-1C shape: client on node 0, storage on nodes 0..3.
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kChunkLevel;
+  Rig rig(4, dlfs::dataset::make_fixed_size_dataset(400, 4096), cfg,
+          /*clients=*/{0}, /*storage=*/{0, 1, 2, 3});
+  rig.mount();
+  EXPECT_EQ(rig.fleet.num_clients(), 1u);
+  EXPECT_EQ(rig.fleet.num_storage(), 4u);
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(6);
+  BreadResult res;
+  rig.sim.spawn(drain_epoch(rig, inst, 32, res));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(res.order.size(), 400u);
+  EXPECT_TRUE(res.content_ok);
+  // Remote devices actually served data.
+  for (std::uint32_t n = 1; n < 4; ++n) {
+    EXPECT_GT(rig.cluster.node(n).device().bytes_read(), 0u);
+  }
+}
+
+TEST(DlfsTopology, RemoteReadsCostMoreThanLocal) {
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kNone;
+  Rig rig(2, dlfs::dataset::make_fixed_size_dataset(64, 128_KiB), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  // Find one local and one remote sample (from node 0's perspective).
+  std::int64_t local_id = -1, remote_id = -1;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto& loc = rig.fleet.layout()[i];
+    if (loc.nid == 0 && local_id < 0) local_id = i;
+    if (loc.nid == 1 && remote_id < 0) remote_id = i;
+  }
+  ASSERT_GE(local_id, 0);
+  ASSERT_GE(remote_id, 0);
+  dlsim::SimDuration t_local = 0, t_remote = 0;
+  rig.sim.spawn([](Simulator& s, DlfsInstance& inst, std::uint32_t lid,
+                   std::uint32_t rid, dlsim::SimDuration& tl,
+                   dlsim::SimDuration& tr) -> Task<void> {
+    std::vector<std::byte> buf(128_KiB);
+    SampleHandle hl = co_await inst.open_id(lid);
+    auto t0 = s.now();
+    co_await inst.read(hl, buf);
+    tl = s.now() - t0;
+    SampleHandle hr = co_await inst.open_id(rid);
+    t0 = s.now();
+    co_await inst.read(hr, buf);
+    tr = s.now() - t0;
+  }(rig.sim, inst, static_cast<std::uint32_t>(local_id),
+    static_cast<std::uint32_t>(remote_id), t_local, t_remote));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  // Remote adds capsule + data return over the fabric (~20+us for 128 KiB).
+  EXPECT_GT(t_remote, t_local + 15_us);
+}
+
+}  // namespace

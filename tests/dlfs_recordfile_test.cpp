@@ -1,0 +1,190 @@
+// Tests for the TFRecord-style batched-file mount mode
+// (DlfsConfig::record_file_samples > 0): per-sample direct access inside
+// batched files, file-oriented entries, and whole-file reads that parse
+// and checksum as valid record files.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/record_file.hpp"
+#include "dlfs/dlfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::core::Batch;
+using dlfs::core::DlfsConfig;
+using dlfs::core::DlfsFleet;
+using dlfs::core::DlfsInstance;
+using dlfs::core::SampleHandle;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlfs::byte_literals;
+
+struct Rig {
+  Simulator sim;
+  dlfs::cluster::Cluster cluster;
+  dlfs::dataset::Dataset ds;
+  dlfs::cluster::Pfs pfs;
+  DlfsFleet fleet;
+
+  Rig(std::uint32_t nodes, std::size_t samples, std::uint32_t sample_bytes,
+      std::uint32_t per_file)
+      : cluster(sim, nodes, node_cfg()),
+        ds(dlfs::dataset::make_fixed_size_dataset(samples, sample_bytes)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, make_cfg(per_file)) {
+    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
+      sim.spawn(fleet.mount_participant(p));
+    }
+    sim.run();
+    sim.rethrow_failures();
+  }
+
+  static dlfs::cluster::NodeConfig node_cfg() {
+    dlfs::cluster::NodeConfig nc;
+    nc.synthetic_store = false;  // whole-file CRC checks need real bytes
+    nc.device_capacity = 512_MiB;
+    return nc;
+  }
+  static DlfsConfig make_cfg(std::uint32_t per_file) {
+    DlfsConfig cfg;
+    cfg.record_file_samples = per_file;
+    return cfg;
+  }
+};
+
+TEST(RecordFileMount, LayoutGroupsSamplesWithHeaders) {
+  Rig rig(2, 100, 1000, 8);
+  const auto& files = rig.fleet.record_files();
+  ASSERT_EQ(files.size(), 2u);
+  std::size_t total_files = 0, total_samples = 0;
+  for (const auto& slot_files : files) {
+    for (const auto& f : slot_files) {
+      EXPECT_LE(f.sample_ids.size(), 8u);
+      EXPECT_EQ(f.len, f.sample_ids.size() * (8 + 1000));
+      total_samples += f.sample_ids.size();
+      ++total_files;
+    }
+  }
+  EXPECT_EQ(total_samples, 100u);
+  EXPECT_EQ(rig.fleet.directory().num_files(), total_files);
+  // Sample payload offsets skip the 8-byte headers.
+  const auto& loc = rig.fleet.layout()[files[0][0].sample_ids[0]];
+  EXPECT_EQ(loc.offset, files[0][0].offset + 8);
+}
+
+TEST(RecordFileMount, SampleReadsInsideBatchedFilesAreExact) {
+  Rig rig(1, 64, 2048, 8);
+  auto& inst = rig.fleet.instance(0);
+  bool all_ok = true;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst, bool& ok) -> Task<void> {
+    std::vector<std::byte> buf(2048), want(2048);
+    for (std::uint32_t id = 0; id < 64; ++id) {
+      SampleHandle h = co_await inst.open_id(id);
+      co_await inst.read(h, buf);
+      r.ds.fill_content(id, 0, want);
+      if (std::memcmp(buf.data(), want.data(), want.size()) != 0) ok = false;
+    }
+  }(rig, inst, all_ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(all_ok);
+}
+
+TEST(RecordFileMount, WholeFileReadParsesWithValidChecksums) {
+  Rig rig(1, 32, 1500, 4);
+  auto& inst = rig.fleet.instance(0);
+  const auto& f = rig.fleet.record_files()[0][1];  // second batched file
+  bool parsed = false;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst,
+                   const DlfsFleet::RecordFileInfo& f,
+                   bool& ok) -> Task<void> {
+    SampleHandle h = co_await inst.open_file(f.name);
+    EXPECT_EQ(h.sample_id, SampleHandle::kNoSample);
+    EXPECT_EQ(h.entry->len(), f.len);
+    std::vector<std::byte> buf(f.len);
+    co_await inst.read(h, buf);
+    dlfs::dataset::RecordFileReader reader(buf);
+    auto index = reader.scan();  // validates structure + every CRC
+    if (!index || index->size() != f.sample_ids.size()) co_return;
+    // Each record's payload must equal the corresponding sample content.
+    ok = true;
+    for (std::size_t k = 0; k < index->size(); ++k) {
+      auto payload = reader.read((*index)[k]);
+      std::vector<std::byte> want(payload->size());
+      r.ds.fill_content(f.sample_ids[k], 0, want);
+      if (std::memcmp(payload->data(), want.data(), want.size()) != 0) {
+        ok = false;
+      }
+    }
+  }(rig, inst, f, parsed));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(parsed);
+}
+
+TEST(RecordFileMount, OpenUnknownFileThrows) {
+  Rig rig(1, 8, 512, 4);
+  auto p = rig.sim.spawn([](DlfsInstance& inst) -> Task<void> {
+    (void)co_await inst.open_file("rf9_99");
+  }(rig.fleet.instance(0)));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RecordFileMount, BreadEpochCoversBatchedDataset) {
+  Rig rig(2, 200, 700, 16);
+  for (std::uint32_t c = 0; c < 2; ++c) rig.fleet.instance(c).sequence(3);
+  std::set<std::uint32_t> seen;
+  bool content_ok = true;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    rig.sim.spawn([](Rig& r, DlfsInstance& inst, std::set<std::uint32_t>& s,
+                     bool& ok) -> Task<void> {
+      std::vector<std::byte> arena(64_KiB), want(700);
+      for (;;) {
+        Batch b = co_await inst.bread(16, arena);
+        if (b.samples.empty()) break;
+        for (const auto& smp : b.samples) {
+          s.insert(smp.sample_id);
+          r.ds.fill_content(smp.sample_id, 0, want);
+          if (std::memcmp(arena.data() + smp.offset_in_arena, want.data(),
+                          700) != 0) {
+            ok = false;
+          }
+        }
+      }
+    }(rig, rig.fleet.instance(c), seen, content_ok));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(seen.size(), 200u);
+  EXPECT_TRUE(content_ok);
+}
+
+TEST(RecordFileMount, TooLargeFileGroupRejected) {
+  Simulator sim;
+  dlfs::cluster::NodeConfig nc;
+  nc.device_capacity = 1_GiB;
+  dlfs::cluster::Cluster cluster(sim, 1, nc);
+  auto ds = dlfs::dataset::make_fixed_size_dataset(64, 1_MiB);
+  dlfs::cluster::Pfs pfs(sim, ds);
+  DlfsConfig cfg;
+  cfg.record_file_samples = 16;  // 16 MiB per file > 8 MiB len field
+  EXPECT_THROW(DlfsFleet(cluster, pfs, ds, cfg), std::invalid_argument);
+}
+
+TEST(RecordFileMount, ZeroMeansRawLayout) {
+  Rig rig(1, 10, 512, 0);
+  EXPECT_TRUE(rig.fleet.record_files()[0].empty());
+  EXPECT_EQ(rig.fleet.directory().num_files(), 0u);
+  EXPECT_EQ(rig.fleet.layout()[0].offset % 512, 0u);  // tightly packed
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for zero-copy dlfs_bread (bread_views) — the paper's §III-C.2
+// future-work item: samples delivered as views into resident huge-page
+// data chunks, with pin/release lifetime rules.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::core::BatchingMode;
+using dlfs::core::DlfsConfig;
+using dlfs::core::DlfsFleet;
+using dlfs::core::DlfsInstance;
+using dlfs::core::ViewBatch;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlfs::byte_literals;
+
+struct Rig {
+  Simulator sim;
+  dlfs::cluster::Cluster cluster;
+  dlfs::dataset::Dataset ds;
+  dlfs::cluster::Pfs pfs;
+  DlfsFleet fleet;
+
+  explicit Rig(std::size_t samples = 256, std::uint32_t bytes = 2000,
+               BatchingMode mode = BatchingMode::kChunkLevel)
+      : cluster(sim, 1, node_cfg()),
+        ds(dlfs::dataset::make_fixed_size_dataset(samples, bytes)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, cfg(mode)) {
+    sim.spawn(fleet.mount_participant(0));
+    sim.run();
+    sim.rethrow_failures();
+  }
+
+  static dlfs::cluster::NodeConfig node_cfg() {
+    dlfs::cluster::NodeConfig nc;
+    nc.synthetic_store = false;
+    nc.device_capacity = 256_MiB;
+    return nc;
+  }
+  static DlfsConfig cfg(BatchingMode mode) {
+    DlfsConfig c;
+    c.batching = mode;
+    return c;
+  }
+};
+
+bool view_matches(const dlfs::dataset::Dataset& ds,
+                  const dlfs::core::ViewSample& vs) {
+  std::vector<std::byte> got;
+  for (const auto& p : vs.pieces) got.insert(got.end(), p.begin(), p.end());
+  std::vector<std::byte> want(vs.len);
+  ds.fill_content(vs.sample_id, 0, want);
+  return got == want;
+}
+
+TEST(ZeroCopyBread, ViewsCarryExactContent) {
+  Rig rig;
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(7);
+  bool ok = true;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst, bool& ok) -> Task<void> {
+    ViewBatch b = co_await inst.bread_views(32);
+    EXPECT_EQ(b.samples.size(), 32u);
+    for (const auto& vs : b.samples) {
+      if (!view_matches(r.ds, vs)) ok = false;
+    }
+    inst.release_views(b);
+  }(rig, inst, ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(ok);
+}
+
+TEST(ZeroCopyBread, EpochCoversDatasetExactly) {
+  Rig rig(300, 1234);
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(3);
+  std::set<std::uint32_t> seen;
+  bool ok = true;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst, std::set<std::uint32_t>& s,
+                   bool& ok) -> Task<void> {
+    for (;;) {
+      ViewBatch b = co_await inst.bread_views(17);
+      if (b.samples.empty()) break;
+      for (const auto& vs : b.samples) {
+        if (!s.insert(vs.sample_id).second) ok = false;
+        if (!view_matches(r.ds, vs)) ok = false;
+      }
+      inst.release_views(b);
+    }
+  }(rig, inst, seen, ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(seen.size(), 300u);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ZeroCopyBread, ChunksStayPinnedUntilRelease) {
+  Rig rig(512, 512);  // one 256 KiB chunk holds the whole epoch
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  rig.sim.spawn([](DlfsInstance& inst) -> Task<void> {
+    ViewBatch b1 = co_await inst.bread_views(32);
+    const std::byte first = b1.samples[0].pieces[0][0];
+    // Drain the rest of the epoch while b1 stays pinned: the shared chunk
+    // must not be recycled underneath b1's views.
+    for (;;) {
+      ViewBatch b = co_await inst.bread_views(64);
+      if (b.samples.empty()) break;
+      inst.release_views(b);
+    }
+    EXPECT_EQ(b1.samples[0].pieces[0][0], first);  // still readable
+    inst.release_views(b1);
+  }(inst));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+}
+
+TEST(ZeroCopyBread, DoubleReleaseThrows) {
+  Rig rig;
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  auto p = rig.sim.spawn([](DlfsInstance& inst) -> Task<void> {
+    ViewBatch b = co_await inst.bread_views(8);
+    inst.release_views(b);
+    inst.release_views(b);  // boom
+  }(inst));
+  rig.sim.run(/*allow_blocked=*/true);
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(ZeroCopyBread, RequiresChunkMode) {
+  Rig rig(64, 1000, BatchingMode::kSampleLevel);
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  auto p = rig.sim.spawn([](DlfsInstance& inst) -> Task<void> {
+    (void)co_await inst.bread_views(8);
+  }(inst));
+  rig.sim.run(/*allow_blocked=*/true);
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(ZeroCopyBread, NewEpochWithPinnedBatchThrows) {
+  Rig rig;
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  ViewBatch held;
+  rig.sim.spawn([](DlfsInstance& inst, ViewBatch& out) -> Task<void> {
+    out = co_await inst.bread_views(8);
+  }(inst, held));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_THROW(inst.sequence(2), std::logic_error);
+  inst.release_views(held);
+  EXPECT_NO_THROW(inst.sequence(2));
+}
+
+TEST(ZeroCopyBread, EliminatesTheCopyStage) {
+  // Zero-copy removes the copy stage: zero bytes memcpyed, zero
+  // copy-thread CPU, and wall time no worse than the copying path (the
+  // copies overlap I/O, so the win is CPU, not latency, at one device).
+  struct Result {
+    dlsim::SimDuration elapsed;
+    std::uint64_t bytes_copied;
+    dlsim::SimDuration copy_busy;
+  };
+  auto run = [](bool zero_copy) {
+    Rig rig(2048, 2000);
+    auto& inst = rig.fleet.instance(0);
+    inst.sequence(5);
+    const auto t0 = rig.sim.now();
+    rig.sim.spawn([](DlfsInstance& inst, bool zc) -> Task<void> {
+      std::vector<std::byte> arena(64 * 2000);
+      for (;;) {
+        if (zc) {
+          ViewBatch b = co_await inst.bread_views(32);
+          if (b.samples.empty()) break;
+          inst.release_views(b);
+        } else {
+          auto b = co_await inst.bread(32, arena);
+          if (b.samples.empty()) break;
+        }
+      }
+    }(inst, zero_copy));
+    rig.sim.run();
+    rig.sim.rethrow_failures();
+    return Result{rig.sim.now() - t0, inst.engine().bytes_copied(),
+                  inst.engine().copy_busy_ns()};
+  };
+  const Result with_copy = run(false);
+  const Result zero = run(true);
+  EXPECT_EQ(zero.bytes_copied, 0u);
+  EXPECT_EQ(zero.copy_busy, 0u);
+  EXPECT_EQ(with_copy.bytes_copied, 2048u * 2000u);
+  EXPECT_GT(with_copy.copy_busy, 0u);
+  EXPECT_LE(zero.elapsed, with_copy.elapsed);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Failure-injection tests: transient media errors at the device, retry
+// behaviour in the DLFS engine (local and over NVMe-oF), kernel-path
+// retries in Ext4, and unrecoverable-error surfacing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "hw/nvme/nvme_device.hpp"
+#include "osfs/ext4.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::hw::IoOp;
+using dlfs::hw::IoStatus;
+using dlfs::hw::NvmeDevice;
+using dlfs::hw::SyntheticBackingStore;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+TEST(FaultInjection, DeviceCompletesWithMediaError) {
+  Simulator sim;
+  NvmeDevice dev(sim, "nvme0",
+                 std::make_unique<SyntheticBackingStore>(1_GiB, 1));
+  dev.inject_faults(1.0);  // every command fails
+  auto qp = dev.create_qpair();
+  std::vector<std::byte> buf(4096);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 0, buf, 1), IoStatus::kOk);
+  sim.run_until(1_ms);
+  auto done = qp->poll();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].status, IoStatus::kMediaError);
+  EXPECT_EQ(dev.faults_injected(), 1u);
+  EXPECT_EQ(dev.bytes_read(), 0u);  // no data moved on error
+}
+
+TEST(FaultInjection, FaultRateIsDeterministicAndRoughlyCalibrated) {
+  auto count_faults = [] {
+    Simulator sim;
+    NvmeDevice dev(sim, "nvme0",
+                   std::make_unique<SyntheticBackingStore>(1_GiB, 1));
+    dev.inject_faults(0.25, /*seed=*/7);
+    auto qp = dev.create_qpair(128);
+    std::vector<std::byte> buf(512);
+    for (int i = 0; i < 128; ++i) {
+      (void)qp->submit(IoOp::kRead, 0, buf, static_cast<std::uint64_t>(i));
+    }
+    sim.run_until(10_ms);
+    (void)qp->poll();
+    return dev.faults_injected();
+  };
+  const auto a = count_faults();
+  EXPECT_EQ(a, count_faults());  // deterministic
+  EXPECT_GT(a, 16u);             // ~32 expected of 128
+  EXPECT_LT(a, 48u);
+}
+
+TEST(FaultInjection, DisableStopsFaults) {
+  Simulator sim;
+  NvmeDevice dev(sim, "nvme0",
+                 std::make_unique<SyntheticBackingStore>(1_GiB, 1));
+  dev.inject_faults(1.0);
+  dev.inject_faults(0.0);
+  auto qp = dev.create_qpair();
+  std::vector<std::byte> buf(512);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 0, buf, 1), IoStatus::kOk);
+  sim.run_until(1_ms);
+  EXPECT_EQ(qp->poll()[0].status, IoStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// DLFS engine retries
+
+struct FleetRig {
+  Simulator sim;
+  dlfs::cluster::Cluster cluster;
+  dlfs::dataset::Dataset ds;
+  dlfs::cluster::Pfs pfs;
+  dlfs::core::DlfsFleet fleet;
+
+  explicit FleetRig(std::uint32_t nodes)
+      : cluster(sim, nodes, cfg()),
+        ds(dlfs::dataset::make_fixed_size_dataset(nodes * 128ull, 4096)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{}) {
+    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
+      sim.spawn(fleet.mount_participant(p));
+    }
+    sim.run();
+    sim.rethrow_failures();
+  }
+
+  static dlfs::cluster::NodeConfig cfg() {
+    dlfs::cluster::NodeConfig nc;
+    nc.synthetic_store = false;
+    nc.device_capacity = 256_MiB;
+    return nc;
+  }
+};
+
+TEST(FaultInjection, DlfsRetriesTransientFaultsAndSucceeds) {
+  FleetRig rig(1);
+  rig.cluster.node(0).device().inject_faults(0.3, 11);
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  bool epoch_ok = false;
+  rig.sim.spawn([](dlfs::core::DlfsInstance& inst, bool& ok) -> Task<void> {
+    std::vector<std::byte> arena(64_KiB);
+    std::size_t n = 0;
+    for (;;) {
+      auto b = co_await inst.bread(16, arena);
+      if (b.samples.empty()) break;
+      n += b.samples.size();
+    }
+    ok = n == 128;
+  }(inst, epoch_ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(epoch_ok);
+  EXPECT_GT(inst.engine().retries(), 0u);
+  EXPECT_GT(rig.cluster.node(0).device().faults_injected(), 0u);
+}
+
+TEST(FaultInjection, DlfsRemoteRetriesOverFabric) {
+  FleetRig rig(2);
+  rig.cluster.node(0).device().inject_faults(0.3, 5);
+  rig.cluster.node(1).device().inject_faults(0.3, 6);
+  for (std::uint32_t c = 0; c < 2; ++c) rig.fleet.instance(c).sequence(1);
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    rig.sim.spawn(
+        [](dlfs::core::DlfsInstance& inst, std::size_t& n) -> Task<void> {
+          std::vector<std::byte> arena(64_KiB);
+          for (;;) {
+            auto b = co_await inst.bread(16, arena);
+            if (b.samples.empty()) break;
+            n += b.samples.size();
+          }
+        }(rig.fleet.instance(c), total));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(FaultInjection, PermanentFaultSurfacesAsIoError) {
+  FleetRig rig(1);
+  rig.cluster.node(0).device().inject_faults(1.0);  // nothing ever succeeds
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(1);
+  auto p = rig.sim.spawn(
+      [](dlfs::core::DlfsInstance& inst) -> Task<void> {
+        std::vector<std::byte> arena(64_KiB);
+        (void)co_await inst.bread(16, arena);
+      }(inst),
+      "doomed-bread");
+  rig.sim.run(/*allow_blocked=*/true);
+  ASSERT_TRUE(p.failed());
+  try {
+    p.rethrow();
+    FAIL() << "expected IoError";
+  } catch (const dlfs::core::IoError& e) {
+    EXPECT_EQ(e.nid, 0);
+  }
+}
+
+TEST(FaultInjection, RetriesReturnCorrectData) {
+  // Even with a high fault rate, retried reads must deliver exact bytes.
+  FleetRig rig(1);
+  rig.cluster.node(0).device().inject_faults(0.4, 13);
+  auto& inst = rig.fleet.instance(0);
+  bool ok = false;
+  rig.sim.spawn([](FleetRig& r, dlfs::core::DlfsInstance& inst,
+                   bool& ok) -> Task<void> {
+    auto h = co_await inst.open_id(17);
+    std::vector<std::byte> buf(h.entry->len()), want(h.entry->len());
+    co_await inst.read(h, buf);
+    r.ds.fill_content(17, 0, want);
+    ok = buf == want;
+  }(rig, inst, ok));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------------------
+// Ext4 kernel-path retries
+
+TEST(FaultInjection, Ext4RetriesThenSucceeds) {
+  Simulator sim;
+  NvmeDevice dev(sim, "nvme0",
+                 std::make_unique<dlfs::hw::RamBackingStore>(64_MiB));
+  dlfs::osfs::Ext4Fs fs(sim, dev, dlfs::default_calibration());
+  dlsim::CpuCore core(sim, "app");
+  dlfs::osfs::OsThread t(fs, core);
+  std::vector<std::byte> data(8192, std::byte{0x7e});
+  sim.spawn([](dlfs::osfs::Ext4Fs& fs, dlfs::osfs::OsThread& t,
+               std::span<const std::byte> d) -> Task<void> {
+    const int fd = co_await fs.create(t, "f");
+    co_await fs.append(t, fd, d);
+    co_await fs.close(t, fd);
+  }(fs, t, data));
+  sim.run();
+  sim.rethrow_failures();
+  fs.drop_caches();
+  dev.inject_faults(0.5, 21);
+  bool ok = false;
+  sim.spawn([](dlfs::osfs::Ext4Fs& fs, dlfs::osfs::OsThread& t,
+               bool& ok) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    std::vector<std::byte> buf(8192);
+    const auto n = co_await fs.pread(t, *fd, buf, 0);
+    ok = n == 8192 && buf[100] == std::byte{0x7e};
+    co_await fs.close(t, *fd);
+  }(fs, t, ok));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(dev.faults_injected(), 0u);
+}
+
+TEST(FaultInjection, Ext4PermanentFaultIsEio) {
+  Simulator sim;
+  NvmeDevice dev(sim, "nvme0",
+                 std::make_unique<dlfs::hw::RamBackingStore>(64_MiB));
+  dlfs::osfs::Ext4Fs fs(sim, dev, dlfs::default_calibration());
+  dlsim::CpuCore core(sim, "app");
+  dlfs::osfs::OsThread t(fs, core);
+  std::vector<std::byte> data(4096, std::byte{1});
+  sim.spawn([](dlfs::osfs::Ext4Fs& fs, dlfs::osfs::OsThread& t,
+               std::span<const std::byte> d) -> Task<void> {
+    const int fd = co_await fs.create(t, "f");
+    co_await fs.append(t, fd, d);
+    co_await fs.close(t, fd);
+  }(fs, t, data));
+  sim.run();
+  sim.rethrow_failures();
+  fs.drop_caches();
+  dev.inject_faults(1.0);
+  auto p = sim.spawn([](dlfs::osfs::Ext4Fs& fs,
+                        dlfs::osfs::OsThread& t) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    std::vector<std::byte> buf(4096);
+    (void)co_await fs.pread(t, *fd, buf, 0);
+  }(fs, t));
+  sim.run(/*allow_blocked=*/true);
+  EXPECT_TRUE(p.failed());
+}
+
+}  // namespace

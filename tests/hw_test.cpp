@@ -1,0 +1,433 @@
+// Tests for the hardware models: backing stores, the NVMe device service
+// model (latency floor, IOPS ceiling, bandwidth ceiling, queue depth),
+// device ownership, and the fabric's NIC pipe model.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/units.hpp"
+#include "hw/net/fabric.hpp"
+#include "hw/nvme/backing_store.hpp"
+#include "hw/nvme/nvme_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::NvmeParams;
+using dlfs::hw::Fabric;
+using dlfs::hw::IoCompletion;
+using dlfs::hw::IoOp;
+using dlfs::hw::IoStatus;
+using dlfs::hw::NvmeDevice;
+using dlfs::hw::NvmeQueuePair;
+using dlfs::hw::RamBackingStore;
+using dlfs::hw::SyntheticBackingStore;
+using dlsim::SimTime;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+// ---------------------------------------------------------------------------
+// Backing stores
+
+TEST(RamBackingStore, ReadBackWhatWasWritten) {
+  RamBackingStore store(1_MiB);
+  std::vector<std::byte> in(1000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>(i & 0xff);
+  }
+  store.write(12345, in);
+  std::vector<std::byte> out(1000);
+  store.read(12345, out);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(RamBackingStore, UnwrittenReadsAsZero) {
+  RamBackingStore store(1_MiB);
+  std::vector<std::byte> out(64, std::byte{0xff});
+  store.read(0, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(RamBackingStore, SparsePagesOnlyMaterializeOnWrite) {
+  RamBackingStore store(1_GiB, 64_KiB);
+  EXPECT_EQ(store.resident_pages(), 0u);
+  std::vector<std::byte> b(10, std::byte{1});
+  store.write(500_MiB, b);
+  EXPECT_EQ(store.resident_pages(), 1u);
+}
+
+TEST(RamBackingStore, CrossPageBoundary) {
+  RamBackingStore store(1_MiB, 4096);
+  std::vector<std::byte> in(10000, std::byte{0x5a});
+  store.write(4000, in);  // spans 3+ pages
+  std::vector<std::byte> out(10000);
+  store.read(4000, out);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(RamBackingStore, OutOfRangeThrows) {
+  RamBackingStore store(4096);
+  std::vector<std::byte> b(100);
+  EXPECT_THROW(store.read(4000, b), std::out_of_range);
+  EXPECT_THROW(store.write(4096, b), std::out_of_range);
+}
+
+TEST(SyntheticBackingStore, DeterministicContent) {
+  SyntheticBackingStore store(1_MiB, /*seed=*/7);
+  std::vector<std::byte> a(777), b(777);
+  store.read(1234, a);
+  store.read(1234, b);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], store.expected_byte(1234 + i));
+  }
+}
+
+TEST(SyntheticBackingStore, UnalignedEqualsAligned) {
+  // Reading [100, 200) must produce the same bytes as the middle of an
+  // aligned read of [96, 208).
+  SyntheticBackingStore store(1_MiB, 99);
+  std::vector<std::byte> big(112), small(100);
+  store.read(96, big);
+  store.read(100, small);
+  EXPECT_EQ(std::memcmp(small.data(), big.data() + 4, small.size()), 0);
+}
+
+TEST(SyntheticBackingStore, DifferentSeedsDiffer) {
+  SyntheticBackingStore a(1_MiB, 1), b(1_MiB, 2);
+  std::vector<std::byte> va(64), vb(64);
+  a.read(0, va);
+  b.read(0, vb);
+  EXPECT_NE(std::memcmp(va.data(), vb.data(), 64), 0);
+}
+
+TEST(SyntheticBackingStore, WritesCountedButDiscarded) {
+  SyntheticBackingStore store(1_MiB, 1);
+  std::vector<std::byte> b(128, std::byte{0});
+  store.write(0, b);
+  EXPECT_EQ(store.bytes_written(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// NVMe device timing model
+
+std::unique_ptr<NvmeDevice> make_device(Simulator& sim,
+                                         std::uint64_t cap = 1_GiB) {
+  return std::make_unique<NvmeDevice>(
+      sim, "nvme0", std::make_unique<SyntheticBackingStore>(cap, 42));
+}
+
+// Helper: submit a read and return its completion time.
+SimTime timed_read(Simulator& sim, NvmeQueuePair& qp, std::uint64_t bytes) {
+  std::vector<std::byte> buf(bytes);
+  SimTime done = 0;
+  sim.spawn([](Simulator& s, NvmeQueuePair& q, std::span<std::byte> b,
+               SimTime& out) -> Task<void> {
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b, 1), IoStatus::kOk);
+    co_await q.wait_for_completion();
+    auto cpls = q.poll();
+    EXPECT_EQ(cpls.size(), 1u);
+    out = s.now();
+  }(sim, qp, buf, done));
+  sim.run();
+  return done;
+}
+
+TEST(NvmeDevice, Qd1LatencyFloorSmallRead) {
+  // 4 KiB QD1: occupancy max(1.8us, 1.638us) = 1.8us + 10us latency.
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair();
+  const SimTime done = timed_read(sim, *qp, 4096);
+  EXPECT_EQ(done, 1800 + 10000u);
+}
+
+TEST(NvmeDevice, Qd1LargeReadBandwidthBound) {
+  // 1 MiB: occupancy = 1MiB / 2.5GB/s = 419430ns; + 10us latency.
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair();
+  const SimTime done = timed_read(sim, *qp, 1_MiB);
+  EXPECT_NEAR(static_cast<double>(done), 419430.4 + 10000.0, 2.0);
+}
+
+TEST(NvmeDevice, PipelinedSmallReadsHitIopsCeiling) {
+  // 64 overlapping 512B commands: pipe serializes at cmd_min_occupancy
+  // (1.8us each) => last completion at 64*1.8us + 10us latency.
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair(64);
+  std::vector<std::vector<std::byte>> bufs(64, std::vector<std::byte>(512));
+  SimTime last_done = 0;
+  sim.spawn([](Simulator& s, NvmeQueuePair& q,
+               std::vector<std::vector<std::byte>>& bs,
+               SimTime& out) -> Task<void> {
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(q.submit(IoOp::kRead, i * 512, bs[i], i), IoStatus::kOk);
+    }
+    std::size_t harvested = 0;
+    while (harvested < bs.size()) {
+      co_await q.wait_for_completion();
+      harvested += q.poll().size();
+    }
+    out = s.now();
+  }(sim, *qp, bufs, last_done));
+  sim.run();
+  EXPECT_EQ(last_done, 64 * 1800 + 10000u);
+  // Effective IOPS ~= 1 / 1.8us ~= 555K.
+  const double iops = 64.0 / dlsim::to_seconds(last_done);
+  EXPECT_GT(iops, 500e3);
+  EXPECT_LT(iops, 600e3);
+}
+
+TEST(NvmeDevice, PipelinedLargeReadsSaturateBandwidth) {
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair(32);
+  constexpr std::size_t kN = 32;
+  std::vector<std::vector<std::byte>> bufs(kN, std::vector<std::byte>(128_KiB));
+  SimTime last_done = 0;
+  sim.spawn([](Simulator& s, NvmeQueuePair& q,
+               std::vector<std::vector<std::byte>>& bs,
+               SimTime& out) -> Task<void> {
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(q.submit(IoOp::kRead, i * 128_KiB, bs[i], i), IoStatus::kOk);
+    }
+    std::size_t harvested = 0;
+    while (harvested < bs.size()) {
+      co_await q.wait_for_completion();
+      harvested += q.poll().size();
+    }
+    out = s.now();
+  }(sim, *qp, bufs, last_done));
+  sim.run();
+  const double bw =
+      static_cast<double>(kN * 128_KiB) / dlsim::to_seconds(last_done);
+  EXPECT_GT(bw, 2.3e9);  // close to the 2.5 GB/s ceiling
+  EXPECT_LE(bw, 2.5e9);
+}
+
+TEST(NvmeDevice, QueueDepthEnforced) {
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair(2);
+  std::vector<std::byte> buf(512);
+  sim.spawn([](NvmeQueuePair& q, std::span<std::byte> b) -> Task<void> {
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b, 1), IoStatus::kOk);
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b, 2), IoStatus::kOk);
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b, 3), IoStatus::kQueueFull);
+    co_await q.wait_for_completion();
+    (void)q.poll();
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b, 4), IoStatus::kOk);
+  }(*qp, buf));
+  sim.run();
+}
+
+TEST(NvmeDevice, OutOfRangeRejectedAtSubmit) {
+  Simulator sim;
+  auto dev = make_device(sim, 4096);
+  auto qp = dev->create_qpair();
+  std::vector<std::byte> buf(512);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 4000, buf, 1), IoStatus::kOutOfRange);
+  EXPECT_EQ(qp->outstanding(), 0u);
+}
+
+TEST(NvmeDevice, CompletionsNotVisibleBeforeTheirTime) {
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair();
+  std::vector<std::byte> buf(4096);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 0, buf, 1), IoStatus::kOk);
+  EXPECT_TRUE(qp->poll().empty());  // t = 0, completion at 11.8us
+  sim.run_until(5_us);
+  EXPECT_TRUE(qp->poll().empty());
+  sim.run_until(12_us);
+  EXPECT_EQ(qp->poll().size(), 1u);
+}
+
+TEST(NvmeDevice, ReadsReturnStoreContent) {
+  Simulator sim;
+  auto store = std::make_unique<RamBackingStore>(1_MiB);
+  std::vector<std::byte> data(2048);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 7) & 0xff);
+  }
+  store->write(8192, data);
+  NvmeDevice dev(sim, "nvme0", std::move(store));
+  auto qp = dev.create_qpair();
+  std::vector<std::byte> buf(2048);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 8192, buf, 1), IoStatus::kOk);
+  sim.run_until(1_ms);
+  EXPECT_EQ(qp->poll().size(), 1u);
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), data.size()), 0);
+}
+
+TEST(NvmeDevice, WriteThenReadRoundTrip) {
+  Simulator sim;
+  NvmeDevice dev(sim, "nvme0", std::make_unique<RamBackingStore>(1_MiB));
+  auto qp = dev.create_qpair();
+  std::vector<std::byte> in(1024, std::byte{0x3c});
+  std::vector<std::byte> out(1024);
+  sim.spawn([](NvmeQueuePair& q, std::span<std::byte> i,
+               std::span<std::byte> o) -> Task<void> {
+    EXPECT_EQ(q.submit(IoOp::kWrite, 100, i, 1), IoStatus::kOk);
+    co_await q.wait_for_completion();
+    (void)q.poll();
+    EXPECT_EQ(q.submit(IoOp::kRead, 100, o, 2), IoStatus::kOk);
+    co_await q.wait_for_completion();
+    (void)q.poll();
+  }(*qp, in, out));
+  sim.run();
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(NvmeDevice, MultipleQpairsShareThePipe) {
+  // Two qpairs each posting one 1 MiB read at t=0: the pipe serializes,
+  // so the second completion lands ~one transfer later.
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp1 = dev->create_qpair();
+  auto qp2 = dev->create_qpair();
+  std::vector<std::byte> b1(1_MiB), b2(1_MiB);
+  EXPECT_EQ(qp1->submit(IoOp::kRead, 0, b1, 1), IoStatus::kOk);
+  EXPECT_EQ(qp2->submit(IoOp::kRead, 0, b2, 2), IoStatus::kOk);
+  sim.run_until(430_us);
+  EXPECT_EQ(qp1->poll().size(), 1u);  // ~429us
+  EXPECT_TRUE(qp2->poll().empty());
+  sim.run_until(850_us);
+  EXPECT_EQ(qp2->poll().size(), 1u);  // ~849us
+}
+
+TEST(NvmeDevice, OwnershipExclusive) {
+  Simulator sim;
+  auto dev = make_device(sim);
+  dev->claim(dlfs::hw::DeviceOwner::kKernel);
+  EXPECT_THROW(dev->claim(dlfs::hw::DeviceOwner::kUserSpace),
+               std::logic_error);
+  dev->release(dlfs::hw::DeviceOwner::kKernel);
+  EXPECT_NO_THROW(dev->claim(dlfs::hw::DeviceOwner::kUserSpace));
+  EXPECT_THROW(dev->release(dlfs::hw::DeviceOwner::kKernel), std::logic_error);
+}
+
+TEST(NvmeDevice, StatsAccumulateAndReset) {
+  Simulator sim;
+  auto dev = make_device(sim);
+  auto qp = dev->create_qpair();
+  std::vector<std::byte> buf(4096);
+  EXPECT_EQ(qp->submit(IoOp::kRead, 0, buf, 1), IoStatus::kOk);
+  sim.run_until(1_ms);
+  (void)qp->poll();
+  EXPECT_EQ(dev->bytes_read(), 4096u);
+  EXPECT_EQ(dev->commands_completed(), 1u);
+  dev->reset_stats();
+  EXPECT_EQ(dev->bytes_read(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+
+TEST(Fabric, PointToPointLatencyPlusTransfer) {
+  Simulator sim;
+  Fabric fab(sim, 2);
+  SimTime done = 0;
+  sim.spawn([](Simulator& s, Fabric& f, SimTime& out) -> Task<void> {
+    co_await f.transfer(0, 1, 1000000);  // 1 MB at 6.8 GB/s ~= 147us
+    out = s.now();
+  }(sim, fab, done));
+  sim.run();
+  const SimTime expected = dlsim::transfer_time(1000000, 6.8e9) + 1300;
+  EXPECT_EQ(done, expected);
+}
+
+TEST(Fabric, ControlMessageIsLatencyDominated) {
+  Simulator sim;
+  Fabric fab(sim, 2);
+  SimTime done = 0;
+  sim.spawn([](Simulator& s, Fabric& f, SimTime& out) -> Task<void> {
+    co_await f.send_control(0, 1);
+    out = s.now();
+  }(sim, fab, done));
+  sim.run();
+  EXPECT_GE(done, 1300u);
+  EXPECT_LT(done, 1400u);
+}
+
+TEST(Fabric, EgressPipeSerializesOneSender) {
+  // Node 0 sends 1 MB to nodes 1 and 2 simultaneously: its egress NIC
+  // serializes, so total time ~= 2 transfers.
+  Simulator sim;
+  Fabric fab(sim, 3);
+  SimTime done = 0;
+  int remaining = 2;
+  auto send = [](Simulator& s, Fabric& f, dlfs::hw::NodeId dst, int& left,
+                 SimTime& out) -> Task<void> {
+    co_await f.transfer(0, dst, 1000000);
+    if (--left == 0) out = s.now();
+  };
+  sim.spawn(send(sim, fab, 1, remaining, done));
+  sim.spawn(send(sim, fab, 2, remaining, done));
+  sim.run();
+  const SimTime one = dlsim::transfer_time(1000000, 6.8e9);
+  EXPECT_GE(done, 2 * one);
+  EXPECT_LT(done, 2 * one + 10_us);
+}
+
+TEST(Fabric, DisjointPairsDoNotContend) {
+  // 0->1 and 2->3 at the same time: full bisection, no serialization.
+  Simulator sim;
+  Fabric fab(sim, 4);
+  std::vector<SimTime> done(2, 0);
+  auto send = [](Simulator& s, Fabric& f, dlfs::hw::NodeId src,
+                 dlfs::hw::NodeId dst, SimTime& out) -> Task<void> {
+    co_await f.transfer(src, dst, 1000000);
+    out = s.now();
+  };
+  sim.spawn(send(sim, fab, 0, 1, done[0]));
+  sim.spawn(send(sim, fab, 2, 3, done[1]));
+  sim.run();
+  const SimTime one = dlsim::transfer_time(1000000, 6.8e9) + 1300;
+  EXPECT_EQ(done[0], one);
+  EXPECT_EQ(done[1], one);
+}
+
+TEST(Fabric, LoopbackBypassesNic) {
+  Simulator sim;
+  Fabric fab(sim, 2);
+  SimTime done = 0;
+  sim.spawn([](Simulator& s, Fabric& f, SimTime& out) -> Task<void> {
+    co_await f.transfer(0, 0, 1000000);
+    out = s.now();
+  }(sim, fab, done));
+  sim.run();
+  // 20 GB/s local DMA: 50us for 1 MB, far below the 147us wire time.
+  EXPECT_LT(done, 60_us);
+}
+
+TEST(Fabric, StatsPerNode) {
+  Simulator sim;
+  Fabric fab(sim, 2);
+  sim.spawn([](Fabric& f) -> Task<void> {
+    co_await f.transfer(0, 1, 1000);
+    co_await f.transfer(1, 0, 500);
+  }(fab));
+  sim.run();
+  EXPECT_EQ(fab.bytes_sent(0), 1000u);
+  EXPECT_EQ(fab.bytes_received(1), 1000u);
+  EXPECT_EQ(fab.bytes_sent(1), 500u);
+  EXPECT_EQ(fab.bytes_received(0), 500u);
+  EXPECT_EQ(fab.messages(), 2u);
+}
+
+TEST(Fabric, BadNodeIdThrows) {
+  Simulator sim;
+  Fabric fab(sim, 2);
+  EXPECT_THROW(fab.bytes_sent(5), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Tests for the Octopus-like distributed FS baseline: metadata
+// partitioning, remote-vs-local lookup costs, RDMA read timing, data
+// integrity, and server-side metadata contention.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "octofs/octofs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::cluster::Cluster;
+using dlfs::cluster::NodeConfig;
+using dlfs::octofs::FileMeta;
+using dlfs::octofs::OctoFs;
+using dlsim::CpuCore;
+using dlsim::SimTime;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+struct OctoRig {
+  Simulator sim;
+  Cluster cluster;
+  OctoFs fs;
+
+  explicit OctoRig(std::uint32_t nodes)
+      : cluster(sim, nodes, ram_config()), fs(cluster, dlfs::default_calibration()) {}
+
+  static NodeConfig ram_config() {
+    NodeConfig nc;
+    nc.synthetic_store = false;
+    nc.device_capacity = 256_MiB;
+    return nc;
+  }
+
+  void stage(const std::string& name, std::span<const std::byte> data) {
+    sim.spawn([](OctoFs& fs, std::string n,
+                 std::span<const std::byte> d) -> Task<void> {
+      co_await fs.stage_file(n, d);
+    }(fs, name, data));
+    sim.run();
+    sim.rethrow_failures();
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 7 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(OctoFs, StagePlacesFileOnHashOwner) {
+  OctoRig rig(4);
+  auto data = pattern(1000);
+  rig.stage("file_x", data);
+  const std::uint16_t owner = rig.fs.owner_of("file_x");
+  EXPECT_GT(rig.cluster.node(owner).device().bytes_written(), 0u);
+  EXPECT_EQ(rig.fs.num_files(), 1u);
+}
+
+TEST(OctoFs, OpenAndReadRoundTrip) {
+  OctoRig rig(3);
+  auto data = pattern(50000);
+  rig.stage("sample", data);
+  CpuCore core(rig.sim, "client");
+  auto client = rig.fs.make_client(0, core);
+  std::vector<std::byte> out(50000);
+  bool opened = false;
+  rig.sim.spawn([](OctoFs::Client& c, std::span<std::byte> o,
+                   bool& ok) -> Task<void> {
+    auto meta = co_await c.open("sample");
+    EXPECT_TRUE(meta.has_value());
+    ok = meta.has_value();
+    co_await c.read(*meta, o);
+  }(*client, out, opened));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(std::memcmp(out.data(), pattern(50000).data(), 50000), 0);
+}
+
+TEST(OctoFs, OpenMissingReturnsNullopt) {
+  OctoRig rig(2);
+  CpuCore core(rig.sim, "client");
+  auto client = rig.fs.make_client(0, core);
+  bool found = true;
+  rig.sim.spawn([](OctoFs::Client& c, bool& f) -> Task<void> {
+    auto meta = co_await c.open("ghost");
+    f = meta.has_value();
+  }(*client, found));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_FALSE(found);
+}
+
+TEST(OctoFs, RemoteLookupCostsRpcRoundTrip) {
+  OctoRig rig(4);
+  // Find names owned locally (node 0) and remotely.
+  std::string local_name, remote_name;
+  for (int i = 0; i < 100 && (local_name.empty() || remote_name.empty());
+       ++i) {
+    const std::string n = "f" + std::to_string(i);
+    if (rig.fs.owner_of(n) == 0 && local_name.empty()) local_name = n;
+    if (rig.fs.owner_of(n) != 0 && remote_name.empty()) remote_name = n;
+  }
+  auto data = pattern(100);
+  rig.stage(local_name, data);
+  rig.stage(remote_name, data);
+  CpuCore core(rig.sim, "client");
+  auto client = rig.fs.make_client(0, core);
+  dlsim::SimDuration t_local = 0, t_remote = 0;
+  rig.sim.spawn([](Simulator& s, OctoFs::Client& c, std::string ln,
+                   std::string rn, dlsim::SimDuration& tl,
+                   dlsim::SimDuration& tr) -> Task<void> {
+    auto t0 = s.now();
+    (void)co_await c.open(ln);
+    tl = s.now() - t0;
+    t0 = s.now();
+    (void)co_await c.open(rn);
+    tr = s.now() - t0;
+  }(rig.sim, *client, local_name, remote_name, t_local, t_remote));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  // Both pay the 25us NVM metadata read; remote adds the RPC round trip.
+  EXPECT_LT(t_local, 27_us);
+  EXPECT_GT(t_remote, t_local + 3_us);  // 2 capsules + 1us server work
+  EXPECT_EQ(client->lookups_local(), 1u);
+  EXPECT_EQ(client->lookups_remote(), 1u);
+}
+
+TEST(OctoFs, MetadataServerSerializesConcurrentLookups) {
+  OctoRig rig(2);
+  // Stage several files on node 1; have 4 clients on node 0 look them up
+  // at once: server work (1us each) serializes on node 1's metadata core.
+  std::vector<std::string> names;
+  for (int i = 0; names.size() < 8; ++i) {
+    const std::string n = "s" + std::to_string(i);
+    if (rig.fs.owner_of(n) == 1) {
+      names.push_back(n);
+      rig.stage(n, pattern(64));
+    }
+  }
+  std::vector<std::unique_ptr<CpuCore>> cores;
+  std::vector<std::unique_ptr<OctoFs::Client>> clients;
+  for (int c = 0; c < 4; ++c) {
+    cores.push_back(std::make_unique<CpuCore>(rig.sim, "c" + std::to_string(c)));
+    clients.push_back(rig.fs.make_client(0, *cores.back()));
+  }
+  SimTime done = 0;
+  int remaining = 4;
+  for (int c = 0; c < 4; ++c) {
+    rig.sim.spawn([](Simulator& s, OctoFs::Client& cl,
+                     const std::vector<std::string>& ns, int idx, int& left,
+                     SimTime& out) -> Task<void> {
+      for (std::size_t k = 0; k < 2; ++k) {
+        (void)co_await cl.open(ns[idx * 2 + k]);
+      }
+      if (--left == 0) out = s.now();
+    }(rig.sim, *clients[c], names, c, remaining, done));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  // 8 lookups * 1us serialized server work is a hard lower bound beyond
+  // the parallel wire time.
+  EXPECT_GT(done, 8_us);
+}
+
+TEST(OctoFs, SmallReadDominatedByLatencyNotBandwidth) {
+  OctoRig rig(2);
+  std::string remote_name;
+  for (int i = 0;; ++i) {
+    const std::string n = "r" + std::to_string(i);
+    if (rig.fs.owner_of(n) == 1) {
+      remote_name = n;
+      break;
+    }
+  }
+  rig.stage(remote_name, pattern(512));
+  CpuCore core(rig.sim, "client");
+  auto client = rig.fs.make_client(0, core);
+  dlsim::SimDuration t_read = 0;
+  rig.sim.spawn([](Simulator& s, OctoFs::Client& c, std::string n,
+                   dlsim::SimDuration& out) -> Task<void> {
+    auto meta = co_await c.open(n);
+    std::vector<std::byte> buf(512);
+    const auto t0 = s.now();
+    co_await c.read(*meta, buf);
+    out = s.now() - t0;
+  }(rig.sim, *client, remote_name, t_read));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  // Capsule + device (~11.8us) + return latency: ~15us for 512 B.
+  EXPECT_GT(t_read, 13_us);
+  EXPECT_LT(t_read, 20_us);
+}
+
+TEST(OctoFs, DuplicateStageThrows) {
+  OctoRig rig(2);
+  rig.stage("dup", pattern(10));
+  auto p = rig.sim.spawn([](OctoFs& fs) -> Task<void> {
+    std::vector<std::byte> d(10);
+    co_await fs.stage_file("dup", d);
+  }(rig.fs));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(OctoFs, ReadBufferTooSmallThrows) {
+  OctoRig rig(2);
+  rig.stage("big", pattern(1000));
+  CpuCore core(rig.sim, "client");
+  auto client = rig.fs.make_client(0, core);
+  auto p = rig.sim.spawn([](OctoFs::Client& c) -> Task<void> {
+    auto meta = co_await c.open("big");
+    std::vector<std::byte> tiny(10);
+    co_await c.read(*meta, tiny);
+  }(*client));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+}  // namespace

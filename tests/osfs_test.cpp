@@ -1,0 +1,351 @@
+// Tests for the Ext4-like kernel baseline: functional correctness
+// (create/append/open/pread round trips), the page cache and dentry
+// cache, kernel-cost charging, and multi-thread behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "common/units.hpp"
+#include "hw/nvme/backing_store.hpp"
+#include "hw/nvme/nvme_device.hpp"
+#include "osfs/ext4.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::hw::NvmeDevice;
+using dlfs::hw::RamBackingStore;
+using dlfs::osfs::Ext4Config;
+using dlfs::osfs::Ext4Fs;
+using dlfs::osfs::OsThread;
+using dlfs::osfs::PageCache;
+using dlsim::CpuCore;
+using dlsim::SimTime;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+// ---------------------------------------------------------------------------
+// PageCache
+
+TEST(PageCache, HitMissAndLru) {
+  PageCache pc(2);
+  EXPECT_FALSE(pc.contains(1, 0));
+  pc.insert(1, 0);
+  pc.insert(1, 1);
+  EXPECT_TRUE(pc.contains(1, 0));  // refreshes 0
+  pc.insert(1, 2);                 // evicts page 1 (LRU)
+  EXPECT_TRUE(pc.contains(1, 0));
+  EXPECT_FALSE(pc.contains(1, 1));
+  EXPECT_TRUE(pc.contains(1, 2));
+}
+
+TEST(PageCache, InvalidatePerInode) {
+  PageCache pc(10);
+  pc.insert(1, 0);
+  pc.insert(2, 0);
+  pc.invalidate(1);
+  EXPECT_FALSE(pc.contains(1, 0));
+  EXPECT_TRUE(pc.contains(2, 0));
+}
+
+TEST(PageCache, DropAll) {
+  PageCache pc(10);
+  pc.insert(1, 0);
+  pc.drop_all();
+  EXPECT_EQ(pc.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ext4Fs
+
+struct Ext4Rig {
+  Simulator sim;
+  NvmeDevice device;
+  Ext4Fs fs;
+  CpuCore core;
+  OsThread thread;
+
+  explicit Ext4Rig(const Ext4Config& cfg = Ext4Config{})
+      : device(sim, "nvme0", std::make_unique<RamBackingStore>(1_GiB)),
+        fs(sim, device, dlfs::default_calibration(), cfg),
+        core(sim, "app0"),
+        thread(fs, core) {}
+
+  void write_file(const std::string& path, std::span<const std::byte> data) {
+    sim.spawn([](Ext4Fs& fs, OsThread& t, std::string p,
+                 std::span<const std::byte> d) -> Task<void> {
+      const int fd = co_await fs.create(t, p);
+      co_await fs.append(t, fd, d);
+      co_await fs.close(t, fd);
+    }(fs, thread, path, data));
+    sim.run();
+    sim.rethrow_failures();
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 31 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(Ext4, ClaimsKernelOwnership) {
+  Ext4Rig rig;
+  EXPECT_EQ(rig.device.owner(), dlfs::hw::DeviceOwner::kKernel);
+}
+
+TEST(Ext4, CreateWriteReadRoundTrip) {
+  Ext4Rig rig;
+  auto data = pattern(10000);
+  rig.write_file("dir/sample0", data);
+  std::vector<std::byte> out(10000);
+  std::uint64_t got = 0;
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t, std::span<std::byte> o,
+                   std::uint64_t& n) -> Task<void> {
+    auto fd = co_await fs.open(t, "dir/sample0");
+    EXPECT_TRUE(fd.has_value());
+    n = co_await fs.pread(t, *fd, o, 0);
+    co_await fs.close(t, *fd);
+  }(rig.fs, rig.thread, out, got));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(got, 10000u);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+}
+
+TEST(Ext4, OpenMissingFileReturnsNullopt) {
+  Ext4Rig rig;
+  bool found = true;
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t, bool& f) -> Task<void> {
+    auto fd = co_await fs.open(t, "nope");
+    f = fd.has_value();
+  }(rig.fs, rig.thread, found));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_FALSE(found);
+}
+
+TEST(Ext4, PreadAtOffsetAndBeyondEof) {
+  Ext4Rig rig;
+  auto data = pattern(8192);
+  rig.write_file("f", data);
+  std::vector<std::byte> out(4096);
+  std::uint64_t n_mid = 0, n_eof = 0;
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t, std::span<std::byte> o,
+                   std::uint64_t& nm, std::uint64_t& ne) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    nm = co_await fs.pread(t, *fd, o, 5000);
+    ne = co_await fs.pread(t, *fd, o, 9000);
+    co_await fs.close(t, *fd);
+  }(rig.fs, rig.thread, out, n_mid, n_eof));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(n_mid, 3192u);  // clipped to EOF
+  EXPECT_EQ(n_eof, 0u);
+  EXPECT_EQ(std::memcmp(out.data(), pattern(8192).data() + 5000, 3192), 0);
+}
+
+TEST(Ext4, SecondReadServedFromPageCache) {
+  Ext4Rig rig;
+  rig.write_file("f", pattern(128_KiB));
+  std::vector<std::byte> out(128_KiB);
+  dlsim::SimDuration t_cold = 0, t_warm = 0;
+  rig.sim.spawn([](Simulator& s, Ext4Fs& fs, OsThread& t,
+                   std::span<std::byte> o, dlsim::SimDuration& c,
+                   dlsim::SimDuration& w) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    auto t0 = s.now();
+    (void)co_await fs.pread(t, *fd, o, 0);
+    c = s.now() - t0;
+    t0 = s.now();
+    (void)co_await fs.pread(t, *fd, o, 0);
+    w = s.now() - t0;
+    co_await fs.close(t, *fd);
+  }(rig.sim, rig.fs, rig.thread, out, t_cold, t_warm));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  // Cold: device time for 128 KiB (~62us). Warm: probes + copy only.
+  EXPECT_GT(t_cold, 50_us);
+  EXPECT_LT(t_warm, t_cold / 2);
+  EXPECT_GT(rig.fs.page_cache().hits(), 0u);
+}
+
+TEST(Ext4, DropCachesRestoresColdTiming) {
+  Ext4Rig rig;
+  rig.write_file("f", pattern(64_KiB));
+  std::vector<std::byte> out(64_KiB);
+  dlsim::SimDuration t1 = 0, t2 = 0;
+  rig.sim.spawn([](Simulator& s, Ext4Fs& fs, OsThread& t,
+                   std::span<std::byte> o, dlsim::SimDuration& a,
+                   dlsim::SimDuration& b) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    (void)co_await fs.pread(t, *fd, o, 0);
+    fs.drop_caches();
+    auto t0 = s.now();
+    (void)co_await fs.pread(t, *fd, o, 0);
+    a = s.now() - t0;
+    t0 = s.now();
+    (void)co_await fs.pread(t, *fd, o, 0);
+    b = s.now() - t0;
+    co_await fs.close(t, *fd);
+  }(rig.sim, rig.fs, rig.thread, out, t1, t2));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_GT(t1, t2 * 2);  // post-drop read went back to the device
+}
+
+TEST(Ext4, ColdOpenCostsTwoDeviceReads) {
+  // A dentry-cache miss costs a directory block + inode read: ~2 blocking
+  // 4 KiB device reads ~= 2 * (11.8us + kernel charges).
+  Ext4Config cfg;
+  cfg.dentry_cache_entries = 4;  // tiny: forces misses
+  Ext4Rig rig(cfg);
+  for (int i = 0; i < 32; ++i) rig.write_file("f" + std::to_string(i), pattern(512));
+  rig.fs.drop_caches();
+  dlsim::SimDuration t_open = 0;
+  rig.sim.spawn([](Simulator& s, Ext4Fs& fs, OsThread& t,
+                   dlsim::SimDuration& out) -> Task<void> {
+    const auto t0 = s.now();
+    auto fd = co_await fs.open(t, "f7");
+    out = s.now() - t0;
+    co_await fs.close(t, *fd);
+  }(rig.sim, rig.fs, rig.thread, t_open));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_GT(t_open, 20_us);
+  EXPECT_LT(t_open, 50_us);
+}
+
+TEST(Ext4, WarmOpenIsCheap) {
+  Ext4Rig rig;
+  rig.write_file("f", pattern(512));
+  dlsim::SimDuration t_open = 0;
+  rig.sim.spawn([](Simulator& s, Ext4Fs& fs, OsThread& t,
+                   dlsim::SimDuration& out) -> Task<void> {
+    auto fd0 = co_await fs.open(t, "f");  // cold-ish (created warm though)
+    co_await fs.close(t, *fd0);
+    const auto t0 = s.now();
+    auto fd = co_await fs.open(t, "f");
+    out = s.now() - t0;
+    co_await fs.close(t, *fd);
+  }(rig.sim, rig.fs, rig.thread, t_open));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_LT(t_open, 3_us);
+}
+
+TEST(Ext4, SmallRandomReadsPayPerReadKernelTax) {
+  // QD1 4 KiB reads: ~11.8us device + ~6-7us kernel path. Throughput per
+  // thread should land near 50-60K samples/s — the Ext4-Base curve.
+  Ext4Rig rig;
+  rig.write_file("data", pattern(1_MiB));
+  constexpr int kReads = 100;
+  SimTime elapsed = 0;
+  rig.sim.spawn([](Simulator& s, Ext4Fs& fs, OsThread& t,
+                   SimTime& out) -> Task<void> {
+    auto fd = co_await fs.open(t, "data");
+    std::vector<std::byte> buf(4096);
+    const auto t0 = s.now();
+    for (int i = 0; i < kReads; ++i) {
+      // Stride > page size, previously-unread pages.
+      (void)co_await fs.pread(t, *fd, buf,
+                              static_cast<std::uint64_t>(i) * 8192);
+    }
+    out = s.now() - t0;
+    co_await fs.close(t, *fd);
+  }(rig.sim, rig.fs, rig.thread, elapsed));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  const double per_read_us = dlsim::to_micros(elapsed) / kReads;
+  EXPECT_GT(per_read_us, 12.0);
+  EXPECT_LT(per_read_us, 25.0);
+}
+
+TEST(Ext4, TwoThreadsOverlapDeviceTime) {
+  Ext4Rig rig;
+  rig.write_file("a", pattern(512_KiB, 1));
+  rig.write_file("b", pattern(512_KiB, 2));
+  rig.fs.drop_caches();
+  CpuCore core2(rig.sim, "app1");
+  OsThread thread2(rig.fs, core2);
+  const SimTime start = rig.sim.now();
+  SimTime done = 0;
+  int remaining = 2;
+  auto reader = [](Simulator& s, Ext4Fs& fs, OsThread& t, std::string path,
+                   int& left, SimTime& out) -> Task<void> {
+    auto fd = co_await fs.open(t, path);
+    std::vector<std::byte> buf(512_KiB);
+    (void)co_await fs.pread(t, *fd, buf, 0);
+    co_await fs.close(t, *fd);
+    if (--left == 0) out = s.now();
+  };
+  rig.sim.spawn(reader(rig.sim, rig.fs, rig.thread, "a", remaining, done));
+  rig.sim.spawn(reader(rig.sim, rig.fs, thread2, "b", remaining, done));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  done -= start;
+  // Two 512 KiB reads serialized on the device pipe: ~2 * 210us, but far
+  // less than the fully serial path (2 * (210us + kernel)). Mostly checks
+  // both threads made progress concurrently without deadlock.
+  EXPECT_LT(done, 600_us);
+}
+
+TEST(Ext4, CreateExistingPathThrows) {
+  Ext4Rig rig;
+  rig.write_file("dup", pattern(16));
+  auto p = rig.sim.spawn([](Ext4Fs& fs, OsThread& t) -> Task<void> {
+    (void)co_await fs.create(t, "dup");
+  }(rig.fs, rig.thread));
+  rig.sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(Ext4, FileSize) {
+  Ext4Rig rig;
+  rig.write_file("f", pattern(12345));
+  std::optional<std::uint64_t> size;
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t,
+                   std::optional<std::uint64_t>& out) -> Task<void> {
+    out = co_await fs.file_size(t, "f");
+  }(rig.fs, rig.thread, size));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 12345u);
+}
+
+TEST(Ext4, MultiAppendBuildsOneExtent) {
+  Ext4Rig rig;
+  auto d1 = pattern(4096, 1);
+  auto d2 = pattern(4096, 2);
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t, std::span<const std::byte> a,
+                   std::span<const std::byte> b) -> Task<void> {
+    const int fd = co_await fs.create(t, "f");
+    co_await fs.append(t, fd, a);
+    co_await fs.append(t, fd, b);
+    co_await fs.close(t, fd);
+  }(rig.fs, rig.thread, d1, d2));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  std::vector<std::byte> out(8192);
+  std::uint64_t got = 0;
+  rig.sim.spawn([](Ext4Fs& fs, OsThread& t, std::span<std::byte> o,
+                   std::uint64_t& n) -> Task<void> {
+    auto fd = co_await fs.open(t, "f");
+    n = co_await fs.pread(t, *fd, o, 0);
+    co_await fs.close(t, *fd);
+  }(rig.fs, rig.thread, out, got));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(got, 8192u);
+  EXPECT_EQ(std::memcmp(out.data(), d1.data(), 4096), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 4096, d2.data(), 4096), 0);
+}
+
+}  // namespace

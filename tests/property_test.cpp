@@ -1,0 +1,279 @@
+// Cross-module property tests: randomized stress of the DES kernel
+// (determinism, conservation), fabric accounting invariants, and
+// whole-stack DLFS epoch properties swept over cluster size, batching
+// mode, dataset shape, and chunk size.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "hw/net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using dlfs::core::BatchingMode;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+// ---------------------------------------------------------------------------
+// DES kernel under randomized load
+
+class SimStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimStress, RandomProcessSoupIsDeterministicAndConserves) {
+  // A soup of producers/consumers over shared channels with random
+  // delays: every token pushed must be popped, the run must terminate,
+  // and two runs must produce identical event counts and final times.
+  auto run = [&](std::uint64_t seed) {
+    Simulator sim;
+    dlfs::Rng rng(seed);
+    constexpr int kChannels = 4;
+    std::vector<std::unique_ptr<dlsim::Channel<int>>> chans;
+    for (int i = 0; i < kChannels; ++i) {
+      chans.push_back(std::make_unique<dlsim::Channel<int>>(
+          sim, 1 + rng.next_below(8)));
+    }
+    std::uint64_t consumed = 0;
+    const int kProducers = 6;
+    const int kPerProducer = 50;
+    int producers_left = kProducers * kChannels;
+    for (int c = 0; c < kChannels; ++c) {
+      for (int p = 0; p < kProducers; ++p) {
+        sim.spawn([](Simulator& s, dlsim::Channel<int>& ch,
+                     std::uint64_t d, int& left) -> Task<void> {
+          for (int i = 0; i < kPerProducer; ++i) {
+            co_await s.delay(d % 97 + 1);
+            co_await ch.push(1);
+          }
+          if (--left == 0) {
+            // no-op: consumers stop via close below
+          }
+          co_return;
+        }(sim, *chans[c], rng.next(), producers_left));
+      }
+      sim.spawn([](dlsim::Channel<int>& ch, std::uint64_t& total) -> Task<void> {
+        for (;;) {
+          auto v = co_await ch.pop();
+          if (!v) break;
+          total += static_cast<std::uint64_t>(*v);
+        }
+      }(*chans[c], consumed));
+    }
+    // Closer: waits for all pushes (kProducers * kPerProducer per chan).
+    sim.spawn([](Simulator& s,
+                 std::vector<std::unique_ptr<dlsim::Channel<int>>>& cs)
+                  -> Task<void> {
+      co_await s.delay(100000);  // after every producer finished
+      for (auto& c : cs) c->close();
+    }(sim, chans));
+    sim.run();
+    return std::make_tuple(consumed, sim.now(), sim.events_processed());
+  };
+  const auto a = run(GetParam());
+  const auto b = run(GetParam());
+  EXPECT_EQ(a, b);  // bit-for-bit deterministic
+  EXPECT_EQ(std::get<0>(a),
+            static_cast<std::uint64_t>(4 * 6 * 50));  // conservation
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimStress,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(SimStress, ThousandsOfProcessesDrain) {
+  Simulator sim;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    sim.spawn([](Simulator& s, std::uint64_t& out,
+                 std::uint64_t d) -> Task<void> {
+      co_await s.delay(d);
+      out += 1;
+    }(sim, sum, static_cast<std::uint64_t>(i % 17)));
+  }
+  sim.run();
+  EXPECT_EQ(sum, 5000u);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric invariants
+
+class FabricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricProperty, ByteAccountingBalancesAndTimeRespectsBounds) {
+  Simulator sim;
+  constexpr std::uint32_t kNodes = 6;
+  dlfs::hw::Fabric fabric(sim, kNodes);
+  dlfs::Rng rng(GetParam());
+  struct Flow {
+    std::uint32_t src, dst;
+    std::uint64_t bytes;
+  };
+  std::vector<Flow> flows;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 60; ++i) {
+    Flow f{static_cast<std::uint32_t>(rng.next_below(kNodes)),
+           static_cast<std::uint32_t>(rng.next_below(kNodes)),
+           1 + rng.next_below(1_MiB)};
+    total_bytes += f.bytes;
+    flows.push_back(f);
+  }
+  for (const auto& f : flows) {
+    sim.spawn([](dlfs::hw::Fabric& fab, Flow fl) -> Task<void> {
+      co_await fab.transfer(fl.src, fl.dst, fl.bytes);
+    }(fabric, f));
+  }
+  sim.run();
+  // Conservation: sum sent == sum received == total.
+  std::uint64_t sent = 0, recv = 0;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    sent += fabric.bytes_sent(n);
+    recv += fabric.bytes_received(n);
+  }
+  EXPECT_EQ(sent, total_bytes);
+  EXPECT_EQ(recv, total_bytes);
+  // Lower bound: the busiest egress pipe cannot beat wire speed.
+  std::uint64_t max_pipe = 0;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    std::uint64_t nic = 0;
+    for (const auto& f : flows) {
+      if (f.src == n && f.src != f.dst) nic += f.bytes;
+    }
+    max_pipe = std::max(max_pipe, nic);
+  }
+  EXPECT_GE(sim.now() + 1, dlsim::transfer_time(max_pipe, 6.8e9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricProperty,
+                         ::testing::Values(3, 7, 31, 127));
+
+// ---------------------------------------------------------------------------
+// Whole-stack DLFS epoch properties
+
+struct StackParam {
+  std::uint32_t nodes;
+  BatchingMode mode;
+  bool variable_sizes;
+  std::uint64_t chunk_bytes;
+};
+
+class DlfsStackProperty : public ::testing::TestWithParam<StackParam> {};
+
+TEST_P(DlfsStackProperty, EpochIsExactCoverWithExactBytes) {
+  const StackParam p = GetParam();
+  Simulator sim;
+  dlfs::cluster::NodeConfig nc;
+  nc.synthetic_store = false;
+  nc.device_capacity = 512_MiB;
+  dlfs::cluster::Cluster cluster(sim, p.nodes, nc);
+  auto ds = p.variable_sizes
+                ? dlfs::dataset::make_imdb_like_dataset(300, 5)
+                : dlfs::dataset::make_fixed_size_dataset(300, 3333, 5);
+  dlfs::cluster::Pfs pfs(sim, ds);
+  dlfs::core::DlfsConfig cfg;
+  cfg.batching = p.mode;
+  cfg.chunk_bytes = p.chunk_bytes;
+  dlfs::core::DlfsFleet fleet(cluster, pfs, ds, cfg);
+  for (std::uint32_t q = 0; q < fleet.participants(); ++q) {
+    sim.spawn(fleet.mount_participant(q));
+  }
+  sim.run();
+  sim.rethrow_failures();
+
+  for (std::uint32_t c = 0; c < p.nodes; ++c) fleet.instance(c).sequence(9);
+  std::set<std::uint32_t> seen;
+  std::uint64_t bytes = 0;
+  bool content_ok = true;
+  for (std::uint32_t c = 0; c < p.nodes; ++c) {
+    sim.spawn([](const dlfs::dataset::Dataset& ds,
+                 dlfs::core::DlfsInstance& inst, std::set<std::uint32_t>& s,
+                 std::uint64_t& bytes, bool& ok) -> Task<void> {
+      std::vector<std::byte> arena(
+          16ull * ds.max_sample_bytes() + 4096);
+      std::vector<std::byte> want;
+      for (;;) {
+        auto b = co_await inst.bread(13, arena);  // odd batch on purpose
+        if (b.samples.empty()) break;
+        for (const auto& smp : b.samples) {
+          if (!s.insert(smp.sample_id).second) ok = false;  // duplicate!
+          bytes += smp.len;
+          want.resize(smp.len);
+          ds.fill_content(smp.sample_id, 0, want);
+          if (std::memcmp(arena.data() + smp.offset_in_arena, want.data(),
+                          smp.len) != 0) {
+            ok = false;
+          }
+        }
+      }
+    }(ds, fleet.instance(c), seen, bytes, content_ok));
+  }
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(seen.size(), 300u);
+  EXPECT_EQ(bytes, ds.total_bytes());
+  EXPECT_TRUE(content_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DlfsStackProperty,
+    ::testing::Values(
+        StackParam{1, BatchingMode::kChunkLevel, false, 256_KiB},
+        StackParam{1, BatchingMode::kChunkLevel, true, 64_KiB},
+        StackParam{3, BatchingMode::kChunkLevel, true, 256_KiB},
+        StackParam{3, BatchingMode::kSampleLevel, true, 256_KiB},
+        StackParam{2, BatchingMode::kNone, false, 256_KiB},
+        StackParam{5, BatchingMode::kChunkLevel, true, 128_KiB},
+        StackParam{4, BatchingMode::kChunkLevel, false, 1_MiB}));
+
+TEST(DlfsStackProperty, TwoEpochsDifferentSeedsBothCover) {
+  Simulator sim;
+  dlfs::cluster::NodeConfig nc;
+  nc.synthetic_store = false;
+  nc.device_capacity = 256_MiB;
+  dlfs::cluster::Cluster cluster(sim, 2, nc);
+  auto ds = dlfs::dataset::make_fixed_size_dataset(2048, 1000);
+  dlfs::cluster::Pfs pfs(sim, ds);
+  dlfs::core::DlfsFleet fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{});
+  for (std::uint32_t q = 0; q < 2; ++q) {
+    sim.spawn(fleet.mount_participant(q));
+  }
+  sim.run();
+  sim.rethrow_failures();
+
+  std::vector<std::vector<std::uint32_t>> epochs;
+  for (std::uint64_t seed : {100ull, 200ull}) {
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t c = 0; c < 2; ++c) fleet.instance(c).sequence(seed);
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      sim.spawn([](dlfs::core::DlfsInstance& inst,
+                   std::vector<std::uint32_t>& out) -> Task<void> {
+        std::vector<std::byte> arena(64_KiB);
+        for (;;) {
+          auto b = co_await inst.bread(8, arena);
+          if (b.samples.empty()) break;
+          for (const auto& s : b.samples) out.push_back(s.sample_id);
+        }
+      }(fleet.instance(c), order));
+    }
+    sim.run();
+    sim.rethrow_failures();
+    std::set<std::uint32_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 2048u);
+    epochs.push_back(std::move(order));
+  }
+  EXPECT_NE(epochs[0], epochs[1]);  // reshuffled between epochs
+}
+
+}  // namespace

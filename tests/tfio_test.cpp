@@ -1,0 +1,253 @@
+// Tests for the TF-like input pipeline: batching, the bounded shuffle
+// buffer (partial-shuffling semantics), framework cost charging, the
+// shuffle-quality metric, and each FS-backed source end to end.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "octofs/octofs.hpp"
+#include "osfs/ext4.hpp"
+#include "sim/simulator.hpp"
+#include "tfio/pipeline.hpp"
+#include "tfio/sources.hpp"
+
+namespace {
+
+using dlfs::tfio::Element;
+using dlfs::tfio::MiniBatch;
+using dlfs::tfio::Pipeline;
+using dlfs::tfio::Source;
+using dlsim::CpuCore;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+/// In-memory source: elements 0..n-1 in order, no I/O.
+class CountingSource final : public Source {
+ public:
+  explicit CountingSource(std::uint32_t n) : n_(n) {}
+  dlsim::Task<std::optional<Element>> next() override {
+    if (i_ >= n_) co_return std::nullopt;
+    const auto id = i_++;
+    co_return Element{id, id % 10, 100};
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t i_ = 0;
+};
+
+TEST(Pipeline, BatchesElements) {
+  Simulator sim;
+  CpuCore core(sim, "train");
+  Pipeline p(core, std::make_unique<CountingSource>(10),
+             dlfs::FrameworkCosts{});
+  p.batch(4);
+  std::vector<std::size_t> batch_sizes;
+  sim.spawn([](Pipeline& p, std::vector<std::size_t>& out) -> Task<void> {
+    for (;;) {
+      auto b = co_await p.next_batch();
+      if (!b) break;
+      out.push_back(b->elements.size());
+    }
+  }(p, batch_sizes));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 2}));
+  EXPECT_EQ(p.elements_delivered(), 10u);
+}
+
+TEST(Pipeline, FrameworkCostsCharged) {
+  Simulator sim;
+  CpuCore core(sim, "train");
+  dlfs::FrameworkCosts costs;  // 2us/sample + 30us/batch
+  Pipeline p(core, std::make_unique<CountingSource>(8), costs);
+  p.batch(8);
+  sim.spawn([](Pipeline& p) -> Task<void> {
+    (void)co_await p.next_batch();
+  }(p));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(core.busy_ns(), 8 * 2000 + 30000u);
+}
+
+TEST(Pipeline, UnboundedShuffleIsFullPermutation) {
+  Simulator sim;
+  CpuCore core(sim, "train");
+  Pipeline p(core, std::make_unique<CountingSource>(100),
+             dlfs::FrameworkCosts{});
+  p.shuffle(100, 42).batch(100);
+  std::vector<std::uint32_t> order;
+  sim.spawn([](Pipeline& p, std::vector<std::uint32_t>& out) -> Task<void> {
+    auto b = co_await p.next_batch();
+    for (const auto& e : b->elements) out.push_back(e.sample_id);
+  }(p, order));
+  sim.run();
+  sim.rethrow_failures();
+  std::set<std::uint32_t> s(order.begin(), order.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_GT(dlfs::tfio::shuffle_quality(order), 0.5);
+}
+
+TEST(Pipeline, SmallShuffleBufferOnlyPartiallyShuffles) {
+  // The §II-B observation: a small buffer keeps samples near their
+  // source positions.
+  auto run = [](std::size_t buffer) {
+    Simulator sim;
+    CpuCore core(sim, "train");
+    Pipeline p(core, std::make_unique<CountingSource>(2000),
+               dlfs::FrameworkCosts{});
+    p.shuffle(buffer, 7).batch(2000);
+    std::vector<std::uint32_t> order;
+    sim.spawn([](Pipeline& p, std::vector<std::uint32_t>& out) -> Task<void> {
+      auto b = co_await p.next_batch();
+      for (const auto& e : b->elements) out.push_back(e.sample_id);
+    }(p, order));
+    sim.run();
+    return dlfs::tfio::shuffle_quality(order);
+  };
+  const double q_small = run(16);
+  const double q_large = run(2000);
+  EXPECT_LT(q_small, 0.1);   // barely shuffled
+  EXPECT_GT(q_large, 0.5);   // well shuffled
+}
+
+TEST(ShuffleQuality, IdentityIsZero) {
+  std::vector<std::uint32_t> id(100);
+  for (std::uint32_t i = 0; i < 100; ++i) id[i] = i;
+  EXPECT_NEAR(dlfs::tfio::shuffle_quality(id), 0.0, 1e-9);
+}
+
+TEST(ShuffleQuality, ReversalIsHigh) {
+  std::vector<std::uint32_t> rev(100);
+  for (std::uint32_t i = 0; i < 100; ++i) rev[i] = 99 - i;
+  EXPECT_GT(dlfs::tfio::shuffle_quality(rev), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// FS-backed sources
+
+TEST(Sources, DlfsSourceStreamsWholeEpoch) {
+  Simulator sim;
+  dlfs::cluster::NodeConfig nc;
+  nc.synthetic_store = false;
+  nc.device_capacity = 1_GiB;
+  dlfs::cluster::Cluster cluster(sim, 1, nc);
+  auto ds = dlfs::dataset::make_fixed_size_dataset(200, 2048);
+  dlfs::cluster::Pfs pfs(sim, ds);
+  dlfs::core::DlfsFleet fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{});
+  sim.spawn(fleet.mount_participant(0));
+  sim.run();
+  sim.rethrow_failures();
+
+  CpuCore core(sim, "train");
+  Pipeline p(core,
+             std::make_unique<dlfs::tfio::DlfsSource>(
+                 fleet.instance(0), /*epoch_seed=*/9, /*io_batch=*/32,
+                 ds.max_sample_bytes()),
+             dlfs::FrameworkCosts{});
+  p.batch(32);
+  std::set<std::uint32_t> seen;
+  sim.spawn([](Pipeline& p, std::set<std::uint32_t>& out) -> Task<void> {
+    for (;;) {
+      auto b = co_await p.next_batch();
+      if (!b) break;
+      for (const auto& e : b->elements) out.insert(e.sample_id);
+    }
+  }(p, seen));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Sources, OctoSourceReadsThroughDistributedFs) {
+  Simulator sim;
+  dlfs::cluster::NodeConfig nc;
+  nc.synthetic_store = false;
+  nc.device_capacity = 64_MiB;
+  dlfs::cluster::Cluster cluster(sim, 2, nc);
+  dlfs::octofs::OctoFs fs(cluster, dlfs::default_calibration());
+  std::vector<dlfs::tfio::OctoSource::FileRef> refs;
+  sim.spawn([](dlfs::octofs::OctoFs& fs,
+               std::vector<dlfs::tfio::OctoSource::FileRef>& refs)
+                -> Task<void> {
+    std::vector<std::byte> data(800, std::byte{0x44});
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      const std::string name = "o" + std::to_string(i);
+      co_await fs.stage_file(name, data);
+      refs.push_back({name, i, i % 3, 800});
+    }
+  }(fs, refs));
+  sim.run();
+  sim.rethrow_failures();
+
+  CpuCore core(sim, "train");
+  auto client = fs.make_client(0, core);
+  Pipeline p(core,
+             std::make_unique<dlfs::tfio::OctoSource>(*client, refs),
+             dlfs::FrameworkCosts{});
+  p.batch(5);
+  std::size_t total = 0;
+  sim.spawn([](Pipeline& p, std::size_t& n) -> Task<void> {
+    for (;;) {
+      auto b = co_await p.next_batch();
+      if (!b) break;
+      n += b->elements.size();
+    }
+  }(p, total));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(total, 12u);
+  EXPECT_GT(client->lookups_remote() + client->lookups_local(), 0u);
+}
+
+TEST(Sources, Ext4SourceReadsFiles) {
+  Simulator sim;
+  dlfs::hw::NvmeDevice dev(
+      sim, "nvme0", std::make_unique<dlfs::hw::RamBackingStore>(256_MiB));
+  dlfs::osfs::Ext4Fs fs(sim, dev, dlfs::default_calibration());
+  CpuCore core(sim, "train");
+  dlfs::osfs::OsThread thread(fs, core);
+  // Stage 20 files.
+  std::vector<dlfs::tfio::Ext4Source::FileRef> refs;
+  sim.spawn([](dlfs::osfs::Ext4Fs& fs, dlfs::osfs::OsThread& t,
+               std::vector<dlfs::tfio::Ext4Source::FileRef>& refs)
+                -> Task<void> {
+    std::vector<std::byte> data(1000, std::byte{0x5a});
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      const std::string path = "s" + std::to_string(i);
+      const int fd = co_await fs.create(t, path);
+      co_await fs.append(t, fd, data);
+      co_await fs.close(t, fd);
+      refs.push_back({path, i, i % 2, 1000});
+    }
+  }(fs, thread, refs));
+  sim.run();
+  sim.rethrow_failures();
+
+  Pipeline p(core,
+             std::make_unique<dlfs::tfio::Ext4Source>(fs, thread, refs),
+             dlfs::FrameworkCosts{});
+  p.batch(8);
+  std::size_t total = 0;
+  sim.spawn([](Pipeline& p, std::size_t& n) -> Task<void> {
+    for (;;) {
+      auto b = co_await p.next_batch();
+      if (!b) break;
+      n += b->elements.size();
+    }
+  }(p, total));
+  sim.run();
+  sim.rethrow_failures();
+  EXPECT_EQ(total, 20u);
+  EXPECT_EQ(fs.opens(), 20u);
+}
+
+}  // namespace
