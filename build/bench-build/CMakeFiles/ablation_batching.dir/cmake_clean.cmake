@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batching"
+  "../bench/ablation_batching.pdb"
+  "CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o"
+  "CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

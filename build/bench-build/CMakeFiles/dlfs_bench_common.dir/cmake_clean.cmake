@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/dlfs_bench_common.dir/harness.cpp.o.d"
+  "libdlfs_bench_common.a"
+  "libdlfs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_sample_sizes"
+  "../bench/fig01_sample_sizes.pdb"
+  "CMakeFiles/fig01_sample_sizes.dir/fig01_sample_sizes.cpp.o"
+  "CMakeFiles/fig01_sample_sizes.dir/fig01_sample_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sample_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_single_node_throughput"
+  "../bench/fig06_single_node_throughput.pdb"
+  "CMakeFiles/fig06_single_node_throughput.dir/fig06_single_node_throughput.cpp.o"
+  "CMakeFiles/fig06_single_node_throughput.dir/fig06_single_node_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_single_node_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

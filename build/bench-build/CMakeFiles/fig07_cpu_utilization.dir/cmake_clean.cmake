@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_cpu_utilization"
+  "../bench/fig07_cpu_utilization.pdb"
+  "CMakeFiles/fig07_cpu_utilization.dir/fig07_cpu_utilization.cpp.o"
+  "CMakeFiles/fig07_cpu_utilization.dir/fig07_cpu_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_networked_throughput"
+  "../bench/fig08_networked_throughput.pdb"
+  "CMakeFiles/fig08_networked_throughput.dir/fig08_networked_throughput.cpp.o"
+  "CMakeFiles/fig08_networked_throughput.dir/fig08_networked_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_networked_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

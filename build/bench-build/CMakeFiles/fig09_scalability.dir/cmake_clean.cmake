@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_scalability"
+  "../bench/fig09_scalability.pdb"
+  "CMakeFiles/fig09_scalability.dir/fig09_scalability.cpp.o"
+  "CMakeFiles/fig09_scalability.dir/fig09_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

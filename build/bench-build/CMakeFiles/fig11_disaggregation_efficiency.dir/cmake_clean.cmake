@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_disaggregation_efficiency"
+  "../bench/fig11_disaggregation_efficiency.pdb"
+  "CMakeFiles/fig11_disaggregation_efficiency.dir/fig11_disaggregation_efficiency.cpp.o"
+  "CMakeFiles/fig11_disaggregation_efficiency.dir/fig11_disaggregation_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_disaggregation_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

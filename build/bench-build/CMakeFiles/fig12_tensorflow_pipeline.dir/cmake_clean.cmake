@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_tensorflow_pipeline"
+  "../bench/fig12_tensorflow_pipeline.pdb"
+  "CMakeFiles/fig12_tensorflow_pipeline.dir/fig12_tensorflow_pipeline.cpp.o"
+  "CMakeFiles/fig12_tensorflow_pipeline.dir/fig12_tensorflow_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tensorflow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_training_accuracy"
+  "../bench/fig13_training_accuracy.pdb"
+  "CMakeFiles/fig13_training_accuracy.dir/fig13_training_accuracy.cpp.o"
+  "CMakeFiles/fig13_training_accuracy.dir/fig13_training_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_training_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

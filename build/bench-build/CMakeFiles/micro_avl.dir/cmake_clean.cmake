@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_avl"
+  "../bench/micro_avl.pdb"
+  "CMakeFiles/micro_avl.dir/micro_avl.cpp.o"
+  "CMakeFiles/micro_avl.dir/micro_avl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_avl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

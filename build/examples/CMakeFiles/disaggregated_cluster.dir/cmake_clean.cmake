@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_cluster.dir/disaggregated_cluster.cpp.o"
+  "CMakeFiles/disaggregated_cluster.dir/disaggregated_cluster.cpp.o.d"
+  "disaggregated_cluster"
+  "disaggregated_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

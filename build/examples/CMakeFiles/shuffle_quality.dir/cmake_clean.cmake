@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_quality.dir/shuffle_quality.cpp.o"
+  "CMakeFiles/shuffle_quality.dir/shuffle_quality.cpp.o.d"
+  "shuffle_quality"
+  "shuffle_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

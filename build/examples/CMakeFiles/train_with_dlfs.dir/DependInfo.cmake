@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_with_dlfs.cpp" "examples/CMakeFiles/train_with_dlfs.dir/train_with_dlfs.cpp.o" "gcc" "examples/CMakeFiles/train_with_dlfs.dir/train_with_dlfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlfs/CMakeFiles/dlfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/dlfs_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfio/CMakeFiles/dlfs_tfio.dir/DependInfo.cmake"
+  "/root/repo/build/src/spdk/CMakeFiles/dlfs_spdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/osfs/CMakeFiles/dlfs_osfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/octofs/CMakeFiles/dlfs_octofs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlfs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/dlfs_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dlfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

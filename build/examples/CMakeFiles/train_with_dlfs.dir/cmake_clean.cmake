@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_with_dlfs.dir/train_with_dlfs.cpp.o"
+  "CMakeFiles/train_with_dlfs.dir/train_with_dlfs.cpp.o.d"
+  "train_with_dlfs"
+  "train_with_dlfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_with_dlfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

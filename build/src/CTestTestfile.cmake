@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("common")
+subdirs("mem")
+subdirs("hw")
+subdirs("spdk")
+subdirs("osfs")
+subdirs("octofs")
+subdirs("cluster")
+subdirs("dlfs")
+subdirs("dataset")
+subdirs("tfio")
+subdirs("dnn")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dlfs_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/dlfs_cluster.dir/collective.cpp.o"
+  "CMakeFiles/dlfs_cluster.dir/collective.cpp.o.d"
+  "CMakeFiles/dlfs_cluster.dir/node.cpp.o"
+  "CMakeFiles/dlfs_cluster.dir/node.cpp.o.d"
+  "libdlfs_cluster.a"
+  "libdlfs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

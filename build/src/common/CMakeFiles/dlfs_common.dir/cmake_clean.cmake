@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_common.dir/log.cpp.o"
+  "CMakeFiles/dlfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/dlfs_common.dir/rng.cpp.o"
+  "CMakeFiles/dlfs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dlfs_common.dir/stats.cpp.o"
+  "CMakeFiles/dlfs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dlfs_common.dir/table.cpp.o"
+  "CMakeFiles/dlfs_common.dir/table.cpp.o.d"
+  "CMakeFiles/dlfs_common.dir/units.cpp.o"
+  "CMakeFiles/dlfs_common.dir/units.cpp.o.d"
+  "libdlfs_common.a"
+  "libdlfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

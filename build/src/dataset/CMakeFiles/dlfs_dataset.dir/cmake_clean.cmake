@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_dataset.dir/dataset.cpp.o"
+  "CMakeFiles/dlfs_dataset.dir/dataset.cpp.o.d"
+  "CMakeFiles/dlfs_dataset.dir/record_file.cpp.o"
+  "CMakeFiles/dlfs_dataset.dir/record_file.cpp.o.d"
+  "libdlfs_dataset.a"
+  "libdlfs_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

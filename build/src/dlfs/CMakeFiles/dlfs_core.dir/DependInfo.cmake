@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlfs/batching.cpp" "src/dlfs/CMakeFiles/dlfs_core.dir/batching.cpp.o" "gcc" "src/dlfs/CMakeFiles/dlfs_core.dir/batching.cpp.o.d"
+  "/root/repo/src/dlfs/dlfs.cpp" "src/dlfs/CMakeFiles/dlfs_core.dir/dlfs.cpp.o" "gcc" "src/dlfs/CMakeFiles/dlfs_core.dir/dlfs.cpp.o.d"
+  "/root/repo/src/dlfs/io_engine.cpp" "src/dlfs/CMakeFiles/dlfs_core.dir/io_engine.cpp.o" "gcc" "src/dlfs/CMakeFiles/dlfs_core.dir/io_engine.cpp.o.d"
+  "/root/repo/src/dlfs/sample_cache.cpp" "src/dlfs/CMakeFiles/dlfs_core.dir/sample_cache.cpp.o" "gcc" "src/dlfs/CMakeFiles/dlfs_core.dir/sample_cache.cpp.o.d"
+  "/root/repo/src/dlfs/sample_directory.cpp" "src/dlfs/CMakeFiles/dlfs_core.dir/sample_directory.cpp.o" "gcc" "src/dlfs/CMakeFiles/dlfs_core.dir/sample_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spdk/CMakeFiles/dlfs_spdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlfs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/dlfs_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dlfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_core.dir/batching.cpp.o"
+  "CMakeFiles/dlfs_core.dir/batching.cpp.o.d"
+  "CMakeFiles/dlfs_core.dir/dlfs.cpp.o"
+  "CMakeFiles/dlfs_core.dir/dlfs.cpp.o.d"
+  "CMakeFiles/dlfs_core.dir/io_engine.cpp.o"
+  "CMakeFiles/dlfs_core.dir/io_engine.cpp.o.d"
+  "CMakeFiles/dlfs_core.dir/sample_cache.cpp.o"
+  "CMakeFiles/dlfs_core.dir/sample_cache.cpp.o.d"
+  "CMakeFiles/dlfs_core.dir/sample_directory.cpp.o"
+  "CMakeFiles/dlfs_core.dir/sample_directory.cpp.o.d"
+  "libdlfs_core.a"
+  "libdlfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_dnn.dir/experiment.cpp.o"
+  "CMakeFiles/dlfs_dnn.dir/experiment.cpp.o.d"
+  "CMakeFiles/dlfs_dnn.dir/mlp.cpp.o"
+  "CMakeFiles/dlfs_dnn.dir/mlp.cpp.o.d"
+  "CMakeFiles/dlfs_dnn.dir/tensor.cpp.o"
+  "CMakeFiles/dlfs_dnn.dir/tensor.cpp.o.d"
+  "libdlfs_dnn.a"
+  "libdlfs_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/net/fabric.cpp" "src/hw/CMakeFiles/dlfs_hw.dir/net/fabric.cpp.o" "gcc" "src/hw/CMakeFiles/dlfs_hw.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/hw/nvme/backing_store.cpp" "src/hw/CMakeFiles/dlfs_hw.dir/nvme/backing_store.cpp.o" "gcc" "src/hw/CMakeFiles/dlfs_hw.dir/nvme/backing_store.cpp.o.d"
+  "/root/repo/src/hw/nvme/nvme_device.cpp" "src/hw/CMakeFiles/dlfs_hw.dir/nvme/nvme_device.cpp.o" "gcc" "src/hw/CMakeFiles/dlfs_hw.dir/nvme/nvme_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlfs_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_hw.dir/net/fabric.cpp.o"
+  "CMakeFiles/dlfs_hw.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/dlfs_hw.dir/nvme/backing_store.cpp.o"
+  "CMakeFiles/dlfs_hw.dir/nvme/backing_store.cpp.o.d"
+  "CMakeFiles/dlfs_hw.dir/nvme/nvme_device.cpp.o"
+  "CMakeFiles/dlfs_hw.dir/nvme/nvme_device.cpp.o.d"
+  "libdlfs_hw.a"
+  "libdlfs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_mem.dir/hugepage_pool.cpp.o"
+  "CMakeFiles/dlfs_mem.dir/hugepage_pool.cpp.o.d"
+  "libdlfs_mem.a"
+  "libdlfs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

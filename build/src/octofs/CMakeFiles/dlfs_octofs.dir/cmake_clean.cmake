@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_octofs.dir/octofs.cpp.o"
+  "CMakeFiles/dlfs_octofs.dir/octofs.cpp.o.d"
+  "libdlfs_octofs.a"
+  "libdlfs_octofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_octofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlfs_octofs.a"
+)

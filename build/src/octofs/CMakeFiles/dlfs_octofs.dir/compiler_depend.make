@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlfs_octofs.
+# This may be replaced when dependencies are built.

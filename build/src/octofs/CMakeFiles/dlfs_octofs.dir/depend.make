@@ -1,0 +1,2 @@
+# Empty dependencies file for dlfs_octofs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osfs/ext4.cpp" "src/osfs/CMakeFiles/dlfs_osfs.dir/ext4.cpp.o" "gcc" "src/osfs/CMakeFiles/dlfs_osfs.dir/ext4.cpp.o.d"
+  "/root/repo/src/osfs/page_cache.cpp" "src/osfs/CMakeFiles/dlfs_osfs.dir/page_cache.cpp.o" "gcc" "src/osfs/CMakeFiles/dlfs_osfs.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/dlfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_osfs.dir/ext4.cpp.o"
+  "CMakeFiles/dlfs_osfs.dir/ext4.cpp.o.d"
+  "CMakeFiles/dlfs_osfs.dir/page_cache.cpp.o"
+  "CMakeFiles/dlfs_osfs.dir/page_cache.cpp.o.d"
+  "libdlfs_osfs.a"
+  "libdlfs_osfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_osfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

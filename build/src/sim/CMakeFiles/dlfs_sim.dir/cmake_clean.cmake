@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dlfs_sim.dir/simulator.cpp.o.d"
+  "libdlfs_sim.a"
+  "libdlfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

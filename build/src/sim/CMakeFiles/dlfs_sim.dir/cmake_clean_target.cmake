@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlfs_sim.a"
+)

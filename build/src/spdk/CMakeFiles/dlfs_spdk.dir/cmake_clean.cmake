@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_spdk.dir/nvme_driver.cpp.o"
+  "CMakeFiles/dlfs_spdk.dir/nvme_driver.cpp.o.d"
+  "CMakeFiles/dlfs_spdk.dir/nvmf.cpp.o"
+  "CMakeFiles/dlfs_spdk.dir/nvmf.cpp.o.d"
+  "libdlfs_spdk.a"
+  "libdlfs_spdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

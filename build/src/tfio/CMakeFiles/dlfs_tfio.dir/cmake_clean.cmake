@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_tfio.dir/pipeline.cpp.o"
+  "CMakeFiles/dlfs_tfio.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dlfs_tfio.dir/sources.cpp.o"
+  "CMakeFiles/dlfs_tfio.dir/sources.cpp.o.d"
+  "libdlfs_tfio.a"
+  "libdlfs_tfio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_tfio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

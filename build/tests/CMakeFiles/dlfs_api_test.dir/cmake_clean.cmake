@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_api_test.dir/dlfs_api_test.cpp.o"
+  "CMakeFiles/dlfs_api_test.dir/dlfs_api_test.cpp.o.d"
+  "dlfs_api_test"
+  "dlfs_api_test.pdb"
+  "dlfs_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

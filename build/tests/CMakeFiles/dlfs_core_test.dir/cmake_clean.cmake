@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_core_test.dir/dlfs_core_test.cpp.o"
+  "CMakeFiles/dlfs_core_test.dir/dlfs_core_test.cpp.o.d"
+  "dlfs_core_test"
+  "dlfs_core_test.pdb"
+  "dlfs_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

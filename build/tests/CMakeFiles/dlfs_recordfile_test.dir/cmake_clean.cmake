@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_recordfile_test.dir/dlfs_recordfile_test.cpp.o"
+  "CMakeFiles/dlfs_recordfile_test.dir/dlfs_recordfile_test.cpp.o.d"
+  "dlfs_recordfile_test"
+  "dlfs_recordfile_test.pdb"
+  "dlfs_recordfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_recordfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfs_zerocopy_test.dir/dlfs_zerocopy_test.cpp.o"
+  "CMakeFiles/dlfs_zerocopy_test.dir/dlfs_zerocopy_test.cpp.o.d"
+  "dlfs_zerocopy_test"
+  "dlfs_zerocopy_test.pdb"
+  "dlfs_zerocopy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfs_zerocopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_engine_test.dir/io_engine_test.cpp.o"
+  "CMakeFiles/io_engine_test.dir/io_engine_test.cpp.o.d"
+  "io_engine_test"
+  "io_engine_test.pdb"
+  "io_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octofs_test.dir/octofs_test.cpp.o"
+  "CMakeFiles/octofs_test.dir/octofs_test.cpp.o.d"
+  "octofs_test"
+  "octofs_test.pdb"
+  "octofs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octofs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

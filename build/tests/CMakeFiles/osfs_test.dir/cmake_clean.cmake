@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osfs_test.dir/osfs_test.cpp.o"
+  "CMakeFiles/osfs_test.dir/osfs_test.cpp.o.d"
+  "osfs_test"
+  "osfs_test.pdb"
+  "osfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

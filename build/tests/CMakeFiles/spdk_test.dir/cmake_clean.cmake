@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spdk_test.dir/spdk_test.cpp.o"
+  "CMakeFiles/spdk_test.dir/spdk_test.cpp.o.d"
+  "spdk_test"
+  "spdk_test.pdb"
+  "spdk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

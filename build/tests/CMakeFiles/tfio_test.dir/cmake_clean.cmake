@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfio_test.dir/tfio_test.cpp.o"
+  "CMakeFiles/tfio_test.dir/tfio_test.cpp.o.d"
+  "tfio_test"
+  "tfio_test.pdb"
+  "tfio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

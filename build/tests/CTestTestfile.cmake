@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/spdk_test[1]_include.cmake")
+include("/root/repo/build/tests/dlfs_core_test[1]_include.cmake")
+include("/root/repo/build/tests/dlfs_api_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/osfs_test[1]_include.cmake")
+include("/root/repo/build/tests/octofs_test[1]_include.cmake")
+include("/root/repo/build/tests/tfio_test[1]_include.cmake")
+include("/root/repo/build/tests/dnn_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/dlfs_recordfile_test[1]_include.cmake")
+include("/root/repo/build/tests/io_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")
+include("/root/repo/build/tests/dlfs_zerocopy_test[1]_include.cmake")

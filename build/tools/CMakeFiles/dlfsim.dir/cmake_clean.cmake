@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfsim.dir/dlfsim.cpp.o"
+  "CMakeFiles/dlfsim.dir/dlfsim.cpp.o.d"
+  "dlfsim"
+  "dlfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
