@@ -17,6 +17,7 @@ using dlfs::Table;
 using dlfs::bench::Workload;
 using dlfs::core::BatchingMode;
 using namespace dlfs::byte_literals;
+using namespace dlsim::literals;
 
 int main() {
   dlfs::print_banner("Ablation: DLFS batching design choices");
@@ -203,22 +204,41 @@ int main() {
     t.print();
   }
 
-  // --- prefetch window (512 B, chunk-level) ---------------------------------
+  // --- read-ahead: sync batch-coupled vs async daemon -----------------------
   {
-    Table t({"prefetch units", "Ksamples/s"});
+    // Same read-ahead depth and same pool budget for both modes; the app
+    // computes between breads, so only the async window can overlap the
+    // next batch's device time with that compute. Depth 0 = demand-only.
+    Table t({"depth", "sync Ksamples/s", "async Ksamples/s", "async stalls",
+             "stall ms"});
+    dlfs::bench::JsonReport report("prefetch_sweep");
     Workload w;
     w.num_nodes = 1;
-    w.sample_bytes = 512;
-    w.samples_per_node = 16384;
-    for (std::uint32_t pf : {0u, 1u, 2u, 4u, 8u}) {
+    w.sample_bytes = 128_KiB;
+    w.samples_per_node = 768;
+    const auto compute = 1500_us;  // app compute per bread
+    for (std::uint32_t depth : {0u, 2u, 4u, 8u, 16u}) {
       dlfs::core::DlfsConfig cfg;
       cfg.batching = BatchingMode::kChunkLevel;
-      cfg.prefetch_units = pf;
-      auto r = dlfs::bench::run_dlfs(w, cfg);
-      t.add_row({Table::integer(pf), Table::num(r.samples_per_sec / 1e3, 1)});
+      cfg.prefetch_units = depth;
+      cfg.async_prefetch = false;
+      auto sync_r = dlfs::bench::run_dlfs(w, cfg, compute);
+      report.add("mode=sync depth=" + std::to_string(depth), sync_r);
+      cfg.async_prefetch = true;
+      auto async_r = dlfs::bench::run_dlfs(w, cfg, compute);
+      report.add("mode=async depth=" + std::to_string(depth), async_r);
+      t.add_row({Table::integer(depth),
+                 Table::num(sync_r.samples_per_sec / 1e3, 1),
+                 Table::num(async_r.samples_per_sec / 1e3, 1),
+                 Table::integer(async_r.prefetch.units_stalled),
+                 Table::num(static_cast<double>(async_r.prefetch.stall_ns) /
+                                1e6,
+                            2)});
     }
-    std::printf("\nread-ahead window (512 B, chunk-level)\n");
+    std::printf("\nread-ahead: sync vs async (128 KiB, chunk-level, 1.5 ms "
+                "compute between breads)\n");
     t.print();
+    std::printf("wrote %s\n", report.write().c_str());
   }
   return 0;
 }

@@ -54,7 +54,9 @@ TfResult drain_pipelines(dlsim::Simulator& sim, std::uint32_t clients,
   for (std::uint32_t c = 0; c < clients; ++c) {
     pipes.push_back(std::make_unique<dlfs::tfio::Pipeline>(
         *cores[c], make_source(c), dlfs::default_calibration().framework));
-    pipes.back()->batch(32);
+    // Standard tf.data shape: batch then a small prefetch queue, so the
+    // framework stages overlap the consumer loop on every backend.
+    pipes.back()->batch(32).prefetch(2);
     sim.spawn([](dlfs::tfio::Pipeline& p, std::uint64_t& n) -> Task<void> {
       for (;;) {
         auto b = co_await p.next_batch();

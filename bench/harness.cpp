@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,8 +89,23 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
   double util = 0.0;
   double lookup_us = 0.0;
   for (std::uint32_t c = 0; c < n_clients; ++c) {
-    util += fleet.instance(c).io_core().utilization();
-    lookup_us += dlsim::to_micros(fleet.instance(c).lookup_time_total());
+    auto& inst = fleet.instance(c);
+    util += inst.io_core().utilization();
+    lookup_us += dlsim::to_micros(inst.lookup_time_total());
+    r.cache_hits += inst.cache().hits();
+    r.cache_misses += inst.cache().misses();
+    const auto ps = inst.prefetch_stats();
+    r.prefetch.units_issued += ps.units_issued;
+    r.prefetch.units_resident_at_pick += ps.units_resident_at_pick;
+    r.prefetch.units_stalled += ps.units_stalled;
+    r.prefetch.stall_ns += ps.stall_ns;
+    r.prefetch.window_grows += ps.window_grows;
+    r.prefetch.window_shrinks += ps.window_shrinks;
+    r.prefetch.units_dropped += ps.units_dropped;
+    r.prefetch.in_flight_hwm =
+        std::max(r.prefetch.in_flight_hwm, ps.in_flight_hwm);
+    r.prefetch.window_target =
+        std::max(r.prefetch.window_target, ps.window_target);
   }
   r.client_cpu_util = util / n_clients;
   r.lookup_us_avg =
@@ -341,6 +357,42 @@ LookupTimes measure_lookup_times(std::uint32_t num_nodes,
                      static_cast<double>(measure_count);
   }
   return out;
+}
+
+void JsonReport::add(const std::string& config, const RunResult& r) {
+  rows_.push_back(Row{config, r});
+}
+
+std::string JsonReport::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& [config, r] = rows_[i];
+    const auto& p = r.prefetch;
+    out << "  {\"config\": \"" << config << "\""
+        << ", \"samples_per_sec\": " << r.samples_per_sec
+        << ", \"bytes_per_sec\": " << r.bytes_per_sec
+        << ", \"client_cpu_util\": " << r.client_cpu_util
+        << ", \"elapsed_us\": " << dlsim::to_micros(r.elapsed)
+        << ", \"samples\": " << r.samples
+        << ", \"lookup_us_avg\": " << r.lookup_us_avg
+        << ", \"cache_hits\": " << r.cache_hits
+        << ", \"cache_misses\": " << r.cache_misses
+        << ", \"prefetch_units_issued\": " << p.units_issued
+        << ", \"prefetch_units_resident_at_pick\": "
+        << p.units_resident_at_pick
+        << ", \"prefetch_units_stalled\": " << p.units_stalled
+        << ", \"prefetch_stall_us\": " << dlsim::to_micros(p.stall_ns)
+        << ", \"prefetch_in_flight_hwm\": " << p.in_flight_hwm
+        << ", \"prefetch_window_grows\": " << p.window_grows
+        << ", \"prefetch_window_shrinks\": " << p.window_shrinks
+        << ", \"prefetch_units_dropped\": " << p.units_dropped
+        << ", \"prefetch_window_target\": " << p.window_target << "}"
+        << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return path;
 }
 
 }  // namespace dlfs::bench

@@ -15,6 +15,8 @@
 //    five-run averaging guards against noise we don't have.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/calibration.hpp"
 #include "dlfs/dlfs.hpp"
@@ -44,6 +46,12 @@ struct RunResult {
   dlsim::SimDuration elapsed = 0;
   std::uint64_t samples = 0;
   double lookup_us_avg = 0.0;  // mean per-sample lookup/open time
+  // DLFS-only counters (zero for the baselines): sample-cache traffic and
+  // the async prefetcher's window statistics, summed over clients (window
+  // high-water mark and target are maxima).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  core::PrefetchStats prefetch{};
 };
 
 /// One epoch of dlfs_bread across all clients.
@@ -70,5 +78,27 @@ struct LookupTimes {
                                                std::size_t files_per_node,
                                                std::uint32_t sample_bytes,
                                                std::size_t measure_count);
+
+/// Accumulates bench results and writes them as BENCH_<name>.json in the
+/// current directory — one flat JSON object per row, newline-separated
+/// inside a top-level array, so figure scripts and CI can diff runs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one row; `config` tags the sweep point (e.g. "depth=4 mode=async").
+  void add(const std::string& config, const RunResult& r);
+
+  /// Writes BENCH_<name>.json; returns the path written.
+  std::string write() const;
+
+ private:
+  struct Row {
+    std::string config;
+    RunResult result;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace dlfs::bench

@@ -106,16 +106,12 @@ class EpochSequence {
     return order_.at(slot);
   }
 
-  /// The next `k` unit slots from the cursor (including the one being
-  /// consumed), without advancing — the prefetch window dlfs_bread uses
-  /// to keep the device pipeline full across bread calls.
-  [[nodiscard]] std::vector<std::size_t> upcoming_slots(std::size_t k) const {
-    std::vector<std::size_t> out;
-    for (std::size_t s = cur_unit_; s < order_.size() && out.size() < k; ++s) {
-      out.push_back(s);
-    }
-    return out;
-  }
+  /// Cursor-based read-ahead iteration (no per-call allocation): the
+  /// unit slot currently being consumed and the total slot count. The
+  /// slots ahead of the cursor are [cursor_unit(), num_units()) — the
+  /// prefetch window walks them directly.
+  [[nodiscard]] std::size_t cursor_unit() const { return cur_unit_; }
+  [[nodiscard]] std::size_t num_units() const { return order_.size(); }
 
  private:
   std::vector<const ReadUnit*> order_;

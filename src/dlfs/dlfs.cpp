@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/units.hpp"
 #include "dataset/record_file.hpp"
@@ -294,6 +295,17 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   ecfg.copy_threads = cfg.copy_threads;
   engine_ = std::make_unique<IoEngine>(node.simulator(), *pool_, *cache_,
                                        cfg.calibration, ecfg);
+  if (cfg.batching == BatchingMode::kChunkLevel && cfg.async_prefetch) {
+    PrefetcherConfig pcfg;
+    pcfg.min_units = cfg.prefetch_min_units;
+    pcfg.max_units = cfg.prefetch_max_units;
+    pcfg.initial_units = cfg.prefetch_units;
+    prefetcher_ = std::make_unique<Prefetcher>(
+        node.simulator(), *engine_, *pool_, cfg.chunk_bytes, pcfg,
+        "dlfs-prefetch-" + std::to_string(client_idx));
+    engine_->set_pressure_reliever(
+        [this] { return prefetcher_->relieve_pressure(); });
+  }
 }
 
 DlfsInstance::~DlfsInstance() = default;
@@ -376,6 +388,7 @@ void DlfsInstance::sequence(std::uint64_t seed) {
   }
   seq_.emplace(*fleet_->plan_, seed, client_idx_, fleet_->num_clients());
   fetched_.clear();
+  if (prefetcher_) prefetcher_->start_epoch(&*seq_);
 }
 
 dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
@@ -500,51 +513,89 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           "bread-copies");
     };
 
-    std::vector<ReadExtent> extents;
-    std::vector<std::size_t> slots_fetching;
-    auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
-      if (fetched_.contains(slot)) return false;
-      if (std::find(slots_fetching.begin(), slots_fetching.end(), slot) !=
-          slots_fetching.end()) {
-        return false;
+    if (prefetcher_) {
+      // The daemon keeps a window of units in flight between bread calls;
+      // here we only make sure every unit this batch needs has been issued
+      // (the window may be shallower than the batch), then consume them in
+      // slot order. Each unit's copies start the moment it is acquired,
+      // while later units are still in flight.
+      prefetcher_->ensure_issued_through(picks.back().unit_slot);
+      // Injected poll-loop compute (Fig. 7b) runs concurrently with the
+      // acquires — the daemon keeps pumping I/O meanwhile, so the compute
+      // hides under this batch's stalls exactly as it hid under the
+      // synchronous pump's poll loop.
+      dlsim::CountdownLatch inj_done(node_->simulator(), 1);
+      if (injected_ > 0) {
+        node_->simulator().spawn(
+            [](dlsim::CpuCore* core, dlsim::SimDuration d,
+               dlsim::CountdownLatch* done) -> dlsim::Task<void> {
+              co_await core->compute(d);
+              done->count_down();
+            }(io_core_, injected_, &inj_done));
+      } else {
+        inj_done.count_down();
       }
-      slots_fetching.push_back(slot);
-      auto& fu = fetched_[slot];  // stable address (node-based map)
-      extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
-                                   nullptr, std::nullopt, &fu.buffers,
-                                   {}});
-      return true;
-    };
-
-    for (const auto& pk : picks) {
-      if (add_fetch(pk.unit_slot, pk.unit)) {
-        // Copies start the moment this unit's buffers arrive.
-        auto it = copies_by_slot.find(pk.unit_slot);
+      for (const auto& pk : picks) {
+        const std::size_t slot = pk.unit_slot;
+        if (!fetched_.contains(slot)) {
+          fetched_[slot].buffers =
+              co_await prefetcher_->acquire(slot, *io_core_);
+        }
+        auto it = copies_by_slot.find(slot);
         if (it != copies_by_slot.end() && !it->second.empty()) {
           auto list = std::move(it->second);
           it->second.clear();
-          extents.back().on_buffers_ready =
-              [this, slot = pk.unit_slot, list = std::move(list),
-               &schedule_copies]() mutable {
-                schedule_copies(slot, std::move(list));
-              };
+          schedule_copies(slot, std::move(list));
         }
       }
-    }
-    // Units already resident from earlier read-ahead: copy right away.
-    for (auto& [slot, list] : copies_by_slot) {
-      if (!list.empty() && fetched_.contains(slot)) {
-        schedule_copies(slot, std::move(list));
-        list.clear();
+      co_await inj_done.wait();
+    } else {
+      std::vector<ReadExtent> extents;
+      std::unordered_set<std::size_t> slots_fetching;
+      auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
+        if (fetched_.contains(slot)) return false;
+        if (!slots_fetching.insert(slot).second) return false;
+        auto& fu = fetched_[slot];  // stable address (node-based map)
+        extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
+                                     nullptr, std::nullopt, &fu.buffers,
+                                     {}});
+        return true;
+      };
+
+      for (const auto& pk : picks) {
+        if (add_fetch(pk.unit_slot, pk.unit)) {
+          // Copies start the moment this unit's buffers arrive.
+          auto it = copies_by_slot.find(pk.unit_slot);
+          if (it != copies_by_slot.end() && !it->second.empty()) {
+            auto list = std::move(it->second);
+            it->second.clear();
+            extents.back().on_buffers_ready =
+                [this, slot = pk.unit_slot, list = std::move(list),
+                 &schedule_copies]() mutable {
+                  schedule_copies(slot, std::move(list));
+                };
+          }
+        }
       }
+      // Units already resident from earlier read-ahead: copy right away.
+      for (auto& [slot, list] : copies_by_slot) {
+        if (!list.empty() && fetched_.contains(slot)) {
+          schedule_copies(slot, std::move(list));
+          list.clear();
+        }
+      }
+      // Synchronous read-ahead: fetch the next prefetch_units units along
+      // with this batch so the device pipeline stays full across bread
+      // calls (legacy mode; the async prefetcher replaces this).
+      const std::size_t ra_end =
+          std::min(seq_->num_units(),
+                   seq_->cursor_unit() + fleet_->config_.prefetch_units);
+      for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
+        (void)add_fetch(slot, seq_->unit_at(slot));
+      }
+      co_await engine_->read_extents(*io_core_, std::move(extents),
+                                     injected_);
     }
-    // Read-ahead: keep the next prefetch_units units resident so the
-    // device pipeline stays full across bread calls.
-    for (std::size_t slot :
-         seq_->upcoming_slots(fleet_->config_.prefetch_units)) {
-      (void)add_fetch(slot, seq_->unit_at(slot));
-    }
-    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
     for (auto& [slot, list] : inline_work) {
       FetchedUnit& fu = fetched_.at(slot);
       for (const auto& pc : list) {
@@ -607,25 +658,45 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
 
   // Fetch the units backing this batch (plus read-ahead), then hand out
   // views — no copy stage at all.
-  std::vector<ReadExtent> extents;
-  std::vector<std::size_t> slots_fetching;
-  auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
-    if (fetched_.contains(slot)) return;
-    if (std::find(slots_fetching.begin(), slots_fetching.end(), slot) !=
-        slots_fetching.end()) {
-      return;
+  if (prefetcher_) {
+    prefetcher_->ensure_issued_through(picks.back().unit_slot);
+    dlsim::CountdownLatch inj_done(node_->simulator(), 1);
+    if (injected_ > 0) {
+      node_->simulator().spawn(
+          [](dlsim::CpuCore* core, dlsim::SimDuration d,
+             dlsim::CountdownLatch* done) -> dlsim::Task<void> {
+            co_await core->compute(d);
+            done->count_down();
+          }(io_core_, injected_, &inj_done));
+    } else {
+      inj_done.count_down();
     }
-    slots_fetching.push_back(slot);
-    auto& fu = fetched_[slot];
-    extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len, nullptr,
-                                 std::nullopt, &fu.buffers, {}});
-  };
-  for (const auto& pk : picks) add_fetch(pk.unit_slot, pk.unit);
-  for (std::size_t slot :
-       seq_->upcoming_slots(fleet_->config_.prefetch_units)) {
-    add_fetch(slot, seq_->unit_at(slot));
+    for (const auto& pk : picks) {
+      if (!fetched_.contains(pk.unit_slot)) {
+        fetched_[pk.unit_slot].buffers =
+            co_await prefetcher_->acquire(pk.unit_slot, *io_core_);
+      }
+    }
+    co_await inj_done.wait();
+  } else {
+    std::vector<ReadExtent> extents;
+    std::unordered_set<std::size_t> slots_fetching;
+    auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
+      if (fetched_.contains(slot)) return;
+      if (!slots_fetching.insert(slot).second) return;
+      auto& fu = fetched_[slot];
+      extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
+                                   nullptr, std::nullopt, &fu.buffers, {}});
+    };
+    for (const auto& pk : picks) add_fetch(pk.unit_slot, pk.unit);
+    const std::size_t ra_end =
+        std::min(seq_->num_units(),
+                 seq_->cursor_unit() + fleet_->config_.prefetch_units);
+    for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
+      add_fetch(slot, seq_->unit_at(slot));
+    }
+    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
   }
-  co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
 
   for (const auto& pk : picks) {
     FetchedUnit& fu = fetched_.at(pk.unit_slot);
@@ -642,9 +713,9 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
                                us.offset_in_unit, us.len);
       batch.bytes += us.len;
       batch.samples.push_back(std::move(vs));
-      // Handing out a view costs only completion bookkeeping.
-      co_await io_core_->compute(
-          fleet_->config_.calibration.dlfs.completion_handling);
+      // Handing out a view costs no extra CPU: the frontend's
+      // bread_per_sample charge already covers per-sample accounting, and
+      // span construction replaces the copy-job setup included there.
     }
   }
   batch.token = 1;

@@ -37,6 +37,7 @@
 #include "dataset/dataset.hpp"
 #include "dlfs/batching.hpp"
 #include "dlfs/io_engine.hpp"
+#include "dlfs/prefetcher.hpp"
 #include "dlfs/sample_cache.hpp"
 #include "dlfs/sample_directory.hpp"
 #include "spdk/nvme_driver.hpp"
@@ -50,10 +51,21 @@ struct DlfsConfig {
   std::uint32_t copy_threads = 2;          // SCQ copy-thread pool size
   BatchingMode batching = BatchingMode::kChunkLevel;
   std::size_t cache_chunks = 64;           // sample-cache LRU budget
-  // Chunk-mode read-ahead: bread keeps this many upcoming read units
-  // fetched so the device pipeline stays full across bread calls (part of
-  // the paper's "maintain a high utilization of the NVMe devices").
+  // Chunk-mode read-ahead: keep this many upcoming read units fetched so
+  // the device pipeline stays full across bread calls (part of the
+  // paper's "maintain a high utilization of the NVMe devices"). With
+  // async_prefetch this seeds the adaptive window target; without it,
+  // bread fetches this many extra units synchronously (the legacy
+  // read-ahead, kept as the ablation baseline).
   std::uint32_t prefetch_units = 4;
+  // Asynchronous epoch-aware prefetcher (chunk-level batching only): a
+  // per-instance daemon walks the epoch order ahead of the consumer and
+  // keeps an adaptive window of read units in flight across bread calls,
+  // so read-ahead overlaps application compute instead of inflating
+  // bread latency. Off -> the legacy synchronous read-ahead above.
+  bool async_prefetch = true;
+  std::uint32_t prefetch_min_units = 1;   // adaptive window lower bound
+  std::uint32_t prefetch_max_units = 32;  // adaptive window upper bound
   // > 0: store the dataset as TFRecord-style batched files of this many
   // samples each (8-byte length+crc header per record). The directory
   // still indexes every sample individually — "we are able to have direct
@@ -155,6 +167,12 @@ class DlfsInstance {
   [[nodiscard]] dlsim::CpuCore& io_core() { return *io_core_; }
   [[nodiscard]] IoEngine& engine() { return *engine_; }
   [[nodiscard]] SampleCache& cache() { return *cache_; }
+  [[nodiscard]] const mem::HugePagePool& pool() const { return *pool_; }
+  /// Asynchronous-prefetcher counters (zero-initialized when the
+  /// prefetcher is off): resident-at-pick / stall / window telemetry.
+  [[nodiscard]] PrefetchStats prefetch_stats() const {
+    return prefetcher_ ? prefetcher_->stats() : PrefetchStats{};
+  }
   [[nodiscard]] std::uint64_t samples_delivered() const {
     return samples_delivered_;
   }
@@ -189,6 +207,9 @@ class DlfsInstance {
   std::unique_ptr<SampleCache> cache_;
   std::unique_ptr<spdk::NvmeDriver> driver_;
   std::unique_ptr<IoEngine> engine_;
+  // Declared after engine_: destroyed first, while the engine (whose
+  // pressure reliever points at it) is still alive.
+  std::unique_ptr<Prefetcher> prefetcher_;
   std::optional<EpochSequence> seq_;
   std::unordered_map<std::size_t, FetchedUnit> fetched_;
   dlsim::SimDuration injected_ = 0;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <deque>
-#include <unordered_map>
 
 #include "common/units.hpp"
 
@@ -61,6 +59,12 @@ void IoEngine::do_copy(CopyJob& job) {
                    std::move(job.piece_lens));
   }
   if (job.latch != nullptr) job.latch->count_down();
+  if (job.op) {
+    assert(copies_pending_ > 0);
+    --copies_pending_;
+    job.op->finished_ = true;
+    job.op->done.set();
+  }
 }
 
 dlsim::Task<void> IoEngine::copy_thread_loop(std::size_t idx) {
@@ -91,17 +95,15 @@ dlsim::Task<void> IoEngine::run_copy_inline(dlsim::CpuCore& core,
   do_copy(job);
 }
 
-dlsim::Task<void> IoEngine::wait_any(dlsim::CpuCore& core,
-                                     const std::vector<std::uint16_t>& nids) {
+dlsim::Task<void> IoEngine::wait_any(dlsim::CpuCore& core) {
   // Busy-polling: all waiting time is CPU time (SPDK semantics). If every
   // outstanding queue is a local device queue the completion time is
   // knowable and we jump straight there; any remote queue forces quantum
   // polling.
   std::optional<dlsim::SimTime> known;
   bool any_unknown = false;
-  for (auto nid : nids) {
-    const auto& q = targets_[nid];
-    if (q->outstanding() == 0) continue;
+  for (const auto& q : targets_) {
+    if (!q || q->outstanding() == 0) continue;
     if (auto t = q->next_completion_at()) {
       known = known ? std::min(*known, *t) : *t;
     } else {
@@ -116,155 +118,211 @@ dlsim::Task<void> IoEngine::wait_any(dlsim::CpuCore& core,
   }
 }
 
-dlsim::Task<void> IoEngine::read_extents(dlsim::CpuCore& core,
-                                         std::vector<ReadExtent> extents,
-                                         dlsim::SimDuration injected_compute) {
-  if (extents.empty()) co_return;
+void IoEngine::fail_op(ExtentOp& op, std::exception_ptr e) {
+  op.error_ = std::move(e);
+  op.finished_ = true;
+  op.done.set();
+}
 
-  // --- prep: split every extent into chunk-sized pieces -------------------
-  struct ExtentState {
-    std::uint32_t pieces_total = 0;
-    std::uint32_t pieces_done = 0;
-    std::vector<mem::DmaBuffer> buffers;
-    std::vector<std::uint32_t> lens;
-  };
-  std::vector<ExtentState> state(extents.size());
-  std::deque<Piece> to_post;
-  std::vector<std::uint16_t> used_nids;
-  for (std::size_t e = 0; e < extents.size(); ++e) {
-    const ReadExtent& x = extents[e];
+std::vector<ExtentOpPtr> IoEngine::start_extents(
+    std::vector<ReadExtent> extents) {
+  std::vector<ExtentOpPtr> ops;
+  ops.reserve(extents.size());
+  for (auto& x : extents) {
     if (x.nid >= targets_.size() || targets_[x.nid] == nullptr) {
       throw std::logic_error("read_extents: no queue for storage node " +
                              std::to_string(x.nid));
     }
-    if (std::find(used_nids.begin(), used_nids.end(), x.nid) ==
-        used_nids.end()) {
-      used_nids.push_back(x.nid);
-    }
-    std::uint64_t off = x.offset;
-    std::uint32_t left = x.len;
+    auto op = std::make_shared<ExtentOp>(*sim_, std::move(x));
+    std::uint64_t off = op->extent.offset;
+    std::uint32_t left = op->extent.len;
+    std::uint32_t idx = 0;
     while (left > 0) {
       const std::uint32_t n = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(left, config_.chunk_bytes));
-      to_post.push_back(Piece{e, off, n, mem::DmaBuffer{}});
-      ++state[e].pieces_total;
+      to_post_.push_back(Piece{op, idx++, off, n, mem::DmaBuffer{}});
       off += n;
       left -= n;
     }
-    state[e].buffers.reserve(state[e].pieces_total);
-    state[e].lens.reserve(state[e].pieces_total);
+    op->pieces_total_ = idx;
+    op->buffers_.resize(idx);
+    op->lens_.resize(idx);
+    if (idx == 0) {  // zero-length extent: trivially done
+      op->finished_ = true;
+      op->done.set();
+    }
+    ops.push_back(std::move(op));
   }
+  return ops;
+}
 
-  const std::size_t total_pieces = to_post.size();
-  std::unordered_map<std::uint64_t, Piece> in_flight;
-  in_flight.reserve(total_pieces);
-  dlsim::CountdownLatch done_latch(*sim_, extents.size());
-  std::size_t harvested_here = 0;
-  bool injected_done = false;
+ExtentOpPtr IoEngine::start_extent(ReadExtent extent) {
+  std::vector<ReadExtent> one;
+  one.push_back(std::move(extent));
+  return start_extents(std::move(one)).front();
+}
 
-  // --- post/poll loop ------------------------------------------------------
-  while (harvested_here < total_pieces) {
+dlsim::Task<void> IoEngine::finish_extent(dlsim::CpuCore& core,
+                                          ExtentOpPtr op) {
+  ReadExtent& x = op->extent;
+  if (x.dst != nullptr) {
+    CopyJob job;
+    job.owned_pieces = std::move(op->buffers_);
+    job.piece_lens = std::move(op->lens_);
+    job.dst = x.dst;
+    job.cache_sample_id = x.cache_sample_id;
+    job.op = op;
+    ++copies_pending_;
+    if (config_.copy_threads == 0) {
+      co_await run_copy_inline(core, std::move(job));
+    } else {
+      co_await enqueue_copy(std::move(job));
+    }
+  } else {
+    if (x.out_buffers != nullptr) {
+      *x.out_buffers = std::move(op->buffers_);
+    }
+    op->finished_ = true;
+    op->done.set();
+    if (x.on_buffers_ready) x.on_buffers_ready();
+  }
+}
+
+dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
+                                 dlsim::SimDuration injected_compute) {
+  bool injected_done = injected_compute == 0;
+  // The pump serves the whole engine, not just `until`: any queued or
+  // in-flight piece (another bread's demand fetch, a prefetched unit) is
+  // posted and harvested by whichever coroutine is pumping. We stop as
+  // soon as `until` has all its pieces (its copy, if any, is awaited by
+  // the caller through the op event).
+  auto satisfied = [&] {
+    return until.finished_ || until.pieces_done_ == until.pieces_total_;
+  };
+  while (!satisfied()) {
     bool progress = false;
 
     // Post while targets have queue space and the pool has chunks. The
     // sample cache shares the pool: under pressure it yields LRU entries,
-    // and if nothing is evictable *and* nothing is in flight the read can
-    // never make progress — fail loudly instead of livelocking.
-    while (!to_post.empty()) {
-      Piece& head = to_post.front();
-      spdk::IoQueue& q = *targets_[extents[head.extent_idx].nid];
-      if (q.outstanding() >= q.depth()) break;
-      if (pool_->free_chunks() == 0 && !cache_->evict_lru_one()) {
-        if (in_flight.empty() && scq_->empty()) {
-          throw std::runtime_error(
-              "huge-page pool exhausted: cache pinned + nothing in flight");
-        }
-        break;
+    // then the prefetcher sheds read-ahead; if neither can free a chunk
+    // *and* nothing is in flight the read can never make progress — fail
+    // loudly instead of livelocking.
+    while (!to_post_.empty()) {
+      if (to_post_.front().op->error_) {
+        // The extent already failed; drop its remaining queued pieces.
+        to_post_.pop_front();
+        progress = true;
+        continue;
       }
-      Piece p = std::move(head);
-      to_post.pop_front();
+      spdk::IoQueue& q = *targets_[to_post_.front().op->extent.nid];
+      if (q.outstanding() >= q.depth()) break;
+      if (pool_->free_chunks() == 0 && !to_post_.front().buffer.valid()) {
+        bool freed = cache_->evict_lru_one();
+        if (!freed && pressure_reliever_) freed = pressure_reliever_();
+        if (!freed) {
+          if (in_flight_.empty() && scq_->empty() && copies_pending_ == 0) {
+            throw std::runtime_error(
+                "huge-page pool exhausted: cache pinned + nothing in flight");
+          }
+          break;
+        }
+      }
+      Piece p = std::move(to_post_.front());
+      to_post_.pop_front();
       if (!p.buffer.valid()) p.buffer = pool_->allocate();  // retry keeps its
       ++p.attempts;
       co_await core.compute(cal_->dlfs.prep_request + cal_->dlfs.sq_post);
       const std::uint64_t tag = next_tag_++;
       const auto st = q.submit(spdk::IoOp::kRead, p.offset,
                                p.buffer.span().subspan(0, p.len), tag);
+      if (st == spdk::IoStatus::kQueueFull) {
+        // A concurrent pumper filled the queue while we were prepping.
+        to_post_.push_front(std::move(p));
+        break;
+      }
       if (st != spdk::IoStatus::kOk) {
         throw std::runtime_error("unexpected submit failure in read_extents");
       }
       ++posted_;
-      in_flight.emplace(tag, std::move(p));
+      in_flight_.emplace(tag, std::move(p));
       progress = true;
     }
 
-    // Poll every queue in use.
-    co_await core.compute(cal_->dlfs.poll_iteration *
-                          static_cast<std::uint64_t>(used_nids.size()));
-    for (auto nid : used_nids) {
-      for (const auto& c : targets_[nid]->poll()) {
-        auto it = in_flight.find(c.user_tag);
-        assert(it != in_flight.end());
+    // Poll every queue with work outstanding.
+    std::uint64_t polled = 0;
+    for (const auto& target : targets_) {
+      if (!target || target->outstanding() == 0) continue;
+      ++polled;
+    }
+    if (polled > 0) {
+      co_await core.compute(cal_->dlfs.poll_iteration * polled);
+    }
+    for (const auto& target : targets_) {
+      if (!target) continue;
+      for (const auto& c : target->poll()) {
+        auto it = in_flight_.find(c.user_tag);
+        assert(it != in_flight_.end());
         Piece p = std::move(it->second);
-        in_flight.erase(it);
+        in_flight_.erase(it);
         co_await core.compute(cal_->dlfs.completion_handling);
+        progress = true;
+        if (p.op->error_) continue;  // failed extent: buffer just drops
         if (c.status == spdk::IoStatus::kMediaError) {
           // Transient fault: re-post the same piece (same cache chunk)
           // until the retry budget runs out.
           if (p.attempts > config_.max_retries) {
-            throw IoError(extents[p.extent_idx].nid, p.offset);
+            fail_op(*p.op, std::make_exception_ptr(
+                               IoError(p.op->extent.nid, p.offset)));
+            continue;
           }
           ++retries_;
-          to_post.push_back(std::move(p));
-          progress = true;
+          to_post_.push_back(std::move(p));
           continue;
         }
         ++harvested_;
-        ++harvested_here;
-        ExtentState& es = state[p.extent_idx];
-        es.buffers.push_back(std::move(p.buffer));
-        es.lens.push_back(p.len);
-        if (++es.pieces_done == es.pieces_total) {
-          ReadExtent& x = extents[p.extent_idx];
-          if (x.dst != nullptr) {
-            CopyJob job;
-            job.owned_pieces = std::move(es.buffers);
-            job.piece_lens = std::move(es.lens);
-            job.dst = x.dst;
-            job.cache_sample_id = x.cache_sample_id;
-            job.latch = &done_latch;
-            if (config_.copy_threads == 0) {
-              co_await run_copy_inline(core, std::move(job));
-            } else {
-              co_await enqueue_copy(std::move(job));
-            }
-          } else {
-            if (x.out_buffers != nullptr) {
-              *x.out_buffers = std::move(es.buffers);
-            }
-            if (x.on_buffers_ready) x.on_buffers_ready();
-            done_latch.count_down();
-          }
+        ExtentOp& op = *p.op;
+        op.buffers_[p.idx] = std::move(p.buffer);
+        op.lens_[p.idx] = p.len;
+        if (++op.pieces_done_ == op.pieces_total_) {
+          co_await finish_extent(core, p.op);
         }
-        progress = true;
       }
     }
 
     // Fig. 7b: application compute folded into this batch's polling loop,
-    // once per read_extents call — the paper measures how much concurrent
+    // once per read batch — the paper measures how much concurrent
     // computation one mini-batch's I/O can hide. It runs after the first
     // posting round so the device works underneath it.
-    if (injected_compute > 0 && !injected_done) {
+    if (!injected_done) {
       injected_done = true;
       co_await core.compute(injected_compute);
       progress = true;  // time passed; re-poll before deciding to wait
     }
 
-    if (!progress && harvested_here < total_pieces) {
-      co_await wait_any(core, used_nids);
+    if (!progress && !satisfied()) {
+      co_await wait_any(core);
     }
   }
+}
 
-  co_await done_latch.wait();
+dlsim::Task<void> IoEngine::await_op(dlsim::CpuCore& core, ExtentOpPtr op,
+                                     dlsim::SimDuration injected_compute) {
+  co_await pump(core, *op, injected_compute);
+  if (!op->finished_) co_await op->done.wait();  // copy stage completing
+}
+
+dlsim::Task<void> IoEngine::read_extents(dlsim::CpuCore& core,
+                                         std::vector<ReadExtent> extents,
+                                         dlsim::SimDuration injected_compute) {
+  if (extents.empty()) co_return;
+  auto ops = start_extents(std::move(extents));
+  std::exception_ptr first_error;
+  for (auto& op : ops) {
+    co_await await_op(core, op, injected_compute);
+    injected_compute = 0;
+    if (op->error() && !first_error) first_error = op->error();
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 dlsim::Task<void> IoEngine::read_one(dlsim::CpuCore& core, std::uint16_t nid,

@@ -12,18 +12,31 @@
 //   copy  — a pool of copy threads drains the SCQ and memcpys sample data
 //           from the huge-page cache chunks to the application buffer
 //
-// The engine runs *in the calling coroutine* (the paper drives DLFS with
-// one I/O thread on one core; the caller's core is charged for all prep,
-// post, poll and completion-handling work). Copy threads are separate
-// daemons with their own cores. Fig. 7(b)'s experiment — how much
-// application compute can be folded into the polling loop — is the
-// `injected_compute` hook, executed once per polling iteration.
+// Reads are modeled as *extent operations* (ExtentOp): start_extents()
+// splits each extent into chunk-sized pieces and queues them; await_op()
+// drives the shared post/poll pump from the awaiting coroutine's core
+// until that one extent's data is delivered. Every ExtentOp carries its
+// own completion event, so independent consumers — dlfs_bread demand
+// fetches and the asynchronous prefetcher's read-ahead — share one
+// engine, one tag space and one queue-depth budget, and each awaits only
+// the extents it actually needs while the rest complete in the
+// background. read_extents() is the batch convenience built on top (start
+// everything, await everything).
+//
+// The pump runs *in the awaiting coroutine* (the paper drives DLFS with
+// one I/O thread on one core; that core is charged for all prep, post,
+// poll and completion-handling work it performs). Copy threads are
+// separate daemons with their own cores. Fig. 7(b)'s experiment — how
+// much application compute can be folded into the polling loop — is the
+// `injected_compute` hook, executed once per read batch.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/calibration.hpp"
@@ -63,9 +76,9 @@ class IoError : public std::runtime_error {
 /// One device extent to read. If `dst` is non-null the data is copied
 /// there by the copy stage; if additionally `cache_sample_id` is set, the
 /// chunks are retained in the sample cache afterwards (V bit set). If
-/// `dst` is null the chunks are handed back through `out_buffers`
-/// (chunk-level batching reads whole data chunks this way and copies
-/// samples out separately).
+/// `dst` is null the chunks are handed back through `out_buffers`, or —
+/// when that is also null — retained on the ExtentOp for take_buffers()
+/// (the prefetcher's read-ahead path).
 struct ReadExtent {
   std::uint16_t nid = 0;
   std::uint64_t offset = 0;
@@ -80,6 +93,42 @@ struct ReadExtent {
   std::function<void()> on_buffers_ready{};
 };
 
+/// Shared state of one in-flight extent read. Created by start_extents();
+/// `done` fires when the extent's data is delivered (copied, or its
+/// buffers handed over) or when it failed — check error() before touching
+/// the data. Failures are *stored*, never thrown from the pump, so a
+/// read-ahead error surfaces on whichever consumer eventually needs the
+/// extent instead of killing the prefetch daemon.
+class ExtentOp {
+ public:
+  ExtentOp(dlsim::Simulator& sim, ReadExtent x)
+      : extent(std::move(x)), done(sim) {}
+
+  ReadExtent extent;
+  dlsim::Event done;
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::exception_ptr error() const { return error_; }
+
+  /// Chunk buffers of a buffer-handover extent (dst == nullptr,
+  /// out_buffers == nullptr), in on-device order. Transfers ownership;
+  /// call once, after done.
+  [[nodiscard]] std::vector<mem::DmaBuffer> take_buffers() {
+    return std::move(buffers_);
+  }
+
+ private:
+  friend class IoEngine;
+  bool finished_ = false;
+  std::exception_ptr error_{};
+  std::uint32_t pieces_total_ = 0;
+  std::uint32_t pieces_done_ = 0;
+  std::vector<mem::DmaBuffer> buffers_;  // placed by piece index
+  std::vector<std::uint32_t> lens_;
+};
+
+using ExtentOpPtr = std::shared_ptr<ExtentOp>;
+
 /// Work item on the shared completion queue.
 struct CopyJob {
   // Either owned pieces (sample-level reads) ...
@@ -90,6 +139,7 @@ struct CopyJob {
   std::byte* dst = nullptr;
   std::optional<std::size_t> cache_sample_id{};
   dlsim::CountdownLatch* latch = nullptr;
+  ExtentOpPtr op{};  // engine-internal: completes the op after the memcpy
 };
 
 class IoEngine {
@@ -105,10 +155,26 @@ class IoEngine {
   void attach_target(std::uint16_t nid, std::unique_ptr<spdk::IoQueue> queue);
   [[nodiscard]] std::size_t num_targets() const { return targets_.size(); }
 
+  /// Splits the extents into chunk-sized pieces and queues them for
+  /// posting. Nothing is submitted until some coroutine drives the pump
+  /// via await_op() — posting, polling and completion handling are
+  /// charged to whichever cores await.
+  [[nodiscard]] std::vector<ExtentOpPtr> start_extents(
+      std::vector<ReadExtent> extents);
+  [[nodiscard]] ExtentOpPtr start_extent(ReadExtent extent);
+
+  /// Drives the shared pump on `core` until `op` completes (data
+  /// delivered or failed). Extent failures are recorded on the op, not
+  /// thrown; pool livelock (exhausted + nothing evictable + nothing in
+  /// flight) still throws.
+  [[nodiscard]] dlsim::Task<void> await_op(
+      dlsim::CpuCore& core, ExtentOpPtr op,
+      dlsim::SimDuration injected_compute = 0);
+
   /// Reads a batch of extents; resumes when every extent's data has been
   /// copied (or its buffers handed over). `core` is the I/O thread's CPU.
   /// `injected_compute` > 0 folds that much application computation into
-  /// every polling-loop iteration (Fig. 7b).
+  /// the batch's polling loop (Fig. 7b). Rethrows the first extent error.
   [[nodiscard]] dlsim::Task<void> read_extents(
       dlsim::CpuCore& core, std::vector<ReadExtent> extents,
       dlsim::SimDuration injected_compute = 0);
@@ -131,6 +197,15 @@ class IoEngine {
   [[nodiscard]] dlsim::Task<void> run_copy_inline(dlsim::CpuCore& core,
                                                   CopyJob job);
 
+  /// Called when the pool is exhausted, the sample cache has nothing
+  /// evictable, and a read still needs chunks. Returns true if the
+  /// callback freed at least one chunk (the prefetcher sheds its farthest
+  /// read-ahead unit); false lets the pump fall through to the livelock
+  /// guard.
+  void set_pressure_reliever(std::function<bool()> reliever) {
+    pressure_reliever_ = std::move(reliever);
+  }
+
   [[nodiscard]] const IoEngineConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t requests_posted() const { return posted_; }
   [[nodiscard]] std::uint64_t completions_harvested() const {
@@ -143,18 +218,22 @@ class IoEngine {
 
  private:
   struct Piece {
-    std::size_t extent_idx;
-    std::uint64_t offset;
-    std::uint32_t len;
+    ExtentOpPtr op;
+    std::uint32_t idx = 0;  // position within the extent
+    std::uint64_t offset = 0;
+    std::uint32_t len = 0;
     mem::DmaBuffer buffer;
     std::uint32_t attempts = 0;
   };
 
+  dlsim::Task<void> pump(dlsim::CpuCore& core, const ExtentOp& until,
+                         dlsim::SimDuration injected_compute);
+  dlsim::Task<void> finish_extent(dlsim::CpuCore& core, ExtentOpPtr op);
+  static void fail_op(ExtentOp& op, std::exception_ptr e);
   dlsim::Task<void> copy_thread_loop(std::size_t idx);
   void do_copy(CopyJob& job);
   [[nodiscard]] dlsim::SimDuration copy_cost(const CopyJob& job) const;
-  dlsim::Task<void> wait_any(dlsim::CpuCore& core,
-                             const std::vector<std::uint16_t>& nids);
+  dlsim::Task<void> wait_any(dlsim::CpuCore& core);
 
   dlsim::Simulator* sim_;
   mem::HugePagePool* pool_;
@@ -164,6 +243,14 @@ class IoEngine {
   std::vector<std::unique_ptr<spdk::IoQueue>> targets_;  // index = nid
   std::unique_ptr<dlsim::Channel<CopyJob>> scq_;
   std::vector<std::unique_ptr<dlsim::CpuCore>> copy_cores_;
+  // Engine-global piece state: all concurrent drivers (bread demand
+  // fetches, the prefetch daemon) share one posting queue and one
+  // in-flight map, so completions are delivered to the right extent no
+  // matter which coroutine harvests them.
+  std::deque<Piece> to_post_;
+  std::unordered_map<std::uint64_t, Piece> in_flight_;
+  std::uint32_t copies_pending_ = 0;  // engine copy jobs not yet executed
+  std::function<bool()> pressure_reliever_;
   std::uint64_t posted_ = 0;
   std::uint64_t harvested_ = 0;
   std::uint64_t retries_ = 0;

@@ -1,0 +1,201 @@
+#include "dlfs/prefetcher.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace dlfs::core {
+
+Prefetcher::Prefetcher(dlsim::Simulator& sim, IoEngine& engine,
+                       mem::HugePagePool& pool, std::uint64_t chunk_bytes,
+                       PrefetcherConfig config, const std::string& name)
+    : sim_(&sim),
+      engine_(&engine),
+      pool_(&pool),
+      chunk_bytes_(chunk_bytes),
+      cfg_(config),
+      wake_(sim) {
+  cfg_.max_units = std::max(cfg_.max_units, cfg_.min_units);
+  window_target_ =
+      std::clamp(cfg_.initial_units, cfg_.min_units, cfg_.max_units);
+  stats_.window_target = window_target_;
+  core_ = std::make_unique<dlsim::CpuCore>(sim, name);
+  sim.spawn_daemon(daemon_loop(), name);
+}
+
+Prefetcher::~Prefetcher() {
+  shutdown_ = true;
+  wake_.set();
+}
+
+void Prefetcher::start_epoch(const EpochSequence* seq) {
+  // Extents cannot be cancelled: unfinished read-ahead from the previous
+  // epoch keeps draining on the daemon and its buffers drop on arrival.
+  // Finished entries release their chunks right here, with the ops.
+  for (auto& e : window_) {
+    if (!e.op->finished()) draining_.push_back(e.op);
+  }
+  window_.clear();
+  seq_ = seq;
+  next_issue_ = 0;
+  demand_floor_ = 0;
+  total_units_ = seq ? seq->my_units() : 0;
+  wake_.set();
+}
+
+void Prefetcher::issue_back(std::size_t slot) {
+  const ReadUnit* u = seq_->unit_at(slot);
+  Entry e;
+  e.slot = slot;
+  e.op = engine_->start_extent(
+      ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt, nullptr,
+                 {}});
+  window_.push_back(std::move(e));
+  ++stats_.units_issued;
+  stats_.in_flight_hwm = std::max(
+      stats_.in_flight_hwm, static_cast<std::uint32_t>(window_.size()));
+  wake_.set();
+}
+
+void Prefetcher::ensure_issued_through(std::size_t slot) {
+  if (seq_ == nullptr) return;
+  demand_floor_ = std::max(demand_floor_, slot + 1);
+  while (next_issue_ <= slot && next_issue_ < total_units_) {
+    issue_back(next_issue_++);
+  }
+}
+
+void Prefetcher::top_up() {
+  if (seq_ == nullptr) return;
+  // The target is read-ahead depth beyond the demanded batch: demand
+  // issues never count against it, so the device keeps working on future
+  // units even while the consumer drains the current batch.
+  const std::size_t limit = std::min<std::size_t>(
+      total_units_, demand_floor_ + window_target_);
+  while (next_issue_ < limit) {
+    const ReadUnit* u = seq_->unit_at(next_issue_);
+    const auto need =
+        static_cast<std::uint32_t>(ceil_div(u->len, chunk_bytes_));
+    if (pool_->free_chunks() < need + cfg_.reserve_chunks) {
+      // No pool headroom for more read-ahead: adapt the target down to
+      // the depth the pool actually sustains instead of thrashing.
+      const auto depth = static_cast<std::uint32_t>(
+          next_issue_ > demand_floor_ ? next_issue_ - demand_floor_ : 0);
+      const auto floor_target =
+          std::clamp(depth, cfg_.min_units, window_target_);
+      if (window_target_ > floor_target) {
+        window_target_ = floor_target;
+        ++stats_.window_shrinks;
+        stats_.window_target = window_target_;
+      }
+      return;
+    }
+    issue_back(next_issue_++);
+  }
+}
+
+ExtentOpPtr Prefetcher::oldest_unfinished() {
+  for (const auto& op : draining_) {
+    if (!op->finished()) return op;
+  }
+  for (const auto& e : window_) {
+    if (!e.op->finished()) return e.op;
+  }
+  return nullptr;
+}
+
+bool Prefetcher::relieve_pressure() {
+  // Shed the farthest resident, unconsumed unit: its chunks unblock
+  // demand I/O now, and the consumer demand-fetches it again when the
+  // cursor gets there. Entries being awaited (pinned) and unfinished ones
+  // (chunks still in flight) cannot yield memory.
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (it->pinned || !it->op->finished() || it->op->error()) continue;
+    (void)it->op->take_buffers();  // DmaBuffers drop -> chunks freed
+    ++stats_.units_dropped;
+    if (window_target_ > cfg_.min_units) {
+      --window_target_;
+      ++stats_.window_shrinks;
+      stats_.window_target = window_target_;
+    }
+    window_.erase(std::next(it).base());
+    return true;
+  }
+  return false;
+}
+
+dlsim::Task<std::vector<mem::DmaBuffer>> Prefetcher::acquire(
+    std::size_t slot, dlsim::CpuCore& consumer_core) {
+  if (daemon_error_) std::rethrow_exception(daemon_error_);
+  demand_floor_ = std::max(demand_floor_, slot + 1);
+  auto find_entry = [this, slot] {
+    return std::find_if(window_.begin(), window_.end(),
+                        [slot](const Entry& e) { return e.slot == slot; });
+  };
+  auto it = find_entry();
+  if (it == window_.end()) {
+    if (slot >= next_issue_) {
+      ensure_issued_through(slot);
+    } else {
+      // The unit was shed under pool pressure; demand re-fetch it. With
+      // in-order consumption every windowed slot is larger, so it goes
+      // back to the front.
+      const ReadUnit* u = seq_->unit_at(slot);
+      Entry e;
+      e.slot = slot;
+      e.op = engine_->start_extent(
+          ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt,
+                     nullptr, {}});
+      ++stats_.units_issued;
+      window_.push_front(std::move(e));
+    }
+    it = find_entry();
+  }
+  ExtentOpPtr op = it->op;
+  if (op->finished() && !op->error()) {
+    ++stats_.units_resident_at_pick;
+  } else {
+    // The window was not deep enough to cover this consumer's
+    // inter-arrival time — stall (pumping the engine on the consumer's
+    // core, like a demand fetch) and deepen the window.
+    ++stats_.units_stalled;
+    if (window_target_ < cfg_.max_units) {
+      ++window_target_;
+      ++stats_.window_grows;
+      stats_.window_target = window_target_;
+    }
+    it->pinned = true;
+    const dlsim::SimTime t0 = sim_->now();
+    co_await engine_->await_op(consumer_core, op);
+    stats_.stall_ns += sim_->now() - t0;
+    it = find_entry();  // the window may have shifted during the await
+  }
+  window_.erase(it);
+  wake_.set();  // window space freed; the daemon can read further ahead
+  if (op->error()) std::rethrow_exception(op->error());
+  co_return op->take_buffers();
+}
+
+dlsim::Task<void> Prefetcher::daemon_loop() {
+  for (;;) {
+    wake_.reset();
+    if (shutdown_) co_return;
+    try {
+      top_up();
+      if (ExtentOpPtr op = oldest_unfinished()) {
+        co_await engine_->await_op(*core_, op);
+        std::erase_if(draining_,
+                      [](const ExtentOpPtr& o) { return o->finished(); });
+        continue;
+      }
+    } catch (...) {
+      // Engine-level failures (pool livelock) are stored and rethrown to
+      // the next consumer; a daemon must never take the simulation down.
+      daemon_error_ = std::current_exception();
+      co_return;
+    }
+    co_await wake_.wait();
+  }
+}
+
+}  // namespace dlfs::core

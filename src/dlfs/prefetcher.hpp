@@ -1,0 +1,144 @@
+#pragma once
+
+// Asynchronous epoch-aware prefetcher.
+//
+// dlfs_sequence hands every client the *entire* epoch access order up
+// front, so — exactly as clairvoyant prefetching systems (NoPFS) exploit
+// — there is nothing speculative about read-ahead: the next read units
+// are known. The seed implementation nevertheless appended its
+// "read-ahead" units to the same blocking read_extents call the consumer
+// waited on, inflating bread latency instead of hiding it.
+//
+// The Prefetcher is a per-instance daemon coroutine (own CpuCore, like
+// the SCQ copy threads) that walks the epoch order ahead of the consumer
+// cursor and keeps a window of read units in flight *across* bread calls:
+// while the trainer computes between breads, the daemon pumps the shared
+// IoEngine and upcoming units land in huge-page chunks. bread/bread_views
+// then find their units already resident (acquire() returns without
+// stalling) and await only what is genuinely missing.
+//
+// Window policy (adaptive):
+//   * the target is the read-ahead depth *beyond* the highest slot the
+//     consumer has demanded so far — units of the current batch do not
+//     count against it, so the daemon keeps reading ahead of the batch
+//     even while the consumer is busy acquiring it;
+//   * target starts at clamp(prefetch_units, min, max) and grows by one
+//     on every acquire() that had to stall — a stall means the window was
+//     not deep enough to cover the consumer's inter-arrival time;
+//   * it shrinks when the huge-page pool cannot hold more read-ahead
+//     (top_up blocked with less than `reserve_chunks` headroom), and when
+//     the engine invokes the pressure reliever — pool exhausted and
+//     SampleCache::evict_lru_one() found nothing to yield — in which case
+//     the farthest resident, unconsumed unit is dropped and its chunks
+//     returned (it will be demand-fetched when the cursor reaches it).
+//
+// Failure model: a prefetched unit's IoError is stored on its ExtentOp
+// and rethrown by acquire() on the consumer that needs the unit — the
+// daemon never dies on a bad read-ahead, and errors keep surfacing from
+// bread exactly as with synchronous fetching.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlfs/batching.hpp"
+#include "dlfs/io_engine.hpp"
+#include "mem/hugepage_pool.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace dlfs::core {
+
+struct PrefetcherConfig {
+  std::uint32_t min_units = 1;      // adaptive window lower bound
+  std::uint32_t max_units = 32;     // adaptive window upper bound
+  std::uint32_t initial_units = 4;  // starting window target
+  // Pool chunks kept free for demand fetches and the sample cache when
+  // sizing read-ahead; top_up never takes the pool below this.
+  std::uint32_t reserve_chunks = 8;
+};
+
+struct PrefetchStats {
+  std::uint64_t units_issued = 0;            // read-ahead + demand issues
+  std::uint64_t units_resident_at_pick = 0;  // finished before acquire()
+  std::uint64_t units_stalled = 0;           // acquire() had to wait
+  dlsim::SimDuration stall_ns = 0;           // total wait on needed units
+  std::uint32_t in_flight_hwm = 0;           // window depth high-water mark
+  std::uint64_t window_grows = 0;
+  std::uint64_t window_shrinks = 0;
+  std::uint64_t units_dropped = 0;  // shed under pool pressure
+  std::uint32_t window_target = 0;  // current adaptive target
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(dlsim::Simulator& sim, IoEngine& engine, mem::HugePagePool& pool,
+             std::uint64_t chunk_bytes, PrefetcherConfig config,
+             const std::string& name);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Installs a new epoch order. Unfinished read-ahead from the previous
+  /// epoch keeps draining in the background (extents cannot be cancelled)
+  /// and its buffers are dropped on completion.
+  void start_epoch(const EpochSequence* seq);
+
+  /// Demand-issues every unit up to and including `slot` that is not
+  /// already in the window — bread calls this for its whole pick list
+  /// before awaiting anything, so a batch larger than the window still
+  /// fetches all its units concurrently.
+  void ensure_issued_through(std::size_t slot);
+
+  /// Hands over the buffers of unit `slot` (chunk pieces in on-device
+  /// order), waiting — and pumping the engine on `consumer_core` — only
+  /// if the unit is not resident yet. Consumption must be in slot order
+  /// (the EpochSequence contract). Rethrows the unit's IoError, if any.
+  [[nodiscard]] dlsim::Task<std::vector<mem::DmaBuffer>> acquire(
+      std::size_t slot, dlsim::CpuCore& consumer_core);
+
+  /// Engine pressure callback: drops the farthest resident unconsumed
+  /// unit and shrinks the window. Returns true if chunks were freed.
+  bool relieve_pressure();
+
+  [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
+  [[nodiscard]] dlsim::CpuCore& core() { return *core_; }
+  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+  [[nodiscard]] std::uint32_t window_target() const { return window_target_; }
+
+ private:
+  struct Entry {
+    std::size_t slot = 0;
+    ExtentOpPtr op;
+    bool pinned = false;  // a consumer is awaiting it; reliever must skip
+  };
+
+  void issue_back(std::size_t slot);
+  void top_up();
+  [[nodiscard]] ExtentOpPtr oldest_unfinished();
+  dlsim::Task<void> daemon_loop();
+
+  dlsim::Simulator* sim_;
+  IoEngine* engine_;
+  mem::HugePagePool* pool_;
+  std::uint64_t chunk_bytes_;
+  PrefetcherConfig cfg_;
+  std::unique_ptr<dlsim::CpuCore> core_;
+  dlsim::Event wake_;
+  const EpochSequence* seq_ = nullptr;
+  std::deque<Entry> window_;  // slot order; front = next to be consumed
+  std::vector<ExtentOpPtr> draining_;  // abandoned epochs' unfinished ops
+  std::size_t next_issue_ = 0;
+  std::size_t demand_floor_ = 0;  // one past the highest demanded slot
+  std::size_t total_units_ = 0;
+  std::uint32_t window_target_;
+  PrefetchStats stats_;
+  std::exception_ptr daemon_error_{};
+  bool shutdown_ = false;
+};
+
+}  // namespace dlfs::core

@@ -44,6 +44,7 @@ class CpuCore {
     return e == 0 ? 0.0 : static_cast<double>(busy_ns_) / static_cast<double>(e);
   }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator& simulator() const { return *sim_; }
 
   void reset_accounting() {
     busy_ns_ = 0;

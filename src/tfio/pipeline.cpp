@@ -27,20 +27,51 @@ dlsim::Task<std::optional<Element>> Pipeline::next_element() {
   co_return out;
 }
 
-dlsim::Task<std::optional<MiniBatch>> Pipeline::next_batch() {
+dlsim::Task<std::optional<MiniBatch>> Pipeline::produce_batch(
+    dlsim::CpuCore& core) {
   MiniBatch mb;
   mb.elements.reserve(batch_size_);
   while (mb.elements.size() < batch_size_) {
     auto e = co_await next_element();
     if (!e) break;
     // Per-element framework work: tensor wrap, iterator advance.
-    co_await core_->compute(costs_.per_sample);
+    co_await core.compute(costs_.per_sample);
     mb.elements.push_back(*e);
   }
   if (mb.elements.empty()) co_return std::nullopt;
   // Per-batch work: collation, session hand-off.
-  co_await core_->compute(costs_.per_batch);
+  co_await core.compute(costs_.per_batch);
   elements_delivered_ += mb.elements.size();
+  co_return mb;
+}
+
+dlsim::Task<void> Pipeline::producer_loop() {
+  try {
+    for (;;) {
+      auto mb = co_await produce_batch(*prefetch_core_);
+      if (!mb) break;
+      co_await prefetch_queue_->push(std::move(*mb));
+    }
+  } catch (...) {
+    // Surfaced by the consumer when it drains the queue dry.
+    producer_error_ = std::current_exception();
+  }
+  prefetch_queue_->close();
+}
+
+dlsim::Task<std::optional<MiniBatch>> Pipeline::next_batch() {
+  if (prefetch_depth_ == 0) co_return co_await produce_batch(*core_);
+  if (!producer_started_) {
+    producer_started_ = true;
+    auto& sim = core_->simulator();
+    prefetch_core_ =
+        std::make_unique<dlsim::CpuCore>(sim, "tfio-prefetch");
+    prefetch_queue_ =
+        std::make_unique<dlsim::Channel<MiniBatch>>(sim, prefetch_depth_);
+    sim.spawn_daemon(producer_loop(), "tfio-prefetch");
+  }
+  auto mb = co_await prefetch_queue_->pop();
+  if (!mb && producer_error_) std::rethrow_exception(producer_error_);
   co_return mb;
 }
 

@@ -15,6 +15,12 @@
 // observation — "if the size of the shuffle buffer is not large enough,
 // the learner only obtains partially shuffled samples" — is measurable
 // with shuffle_quality().
+//
+// The prefetch stage reproduces dataset.prefetch(n): a background
+// producer coroutine (its own core, like tf.data's internal thread)
+// runs the source+shuffle+batch stages ahead of the trainer and parks
+// finished mini-batches in a bounded queue, so framework and file-system
+// time overlap the training step instead of serializing with it.
 
 #include <cstdint>
 #include <memory>
@@ -24,6 +30,7 @@
 #include "common/calibration.hpp"
 #include "common/rng.hpp"
 #include "sim/cpu.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace dlfs::tfio {
@@ -69,6 +76,14 @@ class Pipeline {
     return *this;
   }
 
+  /// Inserts a bounded prefetch queue of `depth` mini-batches produced by
+  /// a background coroutine (tf.data's dataset.prefetch(n)). 0 disables
+  /// the stage. Must be set before the first next_batch() call.
+  Pipeline& prefetch(std::size_t depth) {
+    prefetch_depth_ = depth;
+    return *this;
+  }
+
   /// Next mini-batch (short or nullopt at end of data).
   [[nodiscard]] dlsim::Task<std::optional<MiniBatch>> next_batch();
 
@@ -78,16 +93,25 @@ class Pipeline {
 
  private:
   [[nodiscard]] dlsim::Task<std::optional<Element>> next_element();
+  [[nodiscard]] dlsim::Task<std::optional<MiniBatch>> produce_batch(
+      dlsim::CpuCore& core);
+  dlsim::Task<void> producer_loop();
 
   dlsim::CpuCore* core_;
   std::unique_ptr<Source> source_;
   FrameworkCosts costs_;
   std::size_t batch_size_ = 32;
   std::size_t shuffle_buffer_size_ = 0;  // 0 = no shuffle stage
+  std::size_t prefetch_depth_ = 0;       // 0 = no prefetch stage
   Rng rng_{0};
   std::vector<Element> buffer_;
   bool upstream_done_ = false;
   std::uint64_t elements_delivered_ = 0;
+  // Prefetch stage state, created lazily on the first next_batch().
+  std::unique_ptr<dlsim::CpuCore> prefetch_core_;
+  std::unique_ptr<dlsim::Channel<MiniBatch>> prefetch_queue_;
+  bool producer_started_ = false;
+  std::exception_ptr producer_error_{};
 };
 
 /// How shuffled a delivered order is: mean normalized displacement of

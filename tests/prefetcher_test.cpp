@@ -1,0 +1,191 @@
+// Tests for the asynchronous epoch-aware prefetcher: warm-window breads
+// must not stall, the adaptive window must shrink under pool pressure,
+// epoch end must drain every pool chunk, and turning the prefetcher on
+// or off must never change what an epoch delivers — only when.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "common/units.hpp"
+#include "dataset/dataset.hpp"
+#include "dlfs/dlfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dlfs::cluster::Cluster;
+using dlfs::cluster::NodeConfig;
+using dlfs::cluster::Pfs;
+using dlfs::core::BatchingMode;
+using dlfs::core::DlfsConfig;
+using dlfs::core::DlfsFleet;
+using dlfs::core::DlfsInstance;
+using dlfs::dataset::Dataset;
+using dlsim::CpuCore;
+using dlsim::Simulator;
+using dlsim::Task;
+using namespace dlsim::literals;
+using namespace dlfs::byte_literals;
+
+struct Rig {
+  Simulator sim;
+  Cluster cluster;
+  Dataset ds;
+  Pfs pfs;
+  DlfsFleet fleet;
+
+  Rig(Dataset dataset, DlfsConfig cfg)
+      : cluster(sim, 1, make_node_config()),
+        ds(std::move(dataset)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, cfg) {}
+
+  static NodeConfig make_node_config() {
+    NodeConfig nc;
+    nc.synthetic_store = false;
+    nc.device_capacity = 1_GiB;
+    return nc;
+  }
+
+  void mount() {
+    sim.spawn(fleet.mount_participant(0), "mount");
+    sim.run();
+    sim.rethrow_failures();
+    ASSERT_TRUE(fleet.mounted());
+  }
+};
+
+DlfsConfig chunk_cfg() {
+  DlfsConfig cfg;
+  cfg.batching = BatchingMode::kChunkLevel;
+  cfg.async_prefetch = true;
+  return cfg;
+}
+
+/// Drains a whole epoch with bread(batch) and returns delivered ids.
+std::vector<std::uint32_t> drain_epoch(Rig& rig, DlfsInstance& inst,
+                                       std::size_t batch,
+                                       bool check_content = false) {
+  std::vector<std::uint32_t> ids;
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst, std::size_t batch,
+                   bool check, std::vector<std::uint32_t>& out)
+                    -> Task<void> {
+    std::vector<std::byte> arena(batch * r.ds.max_sample_bytes());
+    for (;;) {
+      auto b = co_await inst.bread(batch, arena);
+      if (b.samples.empty()) break;
+      for (const auto& s : b.samples) {
+        out.push_back(s.sample_id);
+        if (check) {
+          std::vector<std::byte> want(s.len);
+          r.ds.fill_content(s.sample_id, 0, want);
+          EXPECT_EQ(std::memcmp(arena.data() + s.offset_in_arena,
+                                want.data(), want.size()),
+                    0);
+        }
+      }
+    }
+  }(rig, inst, batch, check_content, ids));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Prefetcher, WarmWindowBreadDoesNotStall) {
+  // A window deep enough to cover the next batch, plus idle time for the
+  // daemon to land it: the second bread must find every unit resident and
+  // accumulate zero additional stall time.
+  auto cfg = chunk_cfg();
+  cfg.prefetch_units = 16;
+  cfg.prefetch_min_units = 16;
+  cfg.prefetch_max_units = 16;
+  // 128 KiB samples, 256 KiB chunks: one bread of 8 spans 4 read units.
+  Rig rig(dlfs::dataset::make_fixed_size_dataset(128, 128_KiB), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(7);
+
+  dlfs::core::PrefetchStats warm{};
+  dlfs::core::PrefetchStats after{};
+  rig.sim.spawn([](Rig& r, DlfsInstance& inst,
+                   dlfs::core::PrefetchStats& warm,
+                   dlfs::core::PrefetchStats& after) -> Task<void> {
+    CpuCore train(r.sim, "train");
+    std::vector<std::byte> arena(8 * 128_KiB);
+    (void)co_await inst.bread(8, arena);  // cold: stalls are expected
+    co_await train.compute(10_ms);        // daemon fills the window
+    warm = inst.prefetch_stats();
+    (void)co_await inst.bread(8, arena);  // warm: everything resident
+    after = inst.prefetch_stats();
+  }(rig, inst, warm, after));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+
+  EXPECT_EQ(after.stall_ns, warm.stall_ns);
+  EXPECT_EQ(after.units_stalled, warm.units_stalled);
+  EXPECT_GT(after.units_resident_at_pick, warm.units_resident_at_pick);
+}
+
+TEST(Prefetcher, WindowShrinksUnderPoolPressure) {
+  // A pool far smaller than the requested window: top_up must give way
+  // (shrink) instead of starving demand fetches, and the epoch must still
+  // deliver every sample.
+  auto cfg = chunk_cfg();
+  cfg.prefetch_units = 32;
+  cfg.prefetch_max_units = 32;
+  cfg.pool_bytes = 16ull * 256 * 1024;  // 16 chunks for a 32-unit ask
+  Rig rig(dlfs::dataset::make_fixed_size_dataset(256, 128_KiB), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+  inst.sequence(7);
+  const auto ids = drain_epoch(rig, inst, 8);
+  EXPECT_EQ(ids.size(), 256u);
+  const auto s = inst.prefetch_stats();
+  EXPECT_GE(s.window_shrinks + s.units_dropped, 1u);
+  EXPECT_LT(s.window_target, 32u);
+}
+
+TEST(Prefetcher, EpochEndDrainsPoolAndNextEpochWorks) {
+  // Read-ahead never outlives its epoch: after the last bread every pool
+  // chunk is back on the free list, and a fresh sequence starts clean.
+  auto cfg = chunk_cfg();
+  cfg.prefetch_units = 8;
+  Rig rig(dlfs::dataset::make_fixed_size_dataset(128, 128_KiB), cfg);
+  rig.mount();
+  auto& inst = rig.fleet.instance(0);
+
+  inst.sequence(1);
+  EXPECT_EQ(drain_epoch(rig, inst, 8).size(), 128u);
+  EXPECT_EQ(inst.pool().used_chunks(), 0u);
+
+  inst.sequence(2);
+  EXPECT_EQ(drain_epoch(rig, inst, 8).size(), 128u);
+  EXPECT_EQ(inst.pool().used_chunks(), 0u);
+}
+
+TEST(Prefetcher, DeliveryIsIdenticalWithPrefetchOnAndOff) {
+  // The prefetcher changes timing only: same seed, same batch size, same
+  // delivered order and bytes whether read-ahead is async or synchronous.
+  auto run = [](bool async) {
+    auto cfg = chunk_cfg();
+    cfg.async_prefetch = async;
+    cfg.prefetch_units = 8;
+    Rig rig(dlfs::dataset::make_fixed_size_dataset(192, 128_KiB), cfg);
+    rig.mount();
+    auto& inst = rig.fleet.instance(0);
+    inst.sequence(42);
+    return drain_epoch(rig, inst, 8, /*check_content=*/true);
+  };
+  const auto with_prefetcher = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(with_prefetcher.size(), 192u);
+  EXPECT_EQ(with_prefetcher, without);
+}
+
+}  // namespace

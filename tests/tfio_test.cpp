@@ -78,6 +78,59 @@ TEST(Pipeline, FrameworkCostsCharged) {
   EXPECT_EQ(core.busy_ns(), 8 * 2000 + 30000u);
 }
 
+TEST(Pipeline, PrefetchOverlapsProductionWithTraining) {
+  // dataset.prefetch(n): the framework stages run on a background core
+  // while the trainer computes, so end-to-end time drops from the sum of
+  // the two stages toward their max.
+  auto run = [](std::size_t depth) {
+    Simulator sim;
+    CpuCore core(sim, "train");
+    dlfs::FrameworkCosts costs;  // 2us/sample + 30us/batch = 46us per 8
+    Pipeline p(core, std::make_unique<CountingSource>(64), costs);
+    p.batch(8).prefetch(depth);
+    std::uint64_t total = 0;
+    sim.spawn([](Pipeline& p, CpuCore& core, std::uint64_t& n) -> Task<void> {
+      for (;;) {
+        auto b = co_await p.next_batch();
+        if (!b) break;
+        n += b->elements.size();
+        co_await core.compute(50_us);  // the training step
+      }
+    }(p, core, total));
+    sim.run();
+    sim.rethrow_failures();
+    EXPECT_EQ(total, 64u);
+    return sim.now();
+  };
+  const auto serial = run(0);      // ~8 * (46 + 50) us
+  const auto overlapped = run(2);  // ~46 + 8 * 50 us
+  EXPECT_LT(overlapped + 300_us, serial);
+}
+
+TEST(Pipeline, PrefetchDeliversIdenticalBatches) {
+  // The prefetch stage only changes *when* batches are produced, never
+  // what they contain: same source + same shuffle seed => same order.
+  auto collect = [](std::size_t depth) {
+    Simulator sim;
+    CpuCore core(sim, "train");
+    Pipeline p(core, std::make_unique<CountingSource>(100),
+               dlfs::FrameworkCosts{});
+    p.shuffle(16, 7).batch(8).prefetch(depth);
+    std::vector<std::uint32_t> ids;
+    sim.spawn([](Pipeline& p, std::vector<std::uint32_t>& out) -> Task<void> {
+      for (;;) {
+        auto b = co_await p.next_batch();
+        if (!b) break;
+        for (const auto& e : b->elements) out.push_back(e.sample_id);
+      }
+    }(p, ids));
+    sim.run();
+    sim.rethrow_failures();
+    return ids;
+  };
+  EXPECT_EQ(collect(0), collect(3));
+}
+
 TEST(Pipeline, UnboundedShuffleIsFullPermutation) {
   Simulator sim;
   CpuCore core(sim, "train");
