@@ -35,7 +35,8 @@ cluster::NodeConfig node_config(const Workload& w) {
 }  // namespace
 
 RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
-                   dlsim::SimDuration injected_poll_compute) {
+                   dlsim::SimDuration injected_poll_compute,
+                   const FaultPlan& faults) {
   dlsim::Simulator sim;
   cluster::Cluster cluster(sim, w.num_nodes, node_config(w),
                            w.calibration.nic);
@@ -58,6 +59,11 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
   sim.rethrow_failures();
 
   const SimTime start = sim.now();
+  if (faults.crash_slot >= 0) {
+    auto* target = fleet.target(static_cast<std::uint32_t>(faults.crash_slot));
+    target->crash_at(start + faults.crash_at);
+    if (faults.recover_at) target->recover_at(start + *faults.recover_at);
+  }
   for (std::uint32_t c = 0; c < n_clients; ++c) {
     auto& inst = fleet.instance(c);
     inst.set_injected_poll_compute(injected_poll_compute);
@@ -65,23 +71,30 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     inst.sequence(w.seed + 1);
   }
   std::uint64_t total_samples = 0;
+  // Epoch end is when the last reader finishes, not when the event queue
+  // drains — a scheduled recovery can outlive the epoch.
+  SimTime readers_done = start;
   for (std::uint32_t c = 0; c < n_clients; ++c) {
-    sim.spawn([](core::DlfsInstance& inst, const Workload& w,
-                 std::uint64_t& total) -> Task<void> {
+    sim.spawn([](dlsim::Simulator& sim, core::DlfsInstance& inst,
+                 const Workload& w, std::uint64_t& total,
+                 SimTime& done) -> Task<void> {
       std::vector<std::byte> arena(
           (w.batch_size + 1) * static_cast<std::size_t>(w.sample_bytes));
       for (;;) {
         auto batch = co_await inst.bread(w.batch_size, arena);
-        if (batch.samples.empty()) break;
+        // End of epoch: no samples served AND none skipped. A degraded
+        // batch can be all-skipped yet the epoch still has units left.
+        if (batch.samples.empty() && batch.samples_skipped == 0) break;
         total += batch.samples.size();
       }
-    }(fleet.instance(c), w, total_samples));
+      done = std::max(done, sim.now());
+    }(sim, fleet.instance(c), w, total_samples, readers_done));
   }
   sim.run();
   sim.rethrow_failures();
 
   RunResult r;
-  r.elapsed = sim.now() - start;
+  r.elapsed = readers_done - start;
   r.samples = total_samples;
   r.samples_per_sec =
       static_cast<double>(total_samples) / dlsim::to_seconds(r.elapsed);
@@ -102,10 +115,20 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.prefetch.window_grows += ps.window_grows;
     r.prefetch.window_shrinks += ps.window_shrinks;
     r.prefetch.units_dropped += ps.units_dropped;
+    r.prefetch.units_reissued += ps.units_reissued;
     r.prefetch.in_flight_hwm =
         std::max(r.prefetch.in_flight_hwm, ps.in_flight_hwm);
     r.prefetch.window_target =
         std::max(r.prefetch.window_target, ps.window_target);
+    auto& eng = inst.engine();
+    r.io_retries += eng.retries();
+    const spdk::IoQueueStats ts = eng.transport_stats();
+    r.transport.timeouts += ts.timeouts;
+    r.transport.connections_lost += ts.connections_lost;
+    r.transport.reconnects += ts.reconnects;
+    r.transport.replays += ts.replays;
+    r.samples_skipped += inst.samples_skipped();
+    r.nodes_down = std::max(r.nodes_down, eng.nodes_down());
   }
   r.client_cpu_util = util / n_clients;
   r.lookup_us_avg =
@@ -388,7 +411,15 @@ std::string JsonReport::write() const {
         << ", \"prefetch_window_grows\": " << p.window_grows
         << ", \"prefetch_window_shrinks\": " << p.window_shrinks
         << ", \"prefetch_units_dropped\": " << p.units_dropped
-        << ", \"prefetch_window_target\": " << p.window_target << "}"
+        << ", \"prefetch_units_reissued\": " << p.units_reissued
+        << ", \"prefetch_window_target\": " << p.window_target
+        << ", \"io_retries\": " << r.io_retries
+        << ", \"io_timeouts\": " << r.transport.timeouts
+        << ", \"connections_lost\": " << r.transport.connections_lost
+        << ", \"reconnects\": " << r.transport.reconnects
+        << ", \"replays\": " << r.transport.replays
+        << ", \"samples_skipped\": " << r.samples_skipped
+        << ", \"nodes_down\": " << r.nodes_down << "}"
         << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
   out << "]\n";

@@ -15,12 +15,14 @@
 //    five-run averaging guards against noise we don't have.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/calibration.hpp"
 #include "dlfs/dlfs.hpp"
 #include "sim/time.hpp"
+#include "spdk/io_queue.hpp"
 
 namespace dlfs::bench {
 
@@ -39,6 +41,15 @@ struct Workload {
   Calibration calibration{};
 };
 
+/// Scheduled storage-node failure for an availability run: crash storage
+/// slot `crash_slot` at `crash_at` (relative to the epoch start), and
+/// optionally bring it back at `recover_at`. Default = no fault.
+struct FaultPlan {
+  std::int32_t crash_slot = -1;  // storage slot to crash; -1 = healthy run
+  dlsim::SimDuration crash_at = 0;
+  std::optional<dlsim::SimDuration> recover_at;
+};
+
 struct RunResult {
   double samples_per_sec = 0.0;
   double bytes_per_sec = 0.0;
@@ -52,11 +63,21 @@ struct RunResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   core::PrefetchStats prefetch{};
+  // Fault-domain counters, summed over clients: device-level retries, the
+  // transport's timeout/reconnect tallies, samples the degraded epoch
+  // skipped, and how many storage nodes were still down at the end.
+  std::uint64_t io_retries = 0;
+  spdk::IoQueueStats transport{};
+  std::uint64_t samples_skipped = 0;
+  std::uint32_t nodes_down = 0;
 };
 
-/// One epoch of dlfs_bread across all clients.
+/// One epoch of dlfs_bread across all clients. A FaultPlan crashes one
+/// storage node mid-epoch; the epoch then completes over the surviving
+/// subset (RunResult::samples_skipped counts what was lost).
 [[nodiscard]] RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
-                                 dlsim::SimDuration injected_poll_compute = 0);
+                                 dlsim::SimDuration injected_poll_compute = 0,
+                                 const FaultPlan& faults = {});
 
 /// One epoch of open/pread/close over node-local Ext4, `threads_per_node`
 /// reader threads per node (1 = Ext4-Base, >1 = Ext4-MC).

@@ -266,7 +266,7 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
               sim, cluster_->fabric(), storage_nodes_[s], snode.device());
         }
         q = targets_[s]->connect(client_nodes_[p], *inst->pool_,
-                                 config_.queue_depth);
+                                 config_.queue_depth, config_.nvmf_fault);
       }
       inst->engine_->attach_target(s, std::move(q));
     }
@@ -293,8 +293,16 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   IoEngineConfig ecfg;
   ecfg.chunk_bytes = cfg.chunk_bytes;
   ecfg.copy_threads = cfg.copy_threads;
+  ecfg.retry_backoff = cfg.io_retry_backoff;
   engine_ = std::make_unique<IoEngine>(node.simulator(), *pool_, *cache_,
                                        cfg.calibration, ecfg);
+  // Node fault domain: when a storage node's reconnect budget is
+  // exhausted the engine reports it down and the shared directory's
+  // wholesale V bit clears, so every path skips its samples; a
+  // successful reprobe restores it.
+  engine_->set_node_down_handler([this](std::uint16_t nid, bool up) {
+    fleet_->directory_.set_node_available(nid, up);
+  });
   if (cfg.batching == BatchingMode::kChunkLevel && cfg.async_prefetch) {
     PrefetcherConfig pcfg;
     pcfg.min_units = cfg.prefetch_min_units;
@@ -388,6 +396,7 @@ void DlfsInstance::sequence(std::uint64_t seed) {
   }
   seq_.emplace(*fleet_->plan_, seed, client_idx_, fleet_->num_clients());
   fetched_.clear();
+  reprobe_pending_ = true;  // epoch boundary: revalidate down nodes once
   if (prefetcher_) prefetcher_->start_epoch(&*seq_);
 }
 
@@ -395,6 +404,16 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
                                        std::span<std::byte> arena) {
   if (!seq_) {
     throw std::logic_error("dlfs_bread: call dlfs_sequence(seed) first");
+  }
+  if (reprobe_pending_) {
+    reprobe_pending_ = false;
+    if (engine_->nodes_down() > 0) {
+      const std::uint32_t recovered =
+          co_await engine_->reprobe_down_nodes(*io_core_);
+      // Read-ahead issued while the node was down carries baked-in
+      // failures; retry it now that the node answers again.
+      if (recovered > 0 && prefetcher_) (void)prefetcher_->reissue_failed();
+    }
   }
   const auto mode = fleet_->config_.batching;
   if (mode == BatchingMode::kNone) {
@@ -434,32 +453,72 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
     return off;
   };
 
+  auto node_up = [this](std::uint16_t nid) {
+    return engine_->node_available(nid) &&
+           fleet_->directory_.node_available(nid);
+  };
+
   if (mode == BatchingMode::kSampleLevel) {
     // One request per sample, overlapped up to the queue depth; cache hits
-    // are served with a memcpy only.
+    // are served with a memcpy only. Samples on an unavailable node are
+    // skipped (cache hits still serve); per-request node faults surfacing
+    // mid-batch drop just their sample.
     std::vector<ReadExtent> extents;
+    std::vector<std::uint32_t> extent_samples;  // parallel: sample ids
     extents.reserve(total);
     for (const auto& pk : picks) {
       for (std::uint32_t i = 0; i < pk.count; ++i) {
         const auto& us = pk.unit->samples[pk.first_sample + i];
         const SampleLocation& loc = fleet_->layout_[us.sample_id];
-        const auto off = place(us.sample_id, loc.len);
         if (cache_->valid(us.sample_id)) {
           cache_->note_hit();
+          const auto off = place(us.sample_id, loc.len);
           CopyJob job;
           job.views = cache_->pin(us.sample_id);
           job.dst = arena.data() + off;
           co_await engine_->run_copy_inline(*io_core_, std::move(job));
           cache_->unpin(us.sample_id);
+        } else if (!node_up(loc.nid)) {
+          ++batch.samples_skipped;
         } else {
           cache_->note_miss();
+          const auto off = place(us.sample_id, loc.len);
           extents.push_back(ReadExtent{loc.nid, loc.offset, loc.len,
                                        arena.data() + off, us.sample_id,
                                        nullptr});
+          extent_samples.push_back(us.sample_id);
         }
       }
     }
-    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
+    if (!extents.empty()) {
+      auto ops = engine_->start_extents(std::move(extents));
+      dlsim::SimDuration inj = injected_;
+      std::exception_ptr fatal;
+      std::unordered_set<std::uint32_t> failed_ids;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        co_await engine_->await_op(*io_core_, ops[i], inj);
+        inj = 0;
+        if (!ops[i]->error()) continue;
+        try {
+          std::rethrow_exception(ops[i]->error());
+        } catch (const IoError& e) {
+          if (e.kind == IoErrorKind::kMedia) {
+            if (!fatal) fatal = ops[i]->error();
+          } else {
+            failed_ids.insert(extent_samples[i]);
+          }
+        } catch (...) {
+          if (!fatal) fatal = ops[i]->error();
+        }
+      }
+      if (fatal) std::rethrow_exception(fatal);
+      if (!failed_ids.empty()) {
+        batch.samples_skipped += failed_ids.size();
+        std::erase_if(batch.samples, [&](const BatchSample& s) {
+          return failed_ids.contains(s.sample_id);
+        });
+      }
+    }
   } else {
     // Chunk-level: fetch whole data chunks (and edge-sample extents); as
     // each chunk lands, its picked samples start copying out immediately
@@ -480,6 +539,27 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
         list.push_back(PendingCopy{&us, place(us.sample_id, us.len)});
       }
     }
+
+    // Degraded-epoch skip protocol: a unit whose storage node is gone
+    // drops every one of its pending samples — the latch still accounts
+    // for them (no hang), the batch loses them at the end, and the
+    // prefetcher forgets the slot.
+    std::vector<std::uint32_t> skipped_ids;
+    std::unordered_set<std::size_t> skipped_slots;
+    auto skip_slot = [&](std::size_t slot) {
+      if (!skipped_slots.insert(slot).second) return;
+      for (const auto& pk : picks) {
+        if (pk.unit_slot != slot) continue;
+        for (std::uint32_t i = 0; i < pk.count; ++i) {
+          skipped_ids.push_back(
+              pk.unit->samples[pk.first_sample + i].sample_id);
+          latch.count_down();
+        }
+      }
+      copies_by_slot.erase(slot);
+      fetched_.erase(slot);
+      if (prefetcher_) prefetcher_->discard(slot);
+    };
 
     // With a copy pool, a resident unit's copies are scheduled as a
     // detached process (channel pushes never stall the I/O loop) and run
@@ -537,9 +617,22 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
       for (const auto& pk : picks) {
         const std::size_t slot = pk.unit_slot;
+        if (skipped_slots.contains(slot)) continue;
         if (!fetched_.contains(slot)) {
-          fetched_[slot].buffers =
-              co_await prefetcher_->acquire(slot, *io_core_);
+          if (!node_up(pk.unit->nid)) {
+            skip_slot(slot);
+            continue;
+          }
+          try {
+            fetched_[slot].buffers =
+                co_await prefetcher_->acquire(slot, *io_core_);
+          } catch (const IoError& e) {
+            // Read-ahead faults surface here, on the bread that owns the
+            // unit: media errors stay fatal; node-level faults skip.
+            if (e.kind == IoErrorKind::kMedia) throw;
+            skip_slot(slot);
+            continue;
+          }
         }
         auto it = copies_by_slot.find(slot);
         if (it != copies_by_slot.end() && !it->second.empty()) {
@@ -551,6 +644,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       co_await inj_done.wait();
     } else {
       std::vector<ReadExtent> extents;
+      std::vector<std::size_t> extent_slots;  // parallel to extents
       std::unordered_set<std::size_t> slots_fetching;
       auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
         if (fetched_.contains(slot)) return false;
@@ -559,10 +653,16 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
         extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
                                      nullptr, std::nullopt, &fu.buffers,
                                      {}});
+        extent_slots.push_back(slot);
         return true;
       };
 
       for (const auto& pk : picks) {
+        if (skipped_slots.contains(pk.unit_slot)) continue;
+        if (!fetched_.contains(pk.unit_slot) && !node_up(pk.unit->nid)) {
+          skip_slot(pk.unit_slot);
+          continue;
+        }
         if (add_fetch(pk.unit_slot, pk.unit)) {
           // Copies start the moment this unit's buffers arrive.
           auto it = copies_by_slot.find(pk.unit_slot);
@@ -591,10 +691,32 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           std::min(seq_->num_units(),
                    seq_->cursor_unit() + fleet_->config_.prefetch_units);
       for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
-        (void)add_fetch(slot, seq_->unit_at(slot));
+        const ReadUnit* u = seq_->unit_at(slot);
+        if (!node_up(u->nid)) continue;  // no point read-ahead to a dead node
+        (void)add_fetch(slot, u);
       }
-      co_await engine_->read_extents(*io_core_, std::move(extents),
-                                     injected_);
+      if (!extents.empty()) {
+        auto ops = engine_->start_extents(std::move(extents));
+        dlsim::SimDuration inj = injected_;
+        std::exception_ptr fatal;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          co_await engine_->await_op(*io_core_, ops[i], inj);
+          inj = 0;
+          if (!ops[i]->error()) continue;
+          try {
+            std::rethrow_exception(ops[i]->error());
+          } catch (const IoError& e) {
+            if (e.kind == IoErrorKind::kMedia) {
+              if (!fatal) fatal = ops[i]->error();
+            } else {
+              skip_slot(extent_slots[i]);
+            }
+          } catch (...) {
+            if (!fatal) fatal = ops[i]->error();
+          }
+        }
+        if (fatal) std::rethrow_exception(fatal);
+      }
     }
     for (auto& [slot, list] : inline_work) {
       FetchedUnit& fu = fetched_.at(slot);
@@ -610,11 +732,26 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
     co_await latch.wait();
     // Release fully-consumed units.
     for (const auto& pk : picks) maybe_release_unit(pk.unit_slot);
+    if (!skipped_ids.empty()) {
+      const std::unordered_set<std::uint32_t> gone(skipped_ids.begin(),
+                                                   skipped_ids.end());
+      std::erase_if(batch.samples, [&](const BatchSample& s) {
+        return gone.contains(s.sample_id);
+      });
+      batch.samples_skipped += skipped_ids.size();
+    }
   }
 
   batch.bytes = arena_pos;
+  if (batch.samples_skipped > 0) {
+    // Skipped samples left holes in the arena; the batch's byte count is
+    // what was actually delivered.
+    batch.bytes = 0;
+    for (const auto& s : batch.samples) batch.bytes += s.len;
+    samples_skipped_ += batch.samples_skipped;
+  }
   samples_delivered_ += batch.samples.size();
-  bytes_delivered_ += arena_pos;
+  bytes_delivered_ += batch.bytes;
   co_return batch;
 }
 
@@ -638,6 +775,16 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
         "bread_views requires chunk-level batching (samples must live in "
         "resident data chunks)");
   }
+  if (reprobe_pending_) {
+    reprobe_pending_ = false;
+    if (engine_->nodes_down() > 0) {
+      const std::uint32_t recovered =
+          co_await engine_->reprobe_down_nodes(*io_core_);
+      // Read-ahead issued while the node was down carries baked-in
+      // failures; retry it now that the node answers again.
+      if (recovered > 0 && prefetcher_) (void)prefetcher_->reissue_failed();
+    }
+  }
   ViewBatch batch;
   auto picks = seq_->take(max_samples);
   if (picks.empty()) co_return batch;
@@ -656,6 +803,17 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       total * (fleet_->config_.calibration.dlfs.dir_lookup +
                fleet_->config_.calibration.dlfs.bread_per_sample));
 
+  auto node_up = [this](std::uint16_t nid) {
+    return engine_->node_available(nid) &&
+           fleet_->directory_.node_available(nid);
+  };
+  std::unordered_set<std::size_t> skipped_slots;
+  auto skip_slot = [&](std::size_t slot) {
+    if (!skipped_slots.insert(slot).second) return;
+    fetched_.erase(slot);
+    if (prefetcher_) prefetcher_->discard(slot);
+  };
+
   // Fetch the units backing this batch (plus read-ahead), then hand out
   // views — no copy stage at all.
   if (prefetcher_) {
@@ -672,14 +830,25 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       inj_done.count_down();
     }
     for (const auto& pk : picks) {
+      if (skipped_slots.contains(pk.unit_slot)) continue;
       if (!fetched_.contains(pk.unit_slot)) {
-        fetched_[pk.unit_slot].buffers =
-            co_await prefetcher_->acquire(pk.unit_slot, *io_core_);
+        if (!node_up(pk.unit->nid)) {
+          skip_slot(pk.unit_slot);
+          continue;
+        }
+        try {
+          fetched_[pk.unit_slot].buffers =
+              co_await prefetcher_->acquire(pk.unit_slot, *io_core_);
+        } catch (const IoError& e) {
+          if (e.kind == IoErrorKind::kMedia) throw;
+          skip_slot(pk.unit_slot);
+        }
       }
     }
     co_await inj_done.wait();
   } else {
     std::vector<ReadExtent> extents;
+    std::vector<std::size_t> extent_slots;  // parallel to extents
     std::unordered_set<std::size_t> slots_fetching;
     auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
       if (fetched_.contains(slot)) return;
@@ -687,18 +856,53 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       auto& fu = fetched_[slot];
       extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
                                    nullptr, std::nullopt, &fu.buffers, {}});
+      extent_slots.push_back(slot);
     };
-    for (const auto& pk : picks) add_fetch(pk.unit_slot, pk.unit);
+    for (const auto& pk : picks) {
+      if (skipped_slots.contains(pk.unit_slot)) continue;
+      if (!fetched_.contains(pk.unit_slot) && !node_up(pk.unit->nid)) {
+        skip_slot(pk.unit_slot);
+        continue;
+      }
+      add_fetch(pk.unit_slot, pk.unit);
+    }
     const std::size_t ra_end =
         std::min(seq_->num_units(),
                  seq_->cursor_unit() + fleet_->config_.prefetch_units);
     for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
-      add_fetch(slot, seq_->unit_at(slot));
+      const ReadUnit* u = seq_->unit_at(slot);
+      if (!node_up(u->nid)) continue;
+      add_fetch(slot, u);
     }
-    co_await engine_->read_extents(*io_core_, std::move(extents), injected_);
+    if (!extents.empty()) {
+      auto ops = engine_->start_extents(std::move(extents));
+      dlsim::SimDuration inj = injected_;
+      std::exception_ptr fatal;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        co_await engine_->await_op(*io_core_, ops[i], inj);
+        inj = 0;
+        if (!ops[i]->error()) continue;
+        try {
+          std::rethrow_exception(ops[i]->error());
+        } catch (const IoError& e) {
+          if (e.kind == IoErrorKind::kMedia) {
+            if (!fatal) fatal = ops[i]->error();
+          } else {
+            skip_slot(extent_slots[i]);
+          }
+        } catch (...) {
+          if (!fatal) fatal = ops[i]->error();
+        }
+      }
+      if (fatal) std::rethrow_exception(fatal);
+    }
   }
 
   for (const auto& pk : picks) {
+    if (skipped_slots.contains(pk.unit_slot)) {
+      batch.samples_skipped += pk.count;
+      continue;
+    }
     FetchedUnit& fu = fetched_.at(pk.unit_slot);
     ++fu.view_pins;
     batch.pinned_slots.push_back(pk.unit_slot);
@@ -720,6 +924,7 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
   }
   batch.token = 1;
   samples_delivered_ += batch.samples.size();
+  samples_skipped_ += batch.samples_skipped;
   bytes_delivered_ += batch.bytes;
   co_return batch;
 }
@@ -749,6 +954,10 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
   Batch batch;
   auto picks = seq_->take(max_samples);
   std::uint64_t arena_pos = 0;
+  auto node_up = [this](std::uint16_t nid) {
+    return engine_->node_available(nid) &&
+           fleet_->directory_.node_available(nid);
+  };
   for (const auto& pk : picks) {
     for (std::uint32_t i = 0; i < pk.count; ++i) {
       const auto& us = pk.unit->samples[pk.first_sample + i];
@@ -756,10 +965,20 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
       if (arena_pos + loc.len > arena.size()) {
         throw std::invalid_argument("dlfs_bread: arena too small for batch");
       }
+      if (!cache_->valid(us.sample_id) && !node_up(loc.nid)) {
+        ++batch.samples_skipped;
+        continue;
+      }
       SampleHandle h{us.sample_id,
                      fleet_->directory_.lookup_id(us.sample_id)};
       co_await charge_lookup();
-      co_await read(h, arena.subspan(arena_pos, loc.len));
+      try {
+        co_await read(h, arena.subspan(arena_pos, loc.len));
+      } catch (const IoError& e) {
+        if (e.kind == IoErrorKind::kMedia) throw;
+        ++batch.samples_skipped;
+        continue;
+      }
       batch.samples.push_back(BatchSample{
           us.sample_id, fleet_->dataset_->sample(us.sample_id).class_id,
           static_cast<std::uint32_t>(arena_pos), loc.len});
@@ -767,6 +986,7 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
     }
   }
   batch.bytes = arena_pos;
+  samples_skipped_ += batch.samples_skipped;
   // read() already counted samples/bytes.
   co_return batch;
 }

@@ -74,6 +74,14 @@ struct DlfsConfig {
   // open_file().
   std::uint32_t record_file_samples = 0;
   std::uint64_t pool_bytes = 96ull * 1024 * 1024;  // client huge-page pool
+  // NVMe-oF transport fault handling for every remote initiator queue the
+  // fleet connects: command deadline, reconnect backoff and budget. The
+  // defaults keep healthy runs byte-identical; tests and benches shrink
+  // them to exercise the fault paths quickly.
+  spdk::NvmfFaultParams nvmf_fault{};
+  // Engine-level re-post backoff for transient completion errors
+  // (media/timeout); doubles per attempt.
+  dlsim::SimDuration io_retry_backoff = 10'000;
   Calibration calibration{};
 };
 
@@ -94,6 +102,11 @@ struct BatchSample {
 struct Batch {
   std::vector<BatchSample> samples;
   std::uint64_t bytes = 0;
+  // Samples this batch could not serve because their storage node is
+  // unavailable (reconnect budget exhausted / partitioned). The epoch
+  // continues over the surviving subset; end-of-epoch is signalled by
+  // `samples.empty() && samples_skipped == 0`.
+  std::uint64_t samples_skipped = 0;
 };
 
 /// Zero-copy batch: samples are views into the huge-page sample cache
@@ -110,6 +123,7 @@ struct ViewSample {
 struct ViewBatch {
   std::vector<ViewSample> samples;
   std::uint64_t bytes = 0;
+  std::uint64_t samples_skipped = 0;      // see Batch::samples_skipped
   std::vector<std::size_t> pinned_slots;  // internal: units held
   std::uint64_t token = 0;                // internal: release bookkeeping
 };
@@ -176,6 +190,11 @@ class DlfsInstance {
   [[nodiscard]] std::uint64_t samples_delivered() const {
     return samples_delivered_;
   }
+  /// Samples skipped across all breads because their storage node was
+  /// unavailable (the epoch completed degraded).
+  [[nodiscard]] std::uint64_t samples_skipped() const {
+    return samples_skipped_;
+  }
   [[nodiscard]] std::uint64_t bytes_delivered() const {
     return bytes_delivered_;
   }
@@ -215,6 +234,10 @@ class DlfsInstance {
   dlsim::SimDuration injected_ = 0;
   std::uint64_t samples_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t samples_skipped_ = 0;
+  // Set by sequence(); the next bread revalidates down nodes once, so a
+  // recovered storage node rejoins at the epoch boundary.
+  bool reprobe_pending_ = false;
   dlsim::SimDuration lookup_time_total_ = 0;
 };
 
@@ -251,6 +274,13 @@ class DlfsFleet {
   }
 
   [[nodiscard]] const SampleDirectory& directory() const { return directory_; }
+  /// The NVMe-oF target exporting storage slot `slot`'s device, or
+  /// nullptr when no remote client ever connected to it (purely local
+  /// slot). Fault injection — crash()/recover() and their scheduled
+  /// variants — goes through here.
+  [[nodiscard]] spdk::NvmfTarget* target(std::uint32_t slot) {
+    return slot < targets_.size() ? targets_[slot].get() : nullptr;
+  }
   [[nodiscard]] const BatchPlan& plan() const { return *plan_; }
   [[nodiscard]] const dataset::Dataset& dataset() const { return *dataset_; }
   [[nodiscard]] const DlfsConfig& config() const { return config_; }

@@ -110,6 +110,13 @@ dlsim::Task<void> IoEngine::wait_any(dlsim::CpuCore& core) {
       any_unknown = true;
     }
   }
+  if (!known && !any_unknown && !delayed_.empty()) {
+    // Nothing in flight — only backed-off retries. Spin until the
+    // earliest one is due.
+    dlsim::SimTime due = delayed_.front().not_before;
+    for (const Piece& p : delayed_) due = std::min(due, p.not_before);
+    known = due;
+  }
   const dlsim::SimTime now = sim_->now();
   if (!any_unknown && known && *known > now) {
     co_await core.compute(*known - now);
@@ -124,6 +131,60 @@ void IoEngine::fail_op(ExtentOp& op, std::exception_ptr e) {
   op.done.set();
 }
 
+void IoEngine::mark_node_down(std::uint16_t nid) {
+  if (node_down_.size() <= nid) node_down_.resize(nid + 1, 0);
+  if (node_down_[nid] != 0) return;
+  node_down_[nid] = 1;
+  if (node_handler_) node_handler_(nid, false);
+}
+
+std::uint32_t IoEngine::nodes_down() const {
+  std::uint32_t n = 0;
+  for (const std::uint8_t d : node_down_) n += d;
+  return n;
+}
+
+dlsim::Task<std::uint32_t> IoEngine::reprobe_down_nodes(dlsim::CpuCore& core) {
+  std::uint32_t recovered = 0;
+  for (std::uint16_t nid = 0; nid < node_down_.size(); ++nid) {
+    if (node_down_[nid] == 0) continue;
+    if (nid >= targets_.size() || targets_[nid] == nullptr) continue;
+    co_await core.compute(cal_->dlfs.prep_request);
+    if (co_await targets_[nid]->reprobe()) {
+      node_down_[nid] = 0;
+      ++recovered;
+      if (node_handler_) node_handler_(nid, true);
+    }
+  }
+  co_return recovered;
+}
+
+spdk::IoQueueStats IoEngine::transport_stats() const {
+  spdk::IoQueueStats total;
+  for (const auto& q : targets_) {
+    if (!q) continue;
+    const spdk::IoQueueStats s = q->transport_stats();
+    total.timeouts += s.timeouts;
+    total.connections_lost += s.connections_lost;
+    total.reconnects += s.reconnects;
+    total.replays += s.replays;
+  }
+  return total;
+}
+
+void IoEngine::promote_delayed() {
+  if (delayed_.empty()) return;
+  const dlsim::SimTime now = sim_->now();
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->not_before <= now) {
+      to_post_.push_back(std::move(*it));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::vector<ExtentOpPtr> IoEngine::start_extents(
     std::vector<ReadExtent> extents) {
   std::vector<ExtentOpPtr> ops;
@@ -132,6 +193,16 @@ std::vector<ExtentOpPtr> IoEngine::start_extents(
     if (x.nid >= targets_.size() || targets_[x.nid] == nullptr) {
       throw std::logic_error("read_extents: no queue for storage node " +
                              std::to_string(x.nid));
+    }
+    if (!node_available(x.nid)) {
+      // The node is known-down: fail fast instead of queueing pieces that
+      // would only burn a timeout each. Callers route on the error kind.
+      auto op = std::make_shared<ExtentOp>(*sim_, std::move(x));
+      fail_op(*op, std::make_exception_ptr(IoError(
+                       op->extent.nid, op->extent.offset,
+                       IoErrorKind::kNodeDown)));
+      ops.push_back(std::move(op));
+      continue;
     }
     auto op = std::make_shared<ExtentOp>(*sim_, std::move(x));
     std::uint64_t off = op->extent.offset;
@@ -201,6 +272,7 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
   };
   while (!satisfied()) {
     bool progress = false;
+    promote_delayed();  // backed-off retries whose delay has elapsed
 
     // Post while targets have queue space and the pool has chunks. The
     // sample cache shares the pool: under pressure it yields LRU entries,
@@ -214,13 +286,23 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         progress = true;
         continue;
       }
-      spdk::IoQueue& q = *targets_[to_post_.front().op->extent.nid];
+      const std::uint16_t nid = to_post_.front().op->extent.nid;
+      if (!node_available(nid)) {
+        Piece dead = std::move(to_post_.front());
+        to_post_.pop_front();
+        fail_op(*dead.op, std::make_exception_ptr(IoError(
+                              nid, dead.offset, IoErrorKind::kNodeDown)));
+        progress = true;
+        continue;
+      }
+      spdk::IoQueue& q = *targets_[nid];
       if (q.outstanding() >= q.depth()) break;
       if (pool_->free_chunks() == 0 && !to_post_.front().buffer.valid()) {
         bool freed = cache_->evict_lru_one();
         if (!freed && pressure_reliever_) freed = pressure_reliever_();
         if (!freed) {
-          if (in_flight_.empty() && scq_->empty() && copies_pending_ == 0) {
+          if (in_flight_.empty() && scq_->empty() && copies_pending_ == 0 &&
+              delayed_.empty()) {
             throw std::runtime_error(
                 "huge-page pool exhausted: cache pinned + nothing in flight");
           }
@@ -239,6 +321,16 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         // A concurrent pumper filled the queue while we were prepping.
         to_post_.push_front(std::move(p));
         break;
+      }
+      if (st == spdk::IoStatus::kConnectionLost) {
+        // The queue's reconnect budget is spent (or the local controller
+        // died): the whole node is gone, not just this piece.
+        mark_node_down(p.op->extent.nid);
+        fail_op(*p.op, std::make_exception_ptr(IoError(
+                           p.op->extent.nid, p.offset,
+                           IoErrorKind::kNodeDown)));
+        progress = true;
+        continue;
       }
       if (st != spdk::IoStatus::kOk) {
         throw std::runtime_error("unexpected submit failure in read_extents");
@@ -267,16 +359,40 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         co_await core.compute(cal_->dlfs.completion_handling);
         progress = true;
         if (p.op->error_) continue;  // failed extent: buffer just drops
-        if (c.status == spdk::IoStatus::kMediaError) {
+        if (c.status == spdk::IoStatus::kConnectionLost) {
+          // Transport gave up on the node; everything queued for it is
+          // failed by the posting loop above on its next pass.
+          mark_node_down(p.op->extent.nid);
+          fail_op(*p.op, std::make_exception_ptr(IoError(
+                             p.op->extent.nid, p.offset,
+                             IoErrorKind::kNodeDown)));
+          continue;
+        }
+        if (c.status == spdk::IoStatus::kMediaError ||
+            c.status == spdk::IoStatus::kTimeout) {
           // Transient fault: re-post the same piece (same cache chunk)
-          // until the retry budget runs out.
+          // until the retry budget runs out, backing off per attempt so
+          // retries don't hot-loop the device queue.
+          if (c.status == spdk::IoStatus::kTimeout) ++timeouts_;
           if (p.attempts > config_.max_retries) {
-            fail_op(*p.op, std::make_exception_ptr(
-                               IoError(p.op->extent.nid, p.offset)));
+            fail_op(*p.op,
+                    std::make_exception_ptr(IoError(
+                        p.op->extent.nid, p.offset,
+                        c.status == spdk::IoStatus::kTimeout
+                            ? IoErrorKind::kTimeout
+                            : IoErrorKind::kMedia)));
             continue;
           }
           ++retries_;
-          to_post_.push_back(std::move(p));
+          const dlsim::SimDuration backoff =
+              config_.retry_backoff
+              << std::min<std::uint32_t>(p.attempts - 1, 10);
+          if (backoff == 0) {
+            to_post_.push_back(std::move(p));
+          } else {
+            p.not_before = sim_->now() + backoff;
+            delayed_.push_back(std::move(p));
+          }
           continue;
         }
         ++harvested_;

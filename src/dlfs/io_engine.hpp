@@ -58,19 +58,39 @@ struct IoEngineConfig {
   // Transient media errors are re-posted this many times before the read
   // fails (NVMe drivers retry retryable statuses the same way).
   std::uint32_t max_retries = 3;
+  // First-retry delay; doubles per attempt. Keeps a faulting device from
+  // being hammered with re-posts within the same poll quantum.
+  dlsim::SimDuration retry_backoff = 10'000;  // 10 us
+};
+
+/// Why a read ultimately failed — callers route on this: media errors are
+/// sample-fatal (surface to the application), node-level faults are
+/// survivable (skip the samples, finish the epoch degraded).
+enum class IoErrorKind : std::uint8_t {
+  kMedia,     // device returned kMediaError past the retry budget
+  kTimeout,   // command deadlines kept expiring past the retry budget
+  kNodeDown,  // the storage node's reconnect budget is exhausted
 };
 
 /// A read failed even after max_retries re-posts.
 class IoError : public std::runtime_error {
  public:
-  IoError(std::uint16_t nid, std::uint64_t offset)
-      : std::runtime_error("unrecoverable I/O error on storage node " +
-                           std::to_string(nid) + " at offset " +
-                           std::to_string(offset)),
+  IoError(std::uint16_t nid, std::uint64_t offset,
+          IoErrorKind kind = IoErrorKind::kMedia)
+      : std::runtime_error(
+            std::string(kind == IoErrorKind::kNodeDown
+                            ? "storage node down: node "
+                            : (kind == IoErrorKind::kTimeout
+                                   ? "I/O timed out on storage node "
+                                   : "unrecoverable I/O error on storage "
+                                     "node ")) +
+            std::to_string(nid) + " at offset " + std::to_string(offset)),
         nid(nid),
-        offset(offset) {}
+        offset(offset),
+        kind(kind) {}
   std::uint16_t nid;
   std::uint64_t offset;
+  IoErrorKind kind;
 };
 
 /// One device extent to read. If `dst` is non-null the data is copied
@@ -206,12 +226,31 @@ class IoEngine {
     pressure_reliever_ = std::move(reliever);
   }
 
+  // --- node fault domain ---------------------------------------------------
+  /// Fired on availability transitions of a storage node: (nid, false)
+  /// when its reconnect budget is exhausted, (nid, true) when a reprobe
+  /// brings it back. DLFS wires this to the sample directory's V bits.
+  void set_node_down_handler(std::function<void(std::uint16_t, bool)> fn) {
+    node_handler_ = std::move(fn);
+  }
+  [[nodiscard]] bool node_available(std::uint16_t nid) const {
+    return nid >= node_down_.size() || node_down_[nid] == 0;
+  }
+  [[nodiscard]] std::uint32_t nodes_down() const;
+  /// One revalidation pass over every down node (paced by the caller —
+  /// DLFS runs it at epoch start). Returns how many nodes came back.
+  [[nodiscard]] dlsim::Task<std::uint32_t> reprobe_down_nodes(
+      dlsim::CpuCore& core);
+  /// Aggregated transport counters across all attached queues.
+  [[nodiscard]] spdk::IoQueueStats transport_stats() const;
+
   [[nodiscard]] const IoEngineConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t requests_posted() const { return posted_; }
   [[nodiscard]] std::uint64_t completions_harvested() const {
     return harvested_;
   }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
   /// Aggregate busy time of the copy-thread pool.
   [[nodiscard]] dlsim::SimDuration copy_busy_ns() const;
@@ -224,8 +263,11 @@ class IoEngine {
     std::uint32_t len = 0;
     mem::DmaBuffer buffer;
     std::uint32_t attempts = 0;
+    dlsim::SimTime not_before = 0;  // retry backoff gate
   };
 
+  void mark_node_down(std::uint16_t nid);
+  void promote_delayed();
   dlsim::Task<void> pump(dlsim::CpuCore& core, const ExtentOp& until,
                          dlsim::SimDuration injected_compute);
   dlsim::Task<void> finish_extent(dlsim::CpuCore& core, ExtentOpPtr op);
@@ -248,12 +290,16 @@ class IoEngine {
   // in-flight map, so completions are delivered to the right extent no
   // matter which coroutine harvests them.
   std::deque<Piece> to_post_;
+  std::vector<Piece> delayed_;  // retries waiting out their backoff
   std::unordered_map<std::uint64_t, Piece> in_flight_;
   std::uint32_t copies_pending_ = 0;  // engine copy jobs not yet executed
   std::function<bool()> pressure_reliever_;
+  std::vector<std::uint8_t> node_down_;  // index = nid; 1 = unavailable
+  std::function<void(std::uint16_t, bool)> node_handler_;
   std::uint64_t posted_ = 0;
   std::uint64_t harvested_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t next_tag_ = 1;
 };

@@ -124,6 +124,39 @@ bool Prefetcher::relieve_pressure() {
   return false;
 }
 
+void Prefetcher::discard(std::size_t slot) {
+  demand_floor_ = std::max(demand_floor_, slot + 1);
+  auto it = std::find_if(window_.begin(), window_.end(),
+                         [slot](const Entry& e) { return e.slot == slot; });
+  if (it == window_.end() || it->pinned) return;
+  if (!it->op->finished()) {
+    draining_.push_back(it->op);
+  } else if (!it->op->error()) {
+    (void)it->op->take_buffers();  // DmaBuffers drop -> chunks freed
+  }
+  window_.erase(it);
+  wake_.set();
+}
+
+std::uint32_t Prefetcher::reissue_failed() {
+  if (seq_ == nullptr) return 0;
+  std::uint32_t n = 0;
+  for (auto& e : window_) {
+    if (e.pinned || !e.op->error()) continue;
+    // An op can carry an error while extents still drain; those buffers
+    // cannot be reused, so the old op keeps draining off to the side.
+    if (!e.op->finished()) draining_.push_back(e.op);
+    const ReadUnit* u = seq_->unit_at(e.slot);
+    e.op = engine_->start_extent(
+        ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt, nullptr,
+                   {}});
+    ++stats_.units_reissued;
+    ++n;
+  }
+  if (n > 0) wake_.set();
+  return n;
+}
+
 dlsim::Task<std::vector<mem::DmaBuffer>> Prefetcher::acquire(
     std::size_t slot, dlsim::CpuCore& consumer_core) {
   if (daemon_error_) std::rethrow_exception(daemon_error_);

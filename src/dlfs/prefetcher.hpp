@@ -69,8 +69,9 @@ struct PrefetchStats {
   std::uint32_t in_flight_hwm = 0;           // window depth high-water mark
   std::uint64_t window_grows = 0;
   std::uint64_t window_shrinks = 0;
-  std::uint64_t units_dropped = 0;  // shed under pool pressure
-  std::uint32_t window_target = 0;  // current adaptive target
+  std::uint64_t units_dropped = 0;   // shed under pool pressure
+  std::uint64_t units_reissued = 0;  // retried after a node came back
+  std::uint32_t window_target = 0;   // current adaptive target
 };
 
 class Prefetcher {
@@ -104,6 +105,18 @@ class Prefetcher {
   /// Engine pressure callback: drops the farthest resident unconsumed
   /// unit and shrinks the window. Returns true if chunks were freed.
   bool relieve_pressure();
+
+  /// Forgets unit `slot` without consuming it — bread skips a unit whose
+  /// storage node is unavailable and tells the window to drop it. A
+  /// still-unfinished op keeps draining on the daemon (extents cannot be
+  /// cancelled); resident buffers are freed immediately.
+  void discard(std::size_t slot);
+
+  /// Re-issues every unconsumed window entry whose op failed — called
+  /// after a down node is revalidated, so read-ahead issued while the node
+  /// was unavailable is retried instead of surfacing stale errors. Returns
+  /// the number of units reissued.
+  std::uint32_t reissue_failed();
 
   [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
   [[nodiscard]] dlsim::CpuCore& core() { return *core_; }

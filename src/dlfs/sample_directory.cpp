@@ -5,7 +5,9 @@
 namespace dlfs::core {
 
 SampleDirectory::SampleDirectory(std::uint32_t num_nodes)
-    : trees_(num_nodes), shard_counts_(num_nodes, 0) {
+    : trees_(num_nodes),
+      node_available_(num_nodes, 1),
+      shard_counts_(num_nodes, 0) {
   if (num_nodes == 0 || num_nodes > SampleEntry::kMaxNid + 1) {
     throw std::invalid_argument("node count must be in [1, 65536]");
   }

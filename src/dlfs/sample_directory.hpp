@@ -87,6 +87,24 @@ class SampleDirectory {
     return collision_keys_.size();
   }
 
+  // --- node availability ---------------------------------------------------
+  // Wholesale V-bit state for one node's tree: when a storage node's
+  // reconnect budget is exhausted the I/O engine clears its availability
+  // here, and bread/prefetch skip its samples until a reprobe restores it.
+  // (The per-sample V bits live in the per-instance SampleCache sidecar;
+  // this is the per-*node* fault-domain analog.)
+  void set_node_available(std::uint16_t nid, bool up) {
+    node_available_.at(nid) = up ? 1 : 0;
+  }
+  [[nodiscard]] bool node_available(std::uint16_t nid) const {
+    return nid < node_available_.size() && node_available_[nid] != 0;
+  }
+  [[nodiscard]] std::uint32_t nodes_available() const {
+    std::uint32_t n = 0;
+    for (const std::uint8_t a : node_available_) n += a;
+    return n;
+  }
+
  private:
   struct IdLoc {
     std::uint16_t nid = 0xffff;
@@ -94,6 +112,7 @@ class SampleDirectory {
   };
 
   std::vector<Tree> trees_;
+  std::vector<std::uint8_t> node_available_;  // index = nid; 1 = serving
   std::vector<IdLoc> id_index_;          // sample id -> (nid, key)
   std::unordered_map<std::uint64_t, IdLoc> file_index_;  // file hash -> loc
   std::vector<std::uint64_t> shard_counts_;

@@ -11,23 +11,28 @@ Fabric::Fabric(dlsim::Simulator& sim, std::uint32_t num_nodes,
       egress_free_(num_nodes, 0),
       ingress_free_(num_nodes, 0),
       bytes_sent_(num_nodes, 0),
-      bytes_received_(num_nodes, 0) {
+      bytes_received_(num_nodes, 0),
+      isolated_(num_nodes, 0) {
   if (num_nodes == 0) throw std::invalid_argument("fabric needs >= 1 node");
 }
 
 dlsim::Task<void> Fabric::transfer(NodeId src, NodeId dst,
                                    std::uint64_t bytes) {
+  (void)co_await send(src, dst, bytes);
+}
+
+dlsim::Task<bool> Fabric::send(NodeId src, NodeId dst, std::uint64_t bytes) {
   check_node(src);
   check_node(dst);
   ++messages_;
   bytes_sent_[src] += bytes;
-  bytes_received_[dst] += bytes;
 
   const dlsim::SimTime now = sim_->now();
   if (src == dst) {
     // Intra-node: no NIC involved; a DMA-engine-speed memory move.
+    bytes_received_[dst] += bytes;
     co_await sim_->delay(dlsim::transfer_time(bytes, 20e9) + 150);
-    co_return;
+    co_return true;
   }
   const dlsim::SimDuration wire =
       dlsim::transfer_time(bytes, params_.bw_bytes_per_sec);
@@ -43,6 +48,83 @@ dlsim::Task<void> Fabric::transfer(NodeId src, NodeId dst,
   ingress_free_[dst] = rx_start + wire;
   const dlsim::SimTime finish = rx_start + wire;
   co_await sim_->delay(finish - now);
+  // Delivery is decided when the last byte would land, so a partition
+  // that opens mid-flight eats the message too.
+  if (!link_up(src, dst)) {
+    ++messages_dropped_;
+    co_return false;
+  }
+  bytes_received_[dst] += bytes;
+  co_return true;
+}
+
+bool Fabric::link_up(NodeId src, NodeId dst) const {
+  if (src == dst) return true;  // loopback never touches the switch
+  if (isolated_[src] || isolated_[dst]) return false;
+  return !failed_links_.contains(link_key(src, dst));
+}
+
+void Fabric::fail_link(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (a != b) failed_links_.insert(link_key(a, b));
+}
+
+void Fabric::heal_link(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  failed_links_.erase(link_key(a, b));
+}
+
+void Fabric::isolate_node(NodeId n) {
+  check_node(n);
+  isolated_[n] = 1;
+}
+
+void Fabric::rejoin_node(NodeId n) {
+  check_node(n);
+  isolated_[n] = 0;
+}
+
+void Fabric::schedule_fault(dlsim::SimTime when,
+                            void (Fabric::*fn)(NodeId, NodeId), NodeId a,
+                            NodeId b, const char* name) {
+  sim_->spawn_daemon(
+      [](Fabric* f, dlsim::SimTime at, void (Fabric::*op)(NodeId, NodeId),
+         NodeId x, NodeId y) -> dlsim::Task<void> {
+        const dlsim::SimTime now = f->sim_->now();
+        if (at > now) co_await f->sim_->delay(at - now);
+        (f->*op)(x, y);
+      }(this, when, fn, a, b),
+      name);
+}
+
+void Fabric::fail_link_at(NodeId a, NodeId b, dlsim::SimTime when) {
+  schedule_fault(when, &Fabric::fail_link, a, b, "fabric-fail-link");
+}
+
+void Fabric::heal_link_at(NodeId a, NodeId b, dlsim::SimTime when) {
+  schedule_fault(when, &Fabric::heal_link, a, b, "fabric-heal-link");
+}
+
+void Fabric::isolate_node_at(NodeId n, dlsim::SimTime when) {
+  sim_->spawn_daemon(
+      [](Fabric* f, dlsim::SimTime at, NodeId x) -> dlsim::Task<void> {
+        const dlsim::SimTime now = f->sim_->now();
+        if (at > now) co_await f->sim_->delay(at - now);
+        f->isolate_node(x);
+      }(this, when, n),
+      "fabric-isolate-node");
+}
+
+void Fabric::rejoin_node_at(NodeId n, dlsim::SimTime when) {
+  sim_->spawn_daemon(
+      [](Fabric* f, dlsim::SimTime at, NodeId x) -> dlsim::Task<void> {
+        const dlsim::SimTime now = f->sim_->now();
+        if (at > now) co_await f->sim_->delay(at - now);
+        f->rejoin_node(x);
+      }(this, when, n),
+      "fabric-rejoin-node");
 }
 
 }  // namespace dlfs::hw

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/calibration.hpp"
@@ -44,13 +46,38 @@ class Fabric {
   [[nodiscard]] const NicParams& params() const { return params_; }
 
   /// Moves `bytes` from src to dst; resumes when the last byte lands.
+  /// If the src↔dst path is down the frames vanish in the switch: time
+  /// still passes (the NIC pushed them out) but delivery silently fails.
+  /// Fault-aware callers use send() to learn the delivery outcome.
   [[nodiscard]] dlsim::Task<void> transfer(NodeId src, NodeId dst,
                                            std::uint64_t bytes);
+
+  /// Like transfer(), but reports whether the payload was delivered.
+  /// The link state is sampled when the last byte would land, so a link
+  /// failing mid-flight drops the message.
+  [[nodiscard]] dlsim::Task<bool> send(NodeId src, NodeId dst,
+                                       std::uint64_t bytes);
 
   /// A small control message (command capsule / RPC header).
   [[nodiscard]] dlsim::Task<void> send_control(NodeId src, NodeId dst) {
     return transfer(src, dst, kControlMessageBytes);
   }
+
+  // --- fault injection -----------------------------------------------------
+  /// Cuts the (undirected) path between two nodes: messages either way are
+  /// dropped after consuming their wire time. Loopback cannot fail.
+  void fail_link(NodeId a, NodeId b);
+  void heal_link(NodeId a, NodeId b);
+  /// Detaches a node's NIC from the switch entirely (every path to or from
+  /// it drops) — models a machine falling off the network.
+  void isolate_node(NodeId n);
+  void rejoin_node(NodeId n);
+  [[nodiscard]] bool link_up(NodeId src, NodeId dst) const;
+  /// Scheduled variants for mid-run fault plans ("partition at t=2s").
+  void fail_link_at(NodeId a, NodeId b, dlsim::SimTime when);
+  void heal_link_at(NodeId a, NodeId b, dlsim::SimTime when);
+  void isolate_node_at(NodeId n, dlsim::SimTime when);
+  void rejoin_node_at(NodeId n, dlsim::SimTime when);
 
   // --- statistics ----------------------------------------------------------
   [[nodiscard]] std::uint64_t bytes_sent(NodeId node) const {
@@ -62,6 +89,9 @@ class Fabric {
     return bytes_received_[node];
   }
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
 
  private:
   void check_node(NodeId n) const {
@@ -70,6 +100,13 @@ class Fabric {
     }
   }
 
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  void schedule_fault(dlsim::SimTime when, void (Fabric::*fn)(NodeId, NodeId),
+                      NodeId a, NodeId b, const char* name);
+
   dlsim::Simulator* sim_;
   NicParams params_;
   std::vector<dlsim::SimTime> egress_free_;
@@ -77,6 +114,9 @@ class Fabric {
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> bytes_received_;
   std::uint64_t messages_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::unordered_set<std::uint64_t> failed_links_;
+  std::vector<std::uint8_t> isolated_;
 };
 
 }  // namespace dlfs::hw

@@ -12,6 +12,7 @@ NvmeQueuePair::NvmeQueuePair(NvmeDevice& dev, std::uint32_t depth)
 IoStatus NvmeQueuePair::submit(IoOp op, std::uint64_t offset,
                                std::span<std::byte> buf,
                                std::uint64_t user_tag) {
+  if (device_->crashed_) return IoStatus::kConnectionLost;
   if (pending_.size() >= depth_) return IoStatus::kQueueFull;
   if (offset + buf.size() > device_->capacity()) return IoStatus::kOutOfRange;
 
@@ -49,6 +50,18 @@ IoStatus NvmeQueuePair::submit(IoOp op, std::uint64_t offset,
 
 std::vector<IoCompletion> NvmeQueuePair::poll(std::size_t max) {
   std::vector<IoCompletion> out;
+  if (device_->crashed_) {
+    // The controller died: everything in flight fails now, regardless of
+    // its scheduled completion time. Data visibility never happens.
+    while (!pending_.empty() && out.size() < max) {
+      IoCompletion c = pending_.front().completion;
+      c.status = IoStatus::kConnectionLost;
+      c.bytes = 0;
+      out.push_back(c);
+      pending_.pop_front();
+    }
+    return out;
+  }
   const SimTime now = device_->simulator().now();
   while (!pending_.empty() && out.size() < max &&
          pending_.front().done_at <= now) {
@@ -60,10 +73,16 @@ std::vector<IoCompletion> NvmeQueuePair::poll(std::size_t max) {
 }
 
 dlsim::Task<void> NvmeQueuePair::wait_for_completion() {
-  if (pending_.empty()) co_return;
+  if (pending_.empty() || device_->crashed_) co_return;
   const SimTime now = device_->simulator().now();
   const SimTime first = pending_.front().done_at;
   if (first > now) co_await device_->simulator().delay(first - now);
+}
+
+SimTime NvmeQueuePair::next_completion_at() const {
+  if (pending_.empty()) return 0;
+  if (device_->crashed_) return device_->sim_->now();
+  return pending_.front().done_at;
 }
 
 NvmeDevice::NvmeDevice(dlsim::Simulator& sim, std::string name,
@@ -123,6 +142,30 @@ SimTime NvmeDevice::schedule_command(IoOp op, std::uint64_t bytes) {
 void NvmeDevice::inject_faults(double rate, std::uint64_t seed) {
   fault_rate_ = rate;
   fault_state_ = rate > 0.0 ? dlfs::mix64(seed | 1) : 0;
+}
+
+void NvmeDevice::crash() { crashed_ = true; }
+
+void NvmeDevice::recover() { crashed_ = false; }
+
+void NvmeDevice::crash_at(SimTime when) {
+  sim_->spawn_daemon(
+      [](NvmeDevice* dev, SimTime at) -> dlsim::Task<void> {
+        const SimTime now = dev->sim_->now();
+        if (at > now) co_await dev->sim_->delay(at - now);
+        dev->crash();
+      }(this, when),
+      "nvme-crash-at");
+}
+
+void NvmeDevice::recover_at(SimTime when) {
+  sim_->spawn_daemon(
+      [](NvmeDevice* dev, SimTime at) -> dlsim::Task<void> {
+        const SimTime now = dev->sim_->now();
+        if (at > now) co_await dev->sim_->delay(at - now);
+        dev->recover();
+      }(this, when),
+      "nvme-recover-at");
 }
 
 double NvmeDevice::pipe_utilization() const {

@@ -50,7 +50,9 @@ enum class IoStatus : std::uint8_t {
   kOutOfRange,
   kQueueFull,
   kInvalidBuffer,
-  kMediaError,  // injected device fault (see NvmeDevice::inject_faults)
+  kMediaError,       // injected device fault (see NvmeDevice::inject_faults)
+  kTimeout,          // command deadline passed without a completion
+  kConnectionLost,   // device/target crashed or the fabric path is dead
 };
 
 /// A harvested completion.
@@ -94,9 +96,9 @@ class NvmeQueuePair {
   [[nodiscard]] std::uint32_t depth() const { return depth_; }
 
   /// Timestamp of the earliest outstanding completion (0 when none).
-  [[nodiscard]] SimTime next_completion_at() const {
-    return pending_.empty() ? 0 : pending_.front().done_at;
-  }
+  /// On a crashed device every outstanding command is already harvestable
+  /// (as kConnectionLost), so this returns the current time.
+  [[nodiscard]] SimTime next_completion_at() const;
   [[nodiscard]] NvmeDevice& device() { return *device_; }
 
  private:
@@ -154,6 +156,17 @@ class NvmeDevice {
     return faults_injected_;
   }
 
+  /// Fail-stop the device: subsequent submissions are rejected with
+  /// kConnectionLost and every in-flight command completes immediately
+  /// with kConnectionLost (the controller is gone, not slow). recover()
+  /// restores service for new submissions; queue pairs survive.
+  void crash();
+  void recover();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Scheduled variants, e.g. "crash at t=2s" for mid-epoch fault tests.
+  void crash_at(SimTime when);
+  void recover_at(SimTime when);
+
   // --- statistics ----------------------------------------------------------
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
@@ -179,6 +192,7 @@ class NvmeDevice {
   double fault_rate_ = 0.0;
   std::uint64_t fault_state_ = 0;  // splitmix64 walker; 0 = disabled
   std::uint64_t faults_injected_ = 0;
+  bool crashed_ = false;
 
   SimTime pipe_free_at_ = 0;
   // For utilization accounting:

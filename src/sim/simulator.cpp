@@ -44,6 +44,7 @@ Process Simulator::spawn_impl(Task<void> t, std::string name, bool daemon) {
   assert(t.valid() && "spawning an empty Task");
   auto st = std::make_shared<detail::ProcessState>();
   st->name = std::move(name);
+  st->daemon = daemon;
   processes_.push_back(st);
   if (!daemon) ++live_;
   Task<void> wrapper = process_wrapper(std::move(t), st, daemon);
@@ -75,7 +76,24 @@ bool Simulator::step() {
 void Simulator::run(bool allow_blocked) {
   while (step()) {
   }
-  if (!allow_blocked && live_ > 0) throw DeadlockError(live_, now_);
+  if (!allow_blocked && live_ > 0) {
+    throw DeadlockError(blocked_process_names(), now_);
+  }
+}
+
+void Simulator::run_watchdog(SimTime deadline) {
+  while (!queue_.empty() && (live_ == 0 || queue_.top().t <= deadline)) {
+    step();
+  }
+  if (live_ > 0) throw DeadlockError(blocked_process_names(), now_);
+}
+
+std::vector<std::string> Simulator::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (!p->done && !p->daemon) names.push_back(p->name);
+  }
+  return names;
 }
 
 void Simulator::run_until(SimTime t) {

@@ -27,22 +27,41 @@ namespace dlsim {
 class Simulator;
 
 /// Thrown by Simulator::run() when the event queue drains while spawned
-/// processes are still blocked: the simulated system has deadlocked.
+/// processes are still blocked (the simulated system has deadlocked) and
+/// by run_watchdog() when live processes outlast the watchdog deadline.
+/// Carries the names of the blocked non-daemon processes so a hung fault
+/// path identifies itself instead of stalling the job.
 class DeadlockError : public std::runtime_error {
  public:
-  DeadlockError(std::size_t blocked, SimTime at)
-      : std::runtime_error("simulation deadlock: " + std::to_string(blocked) +
-                           " process(es) blocked at t=" + std::to_string(at) +
-                           "ns"),
-        blocked_processes(blocked),
-        time(at) {}
-  std::size_t blocked_processes;
+  DeadlockError(std::vector<std::string> names, SimTime at)
+      : std::runtime_error(format(names, at)),
+        blocked_names(std::move(names)),
+        time(at) {
+    blocked_processes = blocked_names.size();
+  }
+  std::size_t blocked_processes = 0;
+  std::vector<std::string> blocked_names;
   SimTime time;
+
+ private:
+  static std::string format(const std::vector<std::string>& names,
+                            SimTime at) {
+    std::string msg = "simulation deadlock: " + std::to_string(names.size()) +
+                      " process(es) blocked at t=" + std::to_string(at) +
+                      "ns [";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += names[i].empty() ? "<unnamed>" : names[i];
+    }
+    msg += "]";
+    return msg;
+  }
 };
 
 namespace detail {
 struct ProcessState {
   bool done = false;
+  bool daemon = false;
   std::exception_ptr error;
   std::string name;
   std::vector<std::coroutine_handle<>> joiners;
@@ -134,6 +153,16 @@ class Simulator {
   /// (even if the queue drained earlier).
   void run_until(SimTime t);
   void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// run() with a simulated-time watchdog: if non-daemon processes are
+  /// still live once the clock would pass `deadline` — or the queue
+  /// drains with them blocked — throws DeadlockError naming them. Fault
+  /// tests use this so a hung recovery path fails fast with the culprit
+  /// coroutines listed instead of stalling the job until ctest kills it.
+  void run_watchdog(SimTime deadline);
+
+  /// Names of the live (spawned, unfinished, non-daemon) processes.
+  [[nodiscard]] std::vector<std::string> blocked_process_names() const;
 
   /// After run(), rethrows the first process failure encountered (processes
   /// that fail also rethrow at join()).

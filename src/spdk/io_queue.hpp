@@ -29,6 +29,15 @@ using hw::IoCompletion;
 using hw::IoOp;
 using hw::IoStatus;
 
+/// Transport-level fault counters. Local queues stay at zero; the NVMe-oF
+/// initiator counts command timeouts, reconnects and replays.
+struct IoQueueStats {
+  std::uint64_t timeouts = 0;
+  std::uint64_t connections_lost = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t replays = 0;
+};
+
 class IoQueue {
  public:
   virtual ~IoQueue() = default;
@@ -58,6 +67,20 @@ class IoQueue {
       const {
     return std::nullopt;
   }
+
+  /// Whether the path to the device is currently believed usable. Local
+  /// queues are always connected; the NVMe-oF initiator reports false
+  /// once its reconnect budget is exhausted.
+  [[nodiscard]] virtual bool connected() const { return true; }
+
+  /// One explicit revalidation attempt for a queue whose path died (no
+  /// backoff, no budget — the caller paces these, e.g. once per epoch).
+  /// Returns true when the queue is usable again.
+  [[nodiscard]] virtual dlsim::Task<bool> reprobe() {
+    return []() -> dlsim::Task<bool> { co_return true; }();
+  }
+
+  [[nodiscard]] virtual IoQueueStats transport_stats() const { return {}; }
 };
 
 }  // namespace dlfs::spdk

@@ -37,6 +37,14 @@ class LocalIoQueue final : public IoQueue {
     return qp_->next_completion_at();
   }
 
+  bool connected() const override { return !qp_->device().crashed(); }
+
+  dlsim::Task<bool> reprobe() override {
+    // Local path: nothing to re-handshake — the queue is usable iff the
+    // controller is back.
+    co_return !qp_->device().crashed();
+  }
+
  private:
   std::unique_ptr<hw::NvmeQueuePair> qp_;
   mem::HugePagePool* pool_;

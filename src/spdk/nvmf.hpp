@@ -34,6 +34,20 @@
 
 namespace dlfs::spdk {
 
+class RemoteIoQueue;
+
+/// Fault-handling knobs for one NVMe-oF connection. The command timeout
+/// must exceed the worst legitimate target-side queueing delay (a full
+/// queue of large commands), otherwise healthy-but-busy targets get
+/// declared dead.
+struct NvmfFaultParams {
+  dlsim::SimDuration command_timeout = 50'000'000;     // 50 ms
+  dlsim::SimDuration reconnect_backoff = 500'000;      // first retry: 500 us
+  dlsim::SimDuration reconnect_backoff_max = 8'000'000;
+  std::uint32_t reconnect_attempts = 6;
+  std::uint64_t jitter_seed = 0x6a09e667f3bcc909ull;   // decorrelates clients
+};
+
 class NvmfTarget {
  public:
   NvmfTarget(dlsim::Simulator& sim, hw::Fabric& fabric, hw::NodeId node,
@@ -45,18 +59,44 @@ class NvmfTarget {
   /// Establishes a connection from `client_node`; returns the initiator's
   /// queue. `client_pool` is the client's registered (huge-page) memory —
   /// RDMA writes land only there. depth 0 = device max.
-  [[nodiscard]] std::unique_ptr<IoQueue> connect(hw::NodeId client_node,
-                                                 mem::HugePagePool& client_pool,
-                                                 std::uint32_t depth = 0);
+  [[nodiscard]] std::unique_ptr<IoQueue> connect(
+      hw::NodeId client_node, mem::HugePagePool& client_pool,
+      std::uint32_t depth = 0, const NvmfFaultParams& fault = {});
 
   [[nodiscard]] hw::NodeId node() const { return node_; }
   [[nodiscard]] hw::NvmeDevice& device() { return *device_; }
   /// The target's poller core: its utilization measures target-side CPU.
   [[nodiscard]] dlsim::CpuCore& poller_core() { return poller_core_; }
 
+  // --- fault injection -----------------------------------------------------
+  /// Fail-stop the target process: inbound capsules are dropped, pending
+  /// returns never leave the node, and new connections are refused. The
+  /// NVMe device itself survives (data is intact after recover()).
+  void crash();
+  void recover();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  void crash_at(dlsim::SimTime when);
+  void recover_at(dlsim::SimTime when);
+  /// Whether a (re)connect attempt would be admitted right now.
+  [[nodiscard]] bool accepting() const;
+
+  /// Live server-side connections (reaped connections excluded).
+  [[nodiscard]] std::size_t connection_count() const {
+    return connections_.size();
+  }
+
  private:
   friend class RemoteIoQueue;
   struct Connection;
+
+  /// Admits one connection and starts its service daemons; returns nullptr
+  /// when the target is down.
+  Connection* open_connection(hw::NodeId client_node, std::uint32_t depth,
+                              RemoteIoQueue* queue);
+  /// Severs the initiator from a connection and reaps it once its daemons
+  /// and in-flight returns have drained.
+  void detach_connection(Connection* conn);
+  void maybe_reap(Connection* conn);
 
   dlsim::Task<void> dispatcher_loop(Connection& conn);
   dlsim::Task<void> harvester_loop(Connection& conn);
@@ -69,6 +109,7 @@ class NvmfTarget {
   hw::NvmeDevice* device_;
   dlsim::CpuCore poller_core_;
   dlsim::Mutex poller_mutex_;  // serializes work on the single poller core
+  bool crashed_ = false;
   std::vector<std::unique_ptr<Connection>> connections_;
 };
 

@@ -233,6 +233,61 @@ TEST(Simulator, DeadlockDetected) {
   EXPECT_THROW(sim.run(), dlsim::DeadlockError);
 }
 
+TEST(Simulator, DeadlockErrorNamesBlockedProcesses) {
+  Simulator sim;
+  Event ev(sim);
+  sim.spawn([](Event& e) -> Task<void> { co_await e.wait(); }(ev),
+            "stuck-reader");
+  // Daemons idle forever by design; they must not be named as culprits.
+  sim.spawn_daemon([](Event& e) -> Task<void> { co_await e.wait(); }(ev),
+                   "idle-server");
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const dlsim::DeadlockError& e) {
+    EXPECT_EQ(e.blocked_processes, 1u);
+    ASSERT_EQ(e.blocked_names.size(), 1u);
+    EXPECT_EQ(e.blocked_names[0], "stuck-reader");
+    EXPECT_NE(std::string(e.what()).find("stuck-reader"), std::string::npos);
+  }
+}
+
+TEST(Simulator, WatchdogPassesWhenWorkFinishesInTime) {
+  Simulator sim;
+  bool done = false;
+  sim.spawn([](Simulator& s, bool& d) -> Task<void> {
+    co_await s.delay(1000);
+    d = true;
+  }(sim, done));
+  EXPECT_NO_THROW(sim.run_watchdog(/*deadline=*/5000));
+  EXPECT_TRUE(done);
+}
+
+TEST(Simulator, WatchdogThrowsWhenProcessOutlivesDeadline) {
+  Simulator sim;
+  Event never(sim);
+  sim.spawn(
+      [](Simulator& s, Event& e) -> Task<void> {
+        co_await s.delay(100);
+        co_await e.wait();
+      }(sim, never),
+      "hung-recovery");
+  // A ticking daemon keeps the queue non-empty forever: without the
+  // deadline the loop would spin past the hang indefinitely.
+  sim.spawn_daemon(
+      [](Simulator& s) -> Task<void> {
+        for (;;) co_await s.delay(1000);
+      }(sim),
+      "ticker");
+  try {
+    sim.run_watchdog(/*deadline=*/5000);
+    FAIL() << "expected DeadlockError";
+  } catch (const dlsim::DeadlockError& e) {
+    ASSERT_EQ(e.blocked_names.size(), 1u);
+    EXPECT_EQ(e.blocked_names[0], "hung-recovery");
+  }
+}
+
 TEST(Simulator, AllowBlockedSuppressesDeadlock) {
   Simulator sim;
   Event ev(sim);

@@ -319,6 +319,85 @@ TEST(Nvmf, ManyClientsManyTargetsAllToAll) {
   }
 }
 
+TEST(Nvmf, DisconnectReapsConnection) {
+  FabricRig rig;
+  {
+    auto q = rig.target->connect(0, rig.client_pool);
+    rig.sim.run();
+    EXPECT_EQ(rig.target->connection_count(), 1u);
+  }
+  // Destroying the initiator queue detaches the server-side connection;
+  // once its service daemons observe the closed channel it is reaped —
+  // repeated connects must not accumulate dead state on the target.
+  rig.sim.run();
+  EXPECT_EQ(rig.target->connection_count(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    auto q = rig.target->connect(0, rig.client_pool);
+    rig.sim.run();
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.target->connection_count(), 0u);
+}
+
+TEST(Nvmf, CrashTimesOutReconnectFailsThenReprobeRevives) {
+  FabricRig rig;
+  dlfs::spdk::NvmfFaultParams fp;
+  fp.command_timeout = 1_ms;
+  fp.reconnect_backoff = 100_us;
+  fp.reconnect_backoff_max = 500_us;
+  fp.reconnect_attempts = 3;
+  auto q = rig.target->connect(0, rig.client_pool, /*depth=*/16, fp);
+  auto dma = rig.client_pool.allocate();
+  rig.sim.spawn([](FabricRig& r, IoQueue& q,
+                   std::span<std::byte> b) -> Task<void> {
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 4096), 1), IoStatus::kOk);
+    r.target->crash();  // the capsule dies inside the dead target
+    co_await q.wait_for_completion();
+    auto done = q.poll();
+    EXPECT_EQ(done.size(), 1u);
+    if (!done.empty()) {
+      EXPECT_EQ(done[0].user_tag, 1u);
+      EXPECT_EQ(done[0].status, IoStatus::kTimeout);
+    }
+    // Let the reconnect budget burn out against the crashed target.
+    co_await r.sim.delay(10_ms);
+    EXPECT_FALSE(q.connected());
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 4096), 2),
+              IoStatus::kConnectionLost);
+    EXPECT_EQ(r.target->connection_count(), 0u);  // stale conn reaped
+    const auto st = q.transport_stats();
+    EXPECT_EQ(st.timeouts, 1u);
+    EXPECT_EQ(st.connections_lost, 1u);
+    EXPECT_EQ(st.reconnects, 0u);
+    // Explicit revalidation once the target is back: the queue reconnects
+    // and serves reads again.
+    r.target->recover();
+    const bool ok = co_await q.reprobe();
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(q.connected());
+    EXPECT_EQ(r.target->connection_count(), 1u);
+    EXPECT_EQ(q.transport_stats().reconnects, 1u);
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 4096), 3), IoStatus::kOk);
+    co_await q.wait_for_completion();
+    auto revived = q.poll();
+    EXPECT_EQ(revived.size(), 1u);
+    if (!revived.empty()) EXPECT_EQ(revived[0].status, IoStatus::kOk);
+  }(rig, *q, dma.span()));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+}
+
+TEST(Nvmf, ScheduledCrashAndRecoverFlipAccepting) {
+  FabricRig rig;
+  rig.target->crash_at(1_ms);
+  rig.target->recover_at(2_ms);
+  EXPECT_TRUE(rig.target->accepting());
+  rig.sim.run_until(1_ms + 1);
+  EXPECT_FALSE(rig.target->accepting());
+  rig.sim.run_until(2_ms + 1);
+  EXPECT_TRUE(rig.target->accepting());
+}
+
 TEST(Nvmf, DestroyingQueueStopsServerLoops) {
   FabricRig rig;
   {
