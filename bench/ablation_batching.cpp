@@ -36,6 +36,9 @@ int main() {
                         BatchingMode::kChunkLevel}) {
         dlfs::core::DlfsConfig cfg;
         cfg.batching = mode;
+        // DLFS-Base is definitionally synchronous per-sample reads; keep
+        // the generalized async daemon out of the baseline column.
+        if (mode == BatchingMode::kNone) cfg.prefetch.enabled = false;
         row.push_back(
             Table::num(dlfs::bench::run_dlfs(w, cfg).samples_per_sec / 1e3, 1));
       }
@@ -134,11 +137,11 @@ int main() {
         for (;;) {
           if (zc) {
             auto b = co_await inst.bread_views(32);
-            if (b.samples.empty()) break;
+            if (b.end_of_epoch) break;
             inst.release_views(b);
           } else {
             auto b = co_await inst.bread(32, arena);
-            if (b.samples.empty()) break;
+            if (b.end_of_epoch) break;
           }
         }
       }(inst, zero_copy));
@@ -188,7 +191,7 @@ int main() {
         std::vector<std::byte> arena(64 * 4096);
         for (;;) {
           auto b = co_await inst.bread(32, arena);
-          if (b.samples.empty()) break;
+          if (b.end_of_epoch) break;
         }
       }(inst));
       sim.run();
@@ -220,11 +223,11 @@ int main() {
     for (std::uint32_t depth : {0u, 2u, 4u, 8u, 16u}) {
       dlfs::core::DlfsConfig cfg;
       cfg.batching = BatchingMode::kChunkLevel;
-      cfg.prefetch_units = depth;
-      cfg.async_prefetch = false;
+      cfg.prefetch.initial_units = depth;
+      cfg.prefetch.enabled = false;
       auto sync_r = dlfs::bench::run_dlfs(w, cfg, compute);
       report.add("mode=sync depth=" + std::to_string(depth), sync_r);
-      cfg.async_prefetch = true;
+      cfg.prefetch.enabled = true;
       auto async_r = dlfs::bench::run_dlfs(w, cfg, compute);
       report.add("mode=async depth=" + std::to_string(depth), async_r);
       t.add_row({Table::integer(depth),
@@ -238,6 +241,39 @@ int main() {
     std::printf("\nread-ahead: sync vs async (128 KiB, chunk-level, 1.5 ms "
                 "compute between breads)\n");
     t.print();
+
+    // Same sweep on the sample-level path, which the generalized daemon
+    // now serves: the sync baseline is the legacy batched demand fetch
+    // (no read-ahead, depth ignored), async fuses per-sample extents into
+    // window units and overlaps them with the injected compute.
+    Table ts({"depth", "sync Ksamples/s", "async Ksamples/s", "async stalls",
+              "stall ms"});
+    Workload ws;
+    ws.num_nodes = 1;
+    ws.sample_bytes = 4096;
+    ws.samples_per_node = 8192;
+    const auto compute_s = 200_us;
+    for (std::uint32_t depth : {0u, 2u, 4u, 8u, 16u}) {
+      dlfs::core::DlfsConfig cfg;
+      cfg.batching = BatchingMode::kSampleLevel;
+      cfg.prefetch.initial_units = depth;
+      cfg.prefetch.enabled = false;
+      auto sync_r = dlfs::bench::run_dlfs(ws, cfg, compute_s);
+      report.add("mode=sync-sample depth=" + std::to_string(depth), sync_r);
+      cfg.prefetch.enabled = true;
+      auto async_r = dlfs::bench::run_dlfs(ws, cfg, compute_s);
+      report.add("mode=async-sample depth=" + std::to_string(depth), async_r);
+      ts.add_row({Table::integer(depth),
+                  Table::num(sync_r.samples_per_sec / 1e3, 1),
+                  Table::num(async_r.samples_per_sec / 1e3, 1),
+                  Table::integer(async_r.prefetch.units_stalled),
+                  Table::num(static_cast<double>(async_r.prefetch.stall_ns) /
+                                 1e6,
+                             2)});
+    }
+    std::printf("\nread-ahead: sync vs async (4 KiB, sample-level, 200 us "
+                "compute between breads)\n");
+    ts.print();
     std::printf("wrote %s\n", report.write().c_str());
   }
   return 0;

@@ -41,7 +41,7 @@ Workload remote_pool_workload() {
 dlfs::core::DlfsConfig fault_config() {
   dlfs::core::DlfsConfig cfg;
   cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
-  cfg.prefetch_units = 8;
+  cfg.prefetch.initial_units = 8;
   // The timeout must clear the healthy tail queueing delay at this
   // prefetch depth (a few ms) or the transport false-positives; 20 ms
   // still lets detection + reconnect fit inside one epoch.

@@ -46,7 +46,7 @@ int main() {
     w1.samples_per_node = 256;
     dlfs::core::DlfsConfig cfg;
     cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
-    cfg.prefetch_units = 16;  // one client must cover many devices
+    cfg.prefetch.initial_units = 16;  // one client must cover many devices
     auto res1 = dlfs::bench::run_dlfs(w1, cfg);
 
     Workload w16 = w1;
@@ -54,7 +54,7 @@ int main() {
     w16.clients = 16;
     w16.storage = n;
     dlfs::core::DlfsConfig cfg16 = cfg;
-    cfg16.prefetch_units = 4;
+    cfg16.prefetch.initial_units = 4;
     auto res16 = dlfs::bench::run_dlfs(w16, cfg16);
 
     const double ideal1 =

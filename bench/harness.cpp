@@ -82,9 +82,7 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
           (w.batch_size + 1) * static_cast<std::size_t>(w.sample_bytes));
       for (;;) {
         auto batch = co_await inst.bread(w.batch_size, arena);
-        // End of epoch: no samples served AND none skipped. A degraded
-        // batch can be all-skipped yet the epoch still has units left.
-        if (batch.samples.empty() && batch.samples_skipped == 0) break;
+        if (batch.end_of_epoch) break;
         total += batch.samples.size();
       }
       done = std::max(done, sim.now());
@@ -104,10 +102,11 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
   for (std::uint32_t c = 0; c < n_clients; ++c) {
     auto& inst = fleet.instance(c);
     util += inst.io_core().utilization();
-    lookup_us += dlsim::to_micros(inst.lookup_time_total());
+    const core::InstanceStats st = inst.stats();
+    lookup_us += dlsim::to_micros(st.lookup_time_total);
     r.cache_hits += inst.cache().hits();
     r.cache_misses += inst.cache().misses();
-    const auto ps = inst.prefetch_stats();
+    const core::PrefetchStats& ps = st.prefetch;
     r.prefetch.units_issued += ps.units_issued;
     r.prefetch.units_resident_at_pick += ps.units_resident_at_pick;
     r.prefetch.units_stalled += ps.units_stalled;
@@ -116,6 +115,7 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.prefetch.window_shrinks += ps.window_shrinks;
     r.prefetch.units_dropped += ps.units_dropped;
     r.prefetch.units_reissued += ps.units_reissued;
+    r.prefetch.arbiter_throttles += ps.arbiter_throttles;
     r.prefetch.in_flight_hwm =
         std::max(r.prefetch.in_flight_hwm, ps.in_flight_hwm);
     r.prefetch.window_target =
@@ -127,7 +127,7 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.transport.connections_lost += ts.connections_lost;
     r.transport.reconnects += ts.reconnects;
     r.transport.replays += ts.replays;
-    r.samples_skipped += inst.samples_skipped();
+    r.samples_skipped += st.samples_skipped;
     r.nodes_down = std::max(r.nodes_down, eng.nodes_down());
   }
   r.client_cpu_util = util / n_clients;
@@ -412,6 +412,7 @@ std::string JsonReport::write() const {
         << ", \"prefetch_window_shrinks\": " << p.window_shrinks
         << ", \"prefetch_units_dropped\": " << p.units_dropped
         << ", \"prefetch_units_reissued\": " << p.units_reissued
+        << ", \"prefetch_arbiter_throttles\": " << p.arbiter_throttles
         << ", \"prefetch_window_target\": " << p.window_target
         << ", \"io_retries\": " << r.io_retries
         << ", \"io_timeouts\": " << r.transport.timeouts

@@ -62,7 +62,7 @@ int main() {
           std::vector<std::byte> arena(static_cast<std::size_t>(arena_bytes));
           for (;;) {
             auto batch = co_await inst.bread(16, arena);
-            if (batch.samples.empty()) break;
+            if (batch.end_of_epoch) break;
             count += batch.samples.size();
             for (const auto& s : batch.samples) ids.insert(s.sample_id);
           }

@@ -73,7 +73,7 @@ int main() {
         std::size_t batches = 0, samples = 0;
         for (;;) {
           auto batch = co_await inst.bread(32, arena);
-          if (batch.samples.empty()) break;
+          if (batch.end_of_epoch) break;
           ++batches;
           samples += batch.samples.size();
         }

@@ -33,7 +33,7 @@ std::vector<std::uint32_t> epoch_order_from_dlfs(
         std::vector<std::byte> arena(64_KiB);
         for (;;) {
           auto batch = co_await inst.bread(32, arena);
-          if (batch.samples.empty()) break;
+          if (batch.end_of_epoch) break;
           for (const auto& s : batch.samples) order.push_back(s.sample_id);
         }
       }(inst, order),

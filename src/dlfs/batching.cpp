@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "dlfs/sample_cache.hpp"
+
 namespace dlfs::core {
 
 BatchPlan::BatchPlan(const std::vector<SampleLocation>& layout,
@@ -116,6 +118,41 @@ std::vector<EpochSequence::UnitPicks> EpochSequence::take(std::size_t n) {
       ++cur_unit_;
       cur_sample_ = 0;
     }
+  }
+  return out;
+}
+
+EpochUnitProvider::EpochUnitProvider(const EpochSequence& seq,
+                                     std::uint32_t group,
+                                     const SampleCache* cache)
+    : seq_(&seq), group_(std::max<std::uint32_t>(group, 1)), cache_(cache) {}
+
+std::size_t EpochUnitProvider::num_units() const {
+  return (seq_->num_units() + group_ - 1) / group_;
+}
+
+std::vector<UnitExtent> EpochUnitProvider::unit_extents(
+    std::size_t slot) const {
+  std::vector<UnitExtent> out;
+  const std::size_t begin = slot * group_;
+  const std::size_t end =
+      std::min<std::size_t>(begin + group_, seq_->num_units());
+  out.reserve(end - begin);
+  for (std::size_t s = begin; s < end; ++s) {
+    const ReadUnit* u = seq_->unit_at(s);
+    if (u->is_chunk) {
+      // Chunk units are keyed by the epoch slot and fetched whole even
+      // when some of their samples are resident (the chunk path always
+      // consumes the full unit).
+      out.push_back(UnitExtent{u->nid, u->offset, u->len, s});
+      continue;
+    }
+    // Single-sample extents (sample-level/unbatched units and chunk-mode
+    // edge samples), keyed by sample id. With a cache attached, resident
+    // samples are served from it at consume time — don't re-read them.
+    const std::uint32_t id = u->samples.front().sample_id;
+    if (cache_ != nullptr && cache_->valid(id)) continue;
+    out.push_back(UnitExtent{u->nid, u->offset, u->len, id});
   }
   return out;
 }

@@ -76,6 +76,34 @@ class BatchPlan {
   std::size_t edge_units_ = 0;
 };
 
+/// One device extent of a prefetchable read unit. `key` is whatever the
+/// provider's consumer uses to recognize the extent when the unit is
+/// acquired — the sample id for per-sample extents, the slot itself for
+/// chunks and record files — so a provider may elide extents (e.g.
+/// already cache-resident samples) without breaking the mapping.
+struct UnitExtent {
+  std::uint16_t nid = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::uint64_t key = 0;
+};
+
+/// What the asynchronous prefetcher walks: an ordered list of read units,
+/// each a small set of device extents fetched as one window entry. One
+/// implementation per read path — chunk units, fused groups of per-sample
+/// extents, record files — so a single windowed daemon serves them all.
+class ReadUnitProvider {
+ public:
+  virtual ~ReadUnitProvider() = default;
+  [[nodiscard]] virtual std::size_t num_units() const = 0;
+  /// Extents of unit `slot` worth fetching *at call time*: the provider
+  /// may skip extents that are already resident elsewhere (sample cache).
+  [[nodiscard]] virtual std::vector<UnitExtent> unit_extents(
+      std::size_t slot) const = 0;
+};
+
+class SampleCache;
+
 /// One client's walk through an epoch's shuffled unit list.
 class EpochSequence {
  public:
@@ -119,6 +147,54 @@ class EpochSequence {
   std::size_t consumed_samples_ = 0;
   std::size_t cur_unit_ = 0;
   std::uint32_t cur_sample_ = 0;
+};
+
+/// ReadUnitProvider over an EpochSequence. Chunk mode maps 1:1 (group =
+/// 1, every epoch slot is one chunk/edge unit, keyed by the slot);
+/// sample-level and unbatched modes fuse `group` consecutive epoch slots
+/// — each a single-sample unit — into one prefetch unit whose extents
+/// are keyed by sample id. With a cache attached, extents whose sample
+/// is already resident are elided at issue time, so warm epochs cost no
+/// device read-ahead.
+class EpochUnitProvider final : public ReadUnitProvider {
+ public:
+  EpochUnitProvider(const EpochSequence& seq, std::uint32_t group,
+                    const SampleCache* cache);
+
+  [[nodiscard]] std::size_t num_units() const override;
+  [[nodiscard]] std::vector<UnitExtent> unit_extents(
+      std::size_t slot) const override;
+
+  /// The prefetch unit covering epoch slot `epoch_slot`.
+  [[nodiscard]] std::size_t unit_of(std::size_t epoch_slot) const {
+    return epoch_slot / group_;
+  }
+  [[nodiscard]] std::uint32_t group() const { return group_; }
+
+ private:
+  const EpochSequence* seq_;
+  std::uint32_t group_;
+  const SampleCache* cache_;  // may be null: no elision
+};
+
+/// Trivial provider over a precomputed extent list, one unit per extent
+/// (keyed by its slot). The record-file streaming path shuffles the
+/// mounted record files and hands them here.
+class ExtentListProvider final : public ReadUnitProvider {
+ public:
+  explicit ExtentListProvider(std::vector<UnitExtent> units)
+      : units_(std::move(units)) {}
+
+  [[nodiscard]] std::size_t num_units() const override {
+    return units_.size();
+  }
+  [[nodiscard]] std::vector<UnitExtent> unit_extents(
+      std::size_t slot) const override {
+    return {units_.at(slot)};
+  }
+
+ private:
+  std::vector<UnitExtent> units_;
 };
 
 }  // namespace dlfs::core

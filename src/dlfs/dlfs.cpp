@@ -35,6 +35,34 @@ std::vector<std::span<const std::byte>> window_views(
   return out;
 }
 
+/// Piece lengths of a `len`-byte extent split at the chunk size — the
+/// split start_extents performs; prefetched buffers come back in exactly
+/// these pieces.
+std::vector<std::uint32_t> piece_lens_of(std::uint32_t len,
+                                         std::uint64_t chunk_bytes) {
+  std::vector<std::uint32_t> lens;
+  std::uint32_t left = len;
+  while (left > 0) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, chunk_bytes));
+    lens.push_back(n);
+    left -= n;
+  }
+  return lens;
+}
+
+/// True when the stored extent error is a node-level fault (survivable:
+/// skip the samples); false for media and unknown errors (fatal).
+bool is_node_fault(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const IoError& e) {
+    return e.kind != IoErrorKind::kMedia;
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -303,17 +331,23 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   engine_->set_node_down_handler([this](std::uint16_t nid, bool up) {
     fleet_->directory_.set_node_available(nid, up);
   });
-  if (cfg.batching == BatchingMode::kChunkLevel && cfg.async_prefetch) {
-    PrefetcherConfig pcfg;
-    pcfg.min_units = cfg.prefetch_min_units;
-    pcfg.max_units = cfg.prefetch_max_units;
-    pcfg.initial_units = cfg.prefetch_units;
+  if (cfg.prefetch.enabled) {
     prefetcher_ = std::make_unique<Prefetcher>(
-        node.simulator(), *engine_, *pool_, cfg.chunk_bytes, pcfg,
+        node.simulator(), *engine_, *pool_, cfg.chunk_bytes, cfg.prefetch,
         "dlfs-prefetch-" + std::to_string(client_idx));
     engine_->set_pressure_reliever(
         [this] { return prefetcher_->relieve_pressure(); });
+    if (cfg.prefetch.shared_arbiter) {
+      arbiter_ = fleet.arbiter_for(fleet.client_nodes_[client_idx]);
+      prefetcher_->set_arbiter(arbiter_);
+    }
   }
+}
+
+std::shared_ptr<PrefetchArbiter> DlfsFleet::arbiter_for(hw::NodeId nid) {
+  auto& a = arbiters_[nid];
+  if (!a) a = std::make_shared<PrefetchArbiter>();
+  return a;
 }
 
 DlfsInstance::~DlfsInstance() = default;
@@ -362,9 +396,37 @@ dlsim::Task<void> DlfsInstance::read(const SampleHandle& h,
     throw std::invalid_argument("dlfs_read: destination too small");
   }
   if (h.sample_id == SampleHandle::kNoSample) {
-    // File-oriented read: straight through the engine, no sample cache.
-    co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
-                               dst.data());
+    // File-oriented read, no sample cache. When the handle is the next
+    // file of the installed streaming order (sequence_files), the
+    // prefetch daemon already has its extent in flight — consume it;
+    // out-of-order / unsequenced file reads go straight through the
+    // engine as before.
+    if (prefetcher_ && file_seq_active_ &&
+        file_cursor_ < file_extents_.size() &&
+        file_extents_[file_cursor_].nid == e.nid() &&
+        file_extents_[file_cursor_].offset == e.offset() &&
+        file_extents_[file_cursor_].len == e.len()) {
+      const std::size_t slot = file_cursor_;
+      ++file_cursor_;
+      AcquiredUnit au = co_await prefetcher_->acquire(slot, *io_core_);
+      if (!au.extents.empty() && au.extents.front().error) {
+        std::rethrow_exception(au.extents.front().error);
+      }
+      if (au.extents.empty()) {
+        co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
+                                   dst.data());
+      } else {
+        CopyJob job;
+        job.owned_pieces = std::move(au.extents.front().buffers);
+        job.piece_lens =
+            piece_lens_of(e.len(), fleet_->config_.chunk_bytes);
+        job.dst = dst.data();
+        co_await engine_->run_copy_inline(*io_core_, std::move(job));
+      }
+    } else {
+      co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
+                                 dst.data());
+    }
     ++samples_delivered_;
     bytes_delivered_ += e.len();
     co_return;
@@ -396,8 +458,57 @@ void DlfsInstance::sequence(std::uint64_t seed) {
   }
   seq_.emplace(*fleet_->plan_, seed, client_idx_, fleet_->num_clients());
   fetched_.clear();
+  acq_units_.clear();
+  file_seq_active_ = false;
   reprobe_pending_ = true;  // epoch boundary: revalidate down nodes once
-  if (prefetcher_) prefetcher_->start_epoch(&*seq_);
+  if (prefetcher_) {
+    // Chunk mode prefetches 1 unit = 1 chunk/edge extent (always fetched
+    // whole); sample-level and unbatched modes fuse group_samples
+    // consecutive per-sample slots into one unit and elide extents whose
+    // sample is already cache-resident.
+    const bool chunk = fleet_->config_.batching == BatchingMode::kChunkLevel;
+    epoch_provider_ = std::make_unique<EpochUnitProvider>(
+        *seq_, chunk ? 1u : fleet_->config_.prefetch.group_samples,
+        chunk ? nullptr : cache_.get());
+    prefetcher_->start_epoch(epoch_provider_.get());
+  }
+}
+
+const std::vector<std::string>& DlfsInstance::sequence_files(
+    std::uint64_t seed) {
+  const auto& per_slot = fleet_->record_files_;
+  std::vector<const DlfsFleet::RecordFileInfo*> all;
+  std::vector<std::uint16_t> owner;
+  for (std::uint16_t s = 0; s < per_slot.size(); ++s) {
+    for (const auto& f : per_slot[s]) {
+      all.push_back(&f);
+      owner.push_back(s);
+    }
+  }
+  if (all.empty()) {
+    throw std::logic_error(
+        "sequence_files: fleet mounted without record_file_samples");
+  }
+  // Same contract as sequence(): every client passes the same seed, gets
+  // the same global shuffle, and streams its strided share.
+  Rng rng(seed);
+  auto perm = rng.permutation(all.size());
+  file_order_.clear();
+  file_extents_.clear();
+  file_cursor_ = 0;
+  for (std::size_t i = client_idx_; i < perm.size();
+       i += fleet_->num_clients()) {
+    const DlfsFleet::RecordFileInfo* f = all[perm[i]];
+    file_extents_.push_back(UnitExtent{owner[perm[i]], f->offset, f->len,
+                                       file_extents_.size()});
+    file_order_.push_back(f->name);
+  }
+  file_seq_active_ = true;
+  if (prefetcher_) {
+    file_provider_ = std::make_unique<ExtentListProvider>(file_extents_);
+    prefetcher_->start_epoch(file_provider_.get());
+  }
+  return file_order_;
 }
 
 dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
@@ -422,7 +533,11 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
 
   Batch batch;
   auto picks = seq_->take(max_samples);
+  batch.end_of_epoch = picks.empty();
   if (picks.empty()) co_return batch;
+  // The daemon serves whatever order was installed last; a record-file
+  // streaming order (sequence_files) means bread fetches on demand.
+  const bool use_pf = prefetcher_ != nullptr && !file_seq_active_;
 
   // Frontend: directory lookups for every sample in the mini-batch.
   std::size_t total = 0;
@@ -458,7 +573,121 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
            fleet_->directory_.node_available(nid);
   };
 
-  if (mode == BatchingMode::kSampleLevel) {
+  if (mode == BatchingMode::kSampleLevel && use_pf) {
+    // Route the batch through the prefetch daemon: misses come out of the
+    // acquired read units (fused groups of per-sample extents, issued
+    // ahead of the cursor between bread calls) and copy through the SCQ
+    // pool; cache hits copy inline exactly as in the demand path — so
+    // delivery order and bytes are identical with the daemon on or off.
+    prefetcher_->ensure_issued_through(
+        epoch_provider_->unit_of(picks.back().unit_slot));
+    dlsim::CountdownLatch copy_latch(node_->simulator(), total);
+    // Injected poll-loop compute (Fig. 7b) runs concurrently with the
+    // acquires — the daemon keeps pumping I/O meanwhile.
+    dlsim::CountdownLatch inj_done(node_->simulator(), 1);
+    if (injected_ > 0) {
+      node_->simulator().spawn(
+          [](dlsim::CpuCore* core, dlsim::SimDuration d,
+             dlsim::CountdownLatch* done) -> dlsim::Task<void> {
+            co_await core->compute(d);
+            done->count_down();
+          }(io_core_, injected_, &inj_done));
+    } else {
+      inj_done.count_down();
+    }
+    std::exception_ptr fatal;
+    for (const auto& pk : picks) {
+      for (std::uint32_t i = 0; i < pk.count; ++i) {
+        const auto& us = pk.unit->samples[pk.first_sample + i];
+        const SampleLocation& loc = fleet_->layout_[us.sample_id];
+        const std::size_t uslot = epoch_provider_->unit_of(pk.unit_slot);
+        auto pu = acq_units_.find(uslot);
+        if (pu == acq_units_.end()) {
+          PendingUnit fresh;
+          fresh.unit = co_await prefetcher_->acquire(uslot, *io_core_);
+          const std::size_t begin = uslot * epoch_provider_->group();
+          fresh.slots_left = static_cast<std::uint32_t>(
+              std::min<std::size_t>(begin + epoch_provider_->group(),
+                                    seq_->num_units()) -
+              begin);
+          pu = acq_units_.emplace(uslot, std::move(fresh)).first;
+        }
+        PendingUnit& pun = pu->second;
+        AcquiredExtent* ax = nullptr;
+        for (auto& x : pun.unit.extents) {
+          if (x.key == us.sample_id) {
+            ax = &x;
+            break;
+          }
+        }
+        if (cache_->valid(us.sample_id)) {
+          // Hit: memcpy out of the cache; a prefetched duplicate (the
+          // sample became resident after issue) just drops with the unit.
+          cache_->note_hit();
+          const auto off = place(us.sample_id, loc.len);
+          CopyJob job;
+          job.views = cache_->pin(us.sample_id);
+          job.dst = arena.data() + off;
+          co_await engine_->run_copy_inline(*io_core_, std::move(job));
+          cache_->unpin(us.sample_id);
+          copy_latch.count_down();
+        } else if (ax != nullptr && !ax->error) {
+          cache_->note_miss();
+          const auto off = place(us.sample_id, loc.len);
+          CopyJob job;
+          job.owned_pieces = std::move(ax->buffers);
+          job.piece_lens =
+              piece_lens_of(loc.len, fleet_->config_.chunk_bytes);
+          job.dst = arena.data() + off;
+          job.cache_sample_id = us.sample_id;
+          job.latch = &copy_latch;
+          if (fleet_->config_.copy_threads == 0) {
+            co_await engine_->run_copy_inline(*io_core_, std::move(job));
+          } else {
+            co_await engine_->enqueue_copy(std::move(job));
+          }
+        } else if (ax != nullptr) {
+          // Read-ahead failure surfaces on the bread that owns the
+          // sample: media errors stay fatal (after the latches settle),
+          // node-level faults skip just this sample.
+          if (is_node_fault(ax->error)) {
+            ++batch.samples_skipped;
+          } else if (!fatal) {
+            fatal = ax->error;
+          }
+          copy_latch.count_down();
+        } else if (!node_up(loc.nid)) {
+          ++batch.samples_skipped;
+          copy_latch.count_down();
+        } else {
+          // Elided at issue time (the sample was cache-resident then) but
+          // evicted since: demand-fetch it like the synchronous path.
+          if (arena_pos + loc.len > arena.size()) {
+            throw std::invalid_argument(
+                "dlfs_bread: arena too small for batch");
+          }
+          cache_->note_miss();
+          try {
+            co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
+                                       loc.len, arena.data() + arena_pos,
+                                       us.sample_id);
+            (void)place(us.sample_id, loc.len);
+          } catch (const IoError& e) {
+            if (e.kind == IoErrorKind::kMedia) {
+              if (!fatal) fatal = std::current_exception();
+            } else {
+              ++batch.samples_skipped;
+            }
+          }
+          copy_latch.count_down();
+        }
+        if (--pun.slots_left == 0) acq_units_.erase(pu);
+      }
+    }
+    co_await inj_done.wait();
+    co_await copy_latch.wait();
+    if (fatal) std::rethrow_exception(fatal);
+  } else if (mode == BatchingMode::kSampleLevel) {
     // One request per sample, overlapped up to the queue depth; cache hits
     // are served with a memcpy only. Samples on an unavailable node are
     // skipped (cache hits still serve); per-request node faults surfacing
@@ -558,7 +787,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
       copies_by_slot.erase(slot);
       fetched_.erase(slot);
-      if (prefetcher_) prefetcher_->discard(slot);
+      if (use_pf) prefetcher_->discard(slot);
     };
 
     // With a copy pool, a resident unit's copies are scheduled as a
@@ -593,7 +822,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           "bread-copies");
     };
 
-    if (prefetcher_) {
+    if (use_pf) {
       // The daemon keeps a window of units in flight between bread calls;
       // here we only make sure every unit this batch needs has been issued
       // (the window may be shallower than the batch), then consume them in
@@ -623,16 +852,19 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
             skip_slot(slot);
             continue;
           }
-          try {
-            fetched_[slot].buffers =
-                co_await prefetcher_->acquire(slot, *io_core_);
-          } catch (const IoError& e) {
+          AcquiredUnit au = co_await prefetcher_->acquire(slot, *io_core_);
+          if (std::exception_ptr err = au.first_error()) {
             // Read-ahead faults surface here, on the bread that owns the
             // unit: media errors stay fatal; node-level faults skip.
-            if (e.kind == IoErrorKind::kMedia) throw;
+            if (!is_node_fault(err)) std::rethrow_exception(err);
             skip_slot(slot);
             continue;
           }
+          if (au.extents.empty()) {  // cannot happen for chunk units
+            skip_slot(slot);
+            continue;
+          }
+          fetched_[slot].buffers = std::move(au.extents.front().buffers);
         }
         auto it = copies_by_slot.find(slot);
         if (it != copies_by_slot.end() && !it->second.empty()) {
@@ -684,12 +916,12 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           list.clear();
         }
       }
-      // Synchronous read-ahead: fetch the next prefetch_units units along
+      // Synchronous read-ahead: fetch the next initial_units units along
       // with this batch so the device pipeline stays full across bread
       // calls (legacy mode; the async prefetcher replaces this).
       const std::size_t ra_end =
           std::min(seq_->num_units(),
-                   seq_->cursor_unit() + fleet_->config_.prefetch_units);
+                   seq_->cursor_unit() + fleet_->config_.prefetch.initial_units);
       for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
         const ReadUnit* u = seq_->unit_at(slot);
         if (!node_up(u->nid)) continue;  // no point read-ahead to a dead node
@@ -787,7 +1019,9 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
   }
   ViewBatch batch;
   auto picks = seq_->take(max_samples);
+  batch.end_of_epoch = picks.empty();
   if (picks.empty()) co_return batch;
+  const bool use_pf = prefetcher_ != nullptr && !file_seq_active_;
 
   std::size_t total = 0;
   for (const auto& pk : picks) total += pk.count;
@@ -811,12 +1045,12 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
   auto skip_slot = [&](std::size_t slot) {
     if (!skipped_slots.insert(slot).second) return;
     fetched_.erase(slot);
-    if (prefetcher_) prefetcher_->discard(slot);
+    if (use_pf) prefetcher_->discard(slot);
   };
 
   // Fetch the units backing this batch (plus read-ahead), then hand out
   // views — no copy stage at all.
-  if (prefetcher_) {
+  if (use_pf) {
     prefetcher_->ensure_issued_through(picks.back().unit_slot);
     dlsim::CountdownLatch inj_done(node_->simulator(), 1);
     if (injected_ > 0) {
@@ -836,13 +1070,19 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
           skip_slot(pk.unit_slot);
           continue;
         }
-        try {
-          fetched_[pk.unit_slot].buffers =
-              co_await prefetcher_->acquire(pk.unit_slot, *io_core_);
-        } catch (const IoError& e) {
-          if (e.kind == IoErrorKind::kMedia) throw;
+        AcquiredUnit au = co_await prefetcher_->acquire(pk.unit_slot,
+                                                        *io_core_);
+        if (std::exception_ptr err = au.first_error()) {
+          if (!is_node_fault(err)) std::rethrow_exception(err);
           skip_slot(pk.unit_slot);
+          continue;
         }
+        if (au.extents.empty()) {
+          skip_slot(pk.unit_slot);
+          continue;
+        }
+        fetched_[pk.unit_slot].buffers =
+            std::move(au.extents.front().buffers);
       }
     }
     co_await inj_done.wait();
@@ -866,9 +1106,9 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       }
       add_fetch(pk.unit_slot, pk.unit);
     }
-    const std::size_t ra_end =
-        std::min(seq_->num_units(),
-                 seq_->cursor_unit() + fleet_->config_.prefetch_units);
+    const std::size_t ra_end = std::min(
+        seq_->num_units(),
+        seq_->cursor_unit() + fleet_->config_.prefetch.initial_units);
     for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
       const ReadUnit* u = seq_->unit_at(slot);
       if (!node_up(u->nid)) continue;
@@ -950,9 +1190,18 @@ void DlfsInstance::release_views(ViewBatch& batch) {
 
 dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
                                                  std::span<std::byte> arena) {
-  // DLFS-Base: each sample is a synchronous dlfs_read — no overlap.
+  // DLFS-Base: each sample is a synchronous dlfs_read. With the daemon
+  // on, the reads themselves still land one at a time in epoch order —
+  // but the device works ahead of the cursor between them, so the
+  // per-sample wait collapses to a memcpy once the window is warm.
   Batch batch;
   auto picks = seq_->take(max_samples);
+  batch.end_of_epoch = picks.empty();
+  const bool use_pf = prefetcher_ != nullptr && !file_seq_active_;
+  if (use_pf && !picks.empty()) {
+    prefetcher_->ensure_issued_through(
+        epoch_provider_->unit_of(picks.back().unit_slot));
+  }
   std::uint64_t arena_pos = 0;
   auto node_up = [this](std::uint16_t nid) {
     return engine_->node_available(nid) &&
@@ -965,20 +1214,74 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
       if (arena_pos + loc.len > arena.size()) {
         throw std::invalid_argument("dlfs_bread: arena too small for batch");
       }
-      if (!cache_->valid(us.sample_id) && !node_up(loc.nid)) {
-        ++batch.samples_skipped;
-        continue;
+      PendingUnit* pun = nullptr;
+      if (use_pf) {
+        const std::size_t uslot = epoch_provider_->unit_of(pk.unit_slot);
+        auto pu = acq_units_.find(uslot);
+        if (pu == acq_units_.end()) {
+          PendingUnit fresh;
+          fresh.unit = co_await prefetcher_->acquire(uslot, *io_core_);
+          const std::size_t begin = uslot * epoch_provider_->group();
+          fresh.slots_left = static_cast<std::uint32_t>(
+              std::min<std::size_t>(begin + epoch_provider_->group(),
+                                    seq_->num_units()) -
+              begin);
+          pu = acq_units_.emplace(uslot, std::move(fresh)).first;
+        }
+        pun = &pu->second;
       }
-      SampleHandle h{us.sample_id,
-                     fleet_->directory_.lookup_id(us.sample_id)};
-      co_await charge_lookup();
-      try {
+      AcquiredExtent* ax = nullptr;
+      if (pun != nullptr) {
+        for (auto& x : pun->unit.extents) {
+          if (x.key == us.sample_id) {
+            ax = &x;
+            break;
+          }
+        }
+      }
+      bool served = false;
+      if (cache_->valid(us.sample_id)) {
+        SampleHandle h{us.sample_id,
+                       fleet_->directory_.lookup_id(us.sample_id)};
+        co_await charge_lookup();
         co_await read(h, arena.subspan(arena_pos, loc.len));
-      } catch (const IoError& e) {
-        if (e.kind == IoErrorKind::kMedia) throw;
+        served = true;
+      } else if (ax != nullptr && !ax->error) {
+        // The daemon already read this sample: the "read" is the
+        // directory walk plus a memcpy out of the prefetched chunks.
+        (void)fleet_->directory_.lookup_id(us.sample_id);
+        co_await charge_lookup();
+        cache_->note_miss();
+        CopyJob job;
+        job.owned_pieces = std::move(ax->buffers);
+        job.piece_lens = piece_lens_of(loc.len, fleet_->config_.chunk_bytes);
+        job.dst = arena.data() + arena_pos;
+        job.cache_sample_id = us.sample_id;
+        co_await engine_->run_copy_inline(*io_core_, std::move(job));
+        ++samples_delivered_;
+        bytes_delivered_ += loc.len;
+        served = true;
+      } else if (ax != nullptr) {
+        if (!is_node_fault(ax->error)) std::rethrow_exception(ax->error);
         ++batch.samples_skipped;
-        continue;
+      } else if (!node_up(loc.nid)) {
+        ++batch.samples_skipped;
+      } else {
+        SampleHandle h{us.sample_id,
+                       fleet_->directory_.lookup_id(us.sample_id)};
+        co_await charge_lookup();
+        try {
+          co_await read(h, arena.subspan(arena_pos, loc.len));
+          served = true;
+        } catch (const IoError& e) {
+          if (e.kind == IoErrorKind::kMedia) throw;
+          ++batch.samples_skipped;
+        }
       }
+      if (pun != nullptr && --pun->slots_left == 0) {
+        acq_units_.erase(epoch_provider_->unit_of(pk.unit_slot));
+      }
+      if (!served) continue;
       batch.samples.push_back(BatchSample{
           us.sample_id, fleet_->dataset_->sample(us.sample_id).class_id,
           static_cast<std::uint32_t>(arena_pos), loc.len});
@@ -987,7 +1290,7 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
   }
   batch.bytes = arena_pos;
   samples_skipped_ += batch.samples_skipped;
-  // read() already counted samples/bytes.
+  // read() / the inline copies above already counted samples/bytes.
   co_return batch;
 }
 

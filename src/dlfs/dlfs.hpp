@@ -51,21 +51,15 @@ struct DlfsConfig {
   std::uint32_t copy_threads = 2;          // SCQ copy-thread pool size
   BatchingMode batching = BatchingMode::kChunkLevel;
   std::size_t cache_chunks = 64;           // sample-cache LRU budget
-  // Chunk-mode read-ahead: keep this many upcoming read units fetched so
-  // the device pipeline stays full across bread calls (part of the
-  // paper's "maintain a high utilization of the NVMe devices"). With
-  // async_prefetch this seeds the adaptive window target; without it,
-  // bread fetches this many extra units synchronously (the legacy
-  // read-ahead, kept as the ablation baseline).
-  std::uint32_t prefetch_units = 4;
-  // Asynchronous epoch-aware prefetcher (chunk-level batching only): a
-  // per-instance daemon walks the epoch order ahead of the consumer and
-  // keeps an adaptive window of read units in flight across bread calls,
-  // so read-ahead overlaps application compute instead of inflating
-  // bread latency. Off -> the legacy synchronous read-ahead above.
-  bool async_prefetch = true;
-  std::uint32_t prefetch_min_units = 1;   // adaptive window lower bound
-  std::uint32_t prefetch_max_units = 32;  // adaptive window upper bound
+  // Asynchronous epoch-aware prefetcher (every batching mode and the
+  // record-file path): a per-instance daemon walks the read-unit order
+  // ahead of the consumer and keeps an adaptive window of units in
+  // flight across bread calls, so read-ahead overlaps application
+  // compute instead of inflating bread latency. `prefetch.enabled =
+  // false` falls back to the legacy synchronous read-ahead of
+  // `prefetch.initial_units` units (chunk mode) or pure demand fetching
+  // (sample-level / DLFS-Base), kept as the ablation baseline.
+  PrefetcherConfig prefetch{};
   // > 0: store the dataset as TFRecord-style batched files of this many
   // samples each (8-byte length+crc header per record). The directory
   // still indexes every sample individually — "we are able to have direct
@@ -104,9 +98,14 @@ struct Batch {
   std::uint64_t bytes = 0;
   // Samples this batch could not serve because their storage node is
   // unavailable (reconnect budget exhausted / partitioned). The epoch
-  // continues over the surviving subset; end-of-epoch is signalled by
-  // `samples.empty() && samples_skipped == 0`.
+  // continues over the surviving subset.
   std::uint64_t samples_skipped = 0;
+  // The epoch's sample order is exhausted; nothing further will be
+  // delivered until the next dlfs_sequence. Equivalent to the legacy
+  // sentinel `samples.empty() && samples_skipped == 0`, which remains
+  // true exactly when this flag is set (kept for one release; new code
+  // should test the flag).
+  bool end_of_epoch = false;
 };
 
 /// Zero-copy batch: samples are views into the huge-page sample cache
@@ -124,8 +123,23 @@ struct ViewBatch {
   std::vector<ViewSample> samples;
   std::uint64_t bytes = 0;
   std::uint64_t samples_skipped = 0;      // see Batch::samples_skipped
+  bool end_of_epoch = false;              // see Batch::end_of_epoch
   std::vector<std::size_t> pinned_slots;  // internal: units held
   std::uint64_t token = 0;                // internal: release bookkeeping
+};
+
+/// One snapshot of a DlfsInstance's delivery/telemetry counters (the
+/// former loose per-counter getters, consolidated).
+struct InstanceStats {
+  std::uint64_t samples_delivered = 0;
+  // Samples skipped across all breads because their storage node was
+  // unavailable (the epoch completed degraded).
+  std::uint64_t samples_skipped = 0;
+  std::uint64_t bytes_delivered = 0;
+  dlsim::SimDuration lookup_time_total = 0;
+  // Asynchronous-prefetcher counters (zero-initialized when the
+  // prefetcher is off): resident-at-pick / stall / window telemetry.
+  PrefetchStats prefetch{};
 };
 
 class DlfsFleet;
@@ -155,6 +169,17 @@ class DlfsInstance {
   /// client must call with the same seed — no communication happens).
   void sequence(std::uint64_t seed);
 
+  /// Installs a shuffled streaming order over the mounted record files
+  /// (record_file_samples > 0) and points the prefetch daemon at it:
+  /// open_file()+read() calls that follow the returned order find their
+  /// file already resident. Clients stride the shuffle exactly like
+  /// sequence(). A later sequence() re-targets the daemon back to the
+  /// sample epoch. Returns the file names in streaming order.
+  const std::vector<std::string>& sequence_files(std::uint64_t seed);
+  [[nodiscard]] const std::vector<std::string>& file_sequence() const {
+    return file_order_;
+  }
+
   /// dlfs_bread: reads up to `max_samples` of this client's share of the
   /// epoch into `arena`; returns the batch layout. Fewer samples (or an
   /// empty batch) signal the end of the epoch.
@@ -182,24 +207,19 @@ class DlfsInstance {
   [[nodiscard]] IoEngine& engine() { return *engine_; }
   [[nodiscard]] SampleCache& cache() { return *cache_; }
   [[nodiscard]] const mem::HugePagePool& pool() const { return *pool_; }
-  /// Asynchronous-prefetcher counters (zero-initialized when the
-  /// prefetcher is off): resident-at-pick / stall / window telemetry.
-  [[nodiscard]] PrefetchStats prefetch_stats() const {
-    return prefetcher_ ? prefetcher_->stats() : PrefetchStats{};
+  [[nodiscard]] const Prefetcher* prefetcher() const {
+    return prefetcher_.get();
   }
-  [[nodiscard]] std::uint64_t samples_delivered() const {
-    return samples_delivered_;
-  }
-  /// Samples skipped across all breads because their storage node was
-  /// unavailable (the epoch completed degraded).
-  [[nodiscard]] std::uint64_t samples_skipped() const {
-    return samples_skipped_;
-  }
-  [[nodiscard]] std::uint64_t bytes_delivered() const {
-    return bytes_delivered_;
-  }
-  [[nodiscard]] dlsim::SimDuration lookup_time_total() const {
-    return lookup_time_total_;
+
+  /// One consolidated snapshot of the delivery and prefetch counters.
+  [[nodiscard]] InstanceStats stats() const {
+    InstanceStats s;
+    s.samples_delivered = samples_delivered_;
+    s.samples_skipped = samples_skipped_;
+    s.bytes_delivered = bytes_delivered_;
+    s.lookup_time_total = lookup_time_total_;
+    if (prefetcher_) s.prefetch = prefetcher_->stats();
+    return s;
   }
 
  private:
@@ -226,11 +246,29 @@ class DlfsInstance {
   std::unique_ptr<SampleCache> cache_;
   std::unique_ptr<spdk::NvmeDriver> driver_;
   std::unique_ptr<IoEngine> engine_;
+  // Providers and the arbiter are declared before prefetcher_ (and the
+  // sequence below them): the daemon holds raw pointers into them, so
+  // they must outlive it on destruction.
+  std::optional<EpochSequence> seq_;
+  std::unique_ptr<EpochUnitProvider> epoch_provider_;
+  std::unique_ptr<ExtentListProvider> file_provider_;
+  std::shared_ptr<PrefetchArbiter> arbiter_;
   // Declared after engine_: destroyed first, while the engine (whose
   // pressure reliever points at it) is still alive.
   std::unique_ptr<Prefetcher> prefetcher_;
-  std::optional<EpochSequence> seq_;
   std::unordered_map<std::size_t, FetchedUnit> fetched_;
+  // Sample-level / unbatched prefetching: acquired units whose samples
+  // span bread calls (a fused unit rarely aligns with batch boundaries).
+  struct PendingUnit {
+    AcquiredUnit unit;
+    std::uint32_t slots_left = 0;  // epoch slots of the unit not consumed
+  };
+  std::unordered_map<std::size_t, PendingUnit> acq_units_;
+  // Record-file streaming order (sequence_files).
+  std::vector<std::string> file_order_;
+  std::vector<UnitExtent> file_extents_;
+  std::size_t file_cursor_ = 0;
+  bool file_seq_active_ = false;
   dlsim::SimDuration injected_ = 0;
   std::uint64_t samples_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
@@ -303,8 +341,18 @@ class DlfsFleet {
     return record_files_;
   }
 
+  /// The shared per-node prefetch arbiter (created lazily when a mounted
+  /// instance opts in via `prefetch.shared_arbiter`); nullptr when no
+  /// instance on `nid` registered.
+  [[nodiscard]] PrefetchArbiter* arbiter(hw::NodeId nid) const {
+    auto it = arbiters_.find(nid);
+    return it == arbiters_.end() ? nullptr : it->second.get();
+  }
+
  private:
   friend class DlfsInstance;
+
+  [[nodiscard]] std::shared_ptr<PrefetchArbiter> arbiter_for(hw::NodeId nid);
 
   cluster::Cluster* cluster_;
   cluster::Pfs* pfs_;
@@ -321,6 +369,8 @@ class DlfsFleet {
   std::unique_ptr<BatchPlan> plan_;
   std::vector<std::unique_ptr<spdk::NvmfTarget>> targets_;  // per slot
   std::vector<std::unique_ptr<DlfsInstance>> instances_;
+  // Per-node read-ahead arbiters for co-located instances (opt-in).
+  std::unordered_map<hw::NodeId, std::shared_ptr<PrefetchArbiter>> arbiters_;
   cluster::Barrier upload_barrier_;
   cluster::Barrier allgather_barrier_;
   cluster::Barrier ready_barrier_;

@@ -6,6 +6,43 @@
 
 namespace dlfs::core {
 
+// ---------------------------------------------------------------------------
+// PrefetchArbiter
+
+void PrefetchArbiter::register_member(Prefetcher& p) {
+  if (std::find(members_.begin(), members_.end(), &p) == members_.end()) {
+    members_.push_back(&p);
+  }
+}
+
+void PrefetchArbiter::unregister_member(Prefetcher& p) {
+  std::erase(members_, &p);
+}
+
+std::uint64_t PrefetchArbiter::chunk_allowance(const Prefetcher& p) const {
+  // Node-wide budget: every member's pool headroom beyond its reserve,
+  // plus what is already committed to read-ahead (so a full window is
+  // not counted as vanished budget). Split proportionally to the
+  // adaptive window targets — the daemons that stall grow their target
+  // and thereby their share.
+  std::uint64_t budget = 0;
+  std::uint64_t total_target = 0;
+  for (const Prefetcher* m : members_) {
+    budget += m->readahead_chunks() + m->pool_headroom_chunks();
+    total_target += m->window_target();
+  }
+  std::uint64_t share =
+      total_target > 0 ? budget * p.window_target() / total_target : budget;
+  // The share can never exceed what p's own pool actually holds (pools
+  // are per-instance; a neighbour's free chunks are not allocatable
+  // here), and never starves below one unit's worth.
+  share = std::min(share, p.readahead_chunks() + p.pool_headroom_chunks());
+  return std::max<std::uint64_t>(share, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetcher
+
 Prefetcher::Prefetcher(dlsim::Simulator& sim, IoEngine& engine,
                        mem::HugePagePool& pool, std::uint64_t chunk_bytes,
                        PrefetcherConfig config, const std::string& name)
@@ -24,33 +61,67 @@ Prefetcher::Prefetcher(dlsim::Simulator& sim, IoEngine& engine,
 }
 
 Prefetcher::~Prefetcher() {
+  if (arbiter_) arbiter_->unregister_member(*this);
   shutdown_ = true;
   wake_.set();
 }
 
-void Prefetcher::start_epoch(const EpochSequence* seq) {
+void Prefetcher::set_arbiter(std::shared_ptr<PrefetchArbiter> arbiter) {
+  if (arbiter_) arbiter_->unregister_member(*this);
+  arbiter_ = std::move(arbiter);
+  if (arbiter_) arbiter_->register_member(*this);
+}
+
+std::uint64_t Prefetcher::pool_headroom_chunks() const {
+  const std::uint64_t free = pool_->free_chunks();
+  return free > cfg_.reserve_chunks ? free - cfg_.reserve_chunks : 0;
+}
+
+void Prefetcher::start_epoch(const ReadUnitProvider* provider) {
   // Extents cannot be cancelled: unfinished read-ahead from the previous
   // epoch keeps draining on the daemon and its buffers drop on arrival.
   // Finished entries release their chunks right here, with the ops.
   for (auto& e : window_) {
-    if (!e.op->finished()) draining_.push_back(e.op);
+    for (auto& x : e.extents) {
+      if (!x.op->finished()) draining_.push_back(x.op);
+    }
   }
   window_.clear();
-  seq_ = seq;
+  ra_chunks_ = 0;
+  provider_ = provider;
   next_issue_ = 0;
   demand_floor_ = 0;
-  total_units_ = seq ? seq->my_units() : 0;
+  total_units_ = provider ? provider->num_units() : 0;
   wake_.set();
 }
 
-void Prefetcher::issue_back(std::size_t slot) {
-  const ReadUnit* u = seq_->unit_at(slot);
+std::uint64_t Prefetcher::extents_chunks(const std::vector<UnitExtent>& xs,
+                                         std::uint64_t chunk_bytes) {
+  std::uint64_t n = 0;
+  for (const auto& x : xs) n += ceil_div(x.len, chunk_bytes);
+  return n;
+}
+
+void Prefetcher::issue_entry(std::size_t slot, std::vector<UnitExtent> xs,
+                             bool front) {
   Entry e;
   e.slot = slot;
-  e.op = engine_->start_extent(
-      ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt, nullptr,
-                 {}});
-  window_.push_back(std::move(e));
+  e.chunks = extents_chunks(xs, chunk_bytes_);
+  e.extents.reserve(xs.size());
+  for (const auto& x : xs) {
+    Extent ex;
+    ex.key = x.key;
+    ex.op = engine_->start_extent(
+        ReadExtent{x.nid, x.offset, x.len, nullptr, std::nullopt, nullptr,
+                   {}});
+    e.extents.push_back(std::move(ex));
+  }
+  ra_chunks_ += e.chunks;
+  if (front) {
+    window_.push_front(std::move(e));
+  } else {
+    window_.push_back(std::move(e));
+  }
   ++stats_.units_issued;
   stats_.in_flight_hwm = std::max(
       stats_.in_flight_hwm, static_cast<std::uint32_t>(window_.size()));
@@ -58,27 +129,35 @@ void Prefetcher::issue_back(std::size_t slot) {
 }
 
 void Prefetcher::ensure_issued_through(std::size_t slot) {
-  if (seq_ == nullptr) return;
+  if (provider_ == nullptr) return;
   demand_floor_ = std::max(demand_floor_, slot + 1);
   while (next_issue_ <= slot && next_issue_ < total_units_) {
-    issue_back(next_issue_++);
+    issue_entry(next_issue_, provider_->unit_extents(next_issue_),
+                /*front=*/false);
+    ++next_issue_;
   }
 }
 
 void Prefetcher::top_up() {
-  if (seq_ == nullptr) return;
+  if (provider_ == nullptr) return;
   // The target is read-ahead depth beyond the demanded batch: demand
   // issues never count against it, so the device keeps working on future
   // units even while the consumer drains the current batch.
   const std::size_t limit = std::min<std::size_t>(
       total_units_, demand_floor_ + window_target_);
   while (next_issue_ < limit) {
-    const ReadUnit* u = seq_->unit_at(next_issue_);
-    const auto need =
-        static_cast<std::uint32_t>(ceil_div(u->len, chunk_bytes_));
-    if (pool_->free_chunks() < need + cfg_.reserve_chunks) {
-      // No pool headroom for more read-ahead: adapt the target down to
-      // the depth the pool actually sustains instead of thrashing.
+    auto xs = provider_->unit_extents(next_issue_);
+    const std::uint64_t need = extents_chunks(xs, chunk_bytes_);
+    const bool pool_blocked =
+        pool_->free_chunks() < need + cfg_.reserve_chunks;
+    const bool arbiter_blocked =
+        arbiter_ != nullptr && need > 0 &&
+        ra_chunks_ + need > arbiter_->chunk_allowance(*this);
+    if (pool_blocked || arbiter_blocked) {
+      // No headroom for more read-ahead — locally (pool) or node-wide
+      // (arbiter share): adapt the target down to the depth actually
+      // sustained instead of thrashing.
+      if (arbiter_blocked) ++stats_.arbiter_throttles;
       const auto depth = static_cast<std::uint32_t>(
           next_issue_ > demand_floor_ ? next_issue_ - demand_floor_ : 0);
       const auto floor_target =
@@ -90,7 +169,8 @@ void Prefetcher::top_up() {
       }
       return;
     }
-    issue_back(next_issue_++);
+    issue_entry(next_issue_, std::move(xs), /*front=*/false);
+    ++next_issue_;
   }
 }
 
@@ -99,7 +179,9 @@ ExtentOpPtr Prefetcher::oldest_unfinished() {
     if (!op->finished()) return op;
   }
   for (const auto& e : window_) {
-    if (!e.op->finished()) return e.op;
+    for (const auto& x : e.extents) {
+      if (!x.op->finished()) return x.op;
+    }
   }
   return nullptr;
 }
@@ -110,14 +192,22 @@ bool Prefetcher::relieve_pressure() {
   // cursor gets there. Entries being awaited (pinned) and unfinished ones
   // (chunks still in flight) cannot yield memory.
   for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
-    if (it->pinned || !it->op->finished() || it->op->error()) continue;
-    (void)it->op->take_buffers();  // DmaBuffers drop -> chunks freed
+    if (it->pinned) continue;
+    const bool resident_clean = std::all_of(
+        it->extents.begin(), it->extents.end(), [](const Extent& x) {
+          return x.op->finished() && !x.op->error();
+        });
+    if (!resident_clean || it->chunks == 0) continue;
+    for (auto& x : it->extents) {
+      (void)x.op->take_buffers();  // DmaBuffers drop -> chunks freed
+    }
     ++stats_.units_dropped;
     if (window_target_ > cfg_.min_units) {
       --window_target_;
       ++stats_.window_shrinks;
       stats_.window_target = window_target_;
     }
+    ra_chunks_ -= it->chunks;
     window_.erase(std::next(it).base());
     return true;
   }
@@ -126,38 +216,51 @@ bool Prefetcher::relieve_pressure() {
 
 void Prefetcher::discard(std::size_t slot) {
   demand_floor_ = std::max(demand_floor_, slot + 1);
+  // Never issued yet: just skip past it so top_up doesn't fetch a unit
+  // nobody will consume.
+  if (slot >= next_issue_) {
+    next_issue_ = std::max(next_issue_, slot + 1);
+    wake_.set();
+    return;
+  }
   auto it = std::find_if(window_.begin(), window_.end(),
                          [slot](const Entry& e) { return e.slot == slot; });
   if (it == window_.end() || it->pinned) return;
-  if (!it->op->finished()) {
-    draining_.push_back(it->op);
-  } else if (!it->op->error()) {
-    (void)it->op->take_buffers();  // DmaBuffers drop -> chunks freed
+  for (auto& x : it->extents) {
+    if (!x.op->finished()) {
+      draining_.push_back(x.op);
+    } else if (!x.op->error()) {
+      (void)x.op->take_buffers();  // DmaBuffers drop -> chunks freed
+    }
   }
+  ra_chunks_ -= it->chunks;
   window_.erase(it);
   wake_.set();
 }
 
 std::uint32_t Prefetcher::reissue_failed() {
-  if (seq_ == nullptr) return 0;
+  if (provider_ == nullptr) return 0;
   std::uint32_t n = 0;
   for (auto& e : window_) {
-    if (e.pinned || !e.op->error()) continue;
-    // An op can carry an error while extents still drain; those buffers
-    // cannot be reused, so the old op keeps draining off to the side.
-    if (!e.op->finished()) draining_.push_back(e.op);
-    const ReadUnit* u = seq_->unit_at(e.slot);
-    e.op = engine_->start_extent(
-        ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt, nullptr,
-                   {}});
-    ++stats_.units_reissued;
-    ++n;
+    if (e.pinned) continue;
+    for (auto& x : e.extents) {
+      if (!x.op->error()) continue;
+      // An op can carry an error while pieces still drain; those buffers
+      // cannot be reused, so the old op keeps draining off to the side.
+      if (!x.op->finished()) draining_.push_back(x.op);
+      const ReadExtent& rx = x.op->extent;
+      x.op = engine_->start_extent(
+          ReadExtent{rx.nid, rx.offset, rx.len, nullptr, std::nullopt,
+                     nullptr, {}});
+      ++stats_.units_reissued;
+      ++n;
+    }
   }
   if (n > 0) wake_.set();
   return n;
 }
 
-dlsim::Task<std::vector<mem::DmaBuffer>> Prefetcher::acquire(
+dlsim::Task<AcquiredUnit> Prefetcher::acquire(
     std::size_t slot, dlsim::CpuCore& consumer_core) {
   if (daemon_error_) std::rethrow_exception(daemon_error_);
   demand_floor_ = std::max(demand_floor_, slot + 1);
@@ -173,19 +276,14 @@ dlsim::Task<std::vector<mem::DmaBuffer>> Prefetcher::acquire(
       // The unit was shed under pool pressure; demand re-fetch it. With
       // in-order consumption every windowed slot is larger, so it goes
       // back to the front.
-      const ReadUnit* u = seq_->unit_at(slot);
-      Entry e;
-      e.slot = slot;
-      e.op = engine_->start_extent(
-          ReadExtent{u->nid, u->offset, u->len, nullptr, std::nullopt,
-                     nullptr, {}});
-      ++stats_.units_issued;
-      window_.push_front(std::move(e));
+      issue_entry(slot, provider_->unit_extents(slot), /*front=*/true);
     }
     it = find_entry();
   }
-  ExtentOpPtr op = it->op;
-  if (op->finished() && !op->error()) {
+  const bool resident = std::all_of(
+      it->extents.begin(), it->extents.end(),
+      [](const Extent& x) { return x.op->finished(); });
+  if (resident) {
     ++stats_.units_resident_at_pick;
   } else {
     // The window was not deep enough to cover this consumer's
@@ -199,14 +297,30 @@ dlsim::Task<std::vector<mem::DmaBuffer>> Prefetcher::acquire(
     }
     it->pinned = true;
     const dlsim::SimTime t0 = sim_->now();
-    co_await engine_->await_op(consumer_core, op);
+    // Snapshot the ops: the window may shift while awaiting.
+    std::vector<ExtentOpPtr> ops;
+    ops.reserve(it->extents.size());
+    for (const auto& x : it->extents) ops.push_back(x.op);
+    for (const auto& op : ops) {
+      if (op->finished()) continue;
+      co_await engine_->await_op(consumer_core, op);
+    }
     stats_.stall_ns += sim_->now() - t0;
-    it = find_entry();  // the window may have shifted during the await
+    it = find_entry();
   }
+  AcquiredUnit unit;
+  unit.extents.reserve(it->extents.size());
+  for (auto& x : it->extents) {
+    AcquiredExtent ax;
+    ax.key = x.key;
+    ax.error = x.op->error();
+    if (!ax.error) ax.buffers = x.op->take_buffers();
+    unit.extents.push_back(std::move(ax));
+  }
+  ra_chunks_ -= it->chunks;
   window_.erase(it);
   wake_.set();  // window space freed; the daemon can read further ahead
-  if (op->error()) std::rethrow_exception(op->error());
-  co_return op->take_buffers();
+  co_return unit;
 }
 
 dlsim::Task<void> Prefetcher::daemon_loop() {

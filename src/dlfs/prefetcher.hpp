@@ -10,32 +10,40 @@
 // waited on, inflating bread latency instead of hiding it.
 //
 // The Prefetcher is a per-instance daemon coroutine (own CpuCore, like
-// the SCQ copy threads) that walks the epoch order ahead of the consumer
-// cursor and keeps a window of read units in flight *across* bread calls:
-// while the trainer computes between breads, the daemon pumps the shared
-// IoEngine and upcoming units land in huge-page chunks. bread/bread_views
-// then find their units already resident (acquire() returns without
-// stalling) and await only what is genuinely missing.
+// the SCQ copy threads) that walks a *read-unit* order ahead of the
+// consumer cursor and keeps a window of units in flight *across* bread
+// calls. A read unit is whatever the installed ReadUnitProvider says it
+// is — one data chunk (chunk-level batching), a group of consecutive
+// per-sample extents (sample-level batching and DLFS-Base), or one whole
+// record file (the open_file() streaming path) — so one windowed daemon
+// serves every BatchingMode and the file-oriented API. While the trainer
+// computes between breads, the daemon pumps the shared IoEngine and
+// upcoming units land in huge-page chunks; bread then finds its units
+// already resident (acquire() returns without stalling) and awaits only
+// what is genuinely missing.
 //
 // Window policy (adaptive):
 //   * the target is the read-ahead depth *beyond* the highest slot the
 //     consumer has demanded so far — units of the current batch do not
 //     count against it, so the daemon keeps reading ahead of the batch
 //     even while the consumer is busy acquiring it;
-//   * target starts at clamp(prefetch_units, min, max) and grows by one
+//   * target starts at clamp(initial_units, min, max) and grows by one
 //     on every acquire() that had to stall — a stall means the window was
 //     not deep enough to cover the consumer's inter-arrival time;
 //   * it shrinks when the huge-page pool cannot hold more read-ahead
-//     (top_up blocked with less than `reserve_chunks` headroom), and when
-//     the engine invokes the pressure reliever — pool exhausted and
+//     (top_up blocked with less than `reserve_chunks` headroom), when the
+//     engine invokes the pressure reliever — pool exhausted and
 //     SampleCache::evict_lru_one() found nothing to yield — in which case
 //     the farthest resident, unconsumed unit is dropped and its chunks
-//     returned (it will be demand-fetched when the cursor reaches it).
+//     returned, and when a shared PrefetchArbiter caps this instance's
+//     read-ahead below what it wanted (co-located daemons competing for
+//     one node's huge pages).
 //
-// Failure model: a prefetched unit's IoError is stored on its ExtentOp
-// and rethrown by acquire() on the consumer that needs the unit — the
-// daemon never dies on a bad read-ahead, and errors keep surfacing from
-// bread exactly as with synchronous fetching.
+// Failure model: a prefetched extent's IoError is stored on its ExtentOp
+// and handed back *per extent* by acquire() — the daemon never dies on a
+// bad read-ahead, and the consumer routes each extent's error exactly as
+// it would a synchronous fetch failure (media fatal, node faults skip
+// just the affected samples).
 
 #include <cstdint>
 #include <deque>
@@ -52,13 +60,54 @@
 
 namespace dlfs::core {
 
+class Prefetcher;
+
+/// Divides one node's read-ahead budget among the co-located instances'
+/// prefetch daemons. Each daemon, before topping its window up, asks for
+/// its chunk allowance: the node-wide headroom (every member pool's free
+/// chunks beyond its reserve, plus chunks already held as read-ahead)
+/// split proportionally to the members' adaptive window targets — an
+/// instance that stalls often grows its target and thereby its share,
+/// while an instance coasting on a shallow window yields huge pages to
+/// its neighbours instead of each daemon shrinking blindly on local
+/// pool pressure alone. An instance's allowance never exceeds what its
+/// own pool can actually hold, and never starves below one unit.
+class PrefetchArbiter {
+ public:
+  PrefetchArbiter() = default;
+  PrefetchArbiter(const PrefetchArbiter&) = delete;
+  PrefetchArbiter& operator=(const PrefetchArbiter&) = delete;
+
+  void register_member(Prefetcher& p);
+  void unregister_member(Prefetcher& p);
+  [[nodiscard]] std::size_t members() const { return members_.size(); }
+
+  /// Chunks `p` may hold as read-ahead right now.
+  [[nodiscard]] std::uint64_t chunk_allowance(const Prefetcher& p) const;
+
+ private:
+  std::vector<Prefetcher*> members_;
+};
+
 struct PrefetcherConfig {
+  // Off -> no daemon; bread falls back to the legacy synchronous
+  // read-ahead (chunk mode) or pure demand fetching (sample-level /
+  // DLFS-Base), kept as the ablation baseline.
+  bool enabled = true;
   std::uint32_t min_units = 1;      // adaptive window lower bound
   std::uint32_t max_units = 32;     // adaptive window upper bound
-  std::uint32_t initial_units = 4;  // starting window target
+  std::uint32_t initial_units = 4;  // starting window target; also the
+                                    // legacy sync read-ahead depth
   // Pool chunks kept free for demand fetches and the sample cache when
   // sizing read-ahead; top_up never takes the pool below this.
   std::uint32_t reserve_chunks = 8;
+  // Sample-level / unbatched modes: consecutive epoch slots fused into
+  // one read unit, so tiny per-sample extents amortize the window
+  // bookkeeping (chunk mode is always 1 unit = 1 chunk).
+  std::uint32_t group_samples = 8;
+  // Register with the fleet's per-node PrefetchArbiter so co-located
+  // instances share the node's read-ahead budget.
+  bool shared_arbiter = false;
 };
 
 struct PrefetchStats {
@@ -71,7 +120,27 @@ struct PrefetchStats {
   std::uint64_t window_shrinks = 0;
   std::uint64_t units_dropped = 0;   // shed under pool pressure
   std::uint64_t units_reissued = 0;  // retried after a node came back
+  std::uint64_t arbiter_throttles = 0;  // top-ups capped by the arbiter
   std::uint32_t window_target = 0;   // current adaptive target
+};
+
+/// One extent of an acquired read unit, identified by the provider's
+/// key. `error` is the stored IoError of a failed read-ahead (buffers
+/// empty); the consumer routes it exactly like a demand-fetch failure.
+struct AcquiredExtent {
+  std::uint64_t key = 0;
+  std::vector<mem::DmaBuffer> buffers;
+  std::exception_ptr error{};
+};
+
+struct AcquiredUnit {
+  std::vector<AcquiredExtent> extents;
+  [[nodiscard]] std::exception_ptr first_error() const {
+    for (const auto& x : extents) {
+      if (x.error) return x.error;
+    }
+    return {};
+  }
 };
 
 class Prefetcher {
@@ -84,10 +153,13 @@ class Prefetcher {
   Prefetcher(const Prefetcher&) = delete;
   Prefetcher& operator=(const Prefetcher&) = delete;
 
-  /// Installs a new epoch order. Unfinished read-ahead from the previous
-  /// epoch keeps draining in the background (extents cannot be cancelled)
-  /// and its buffers are dropped on completion.
-  void start_epoch(const EpochSequence* seq);
+  /// Joins / leaves a shared per-node arbiter (unregisters on destruction).
+  void set_arbiter(std::shared_ptr<PrefetchArbiter> arbiter);
+
+  /// Installs a new read-unit order. Unfinished read-ahead from the
+  /// previous order keeps draining in the background (extents cannot be
+  /// cancelled) and its buffers are dropped on completion.
+  void start_epoch(const ReadUnitProvider* provider);
 
   /// Demand-issues every unit up to and including `slot` that is not
   /// already in the window — bread calls this for its whole pick list
@@ -95,11 +167,13 @@ class Prefetcher {
   /// fetches all its units concurrently.
   void ensure_issued_through(std::size_t slot);
 
-  /// Hands over the buffers of unit `slot` (chunk pieces in on-device
-  /// order), waiting — and pumping the engine on `consumer_core` — only
-  /// if the unit is not resident yet. Consumption must be in slot order
-  /// (the EpochSequence contract). Rethrows the unit's IoError, if any.
-  [[nodiscard]] dlsim::Task<std::vector<mem::DmaBuffer>> acquire(
+  /// Hands over unit `slot`'s extents (buffers in on-device order, or a
+  /// stored error per failed extent), waiting — and pumping the engine on
+  /// `consumer_core` — only if the unit is not fully resident yet.
+  /// Consumption must be in slot order (the provider contract). Extents
+  /// the provider elided at issue time (e.g. already cache-resident
+  /// samples) are simply absent.
+  [[nodiscard]] dlsim::Task<AcquiredUnit> acquire(
       std::size_t slot, dlsim::CpuCore& consumer_core);
 
   /// Engine pressure callback: drops the farthest resident unconsumed
@@ -112,25 +186,36 @@ class Prefetcher {
   /// cancelled); resident buffers are freed immediately.
   void discard(std::size_t slot);
 
-  /// Re-issues every unconsumed window entry whose op failed — called
+  /// Re-issues every unconsumed window extent whose op failed — called
   /// after a down node is revalidated, so read-ahead issued while the node
   /// was unavailable is retried instead of surfacing stale errors. Returns
-  /// the number of units reissued.
+  /// the number of extents reissued.
   std::uint32_t reissue_failed();
 
   [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
   [[nodiscard]] dlsim::CpuCore& core() { return *core_; }
   [[nodiscard]] std::size_t window_size() const { return window_.size(); }
   [[nodiscard]] std::uint32_t window_target() const { return window_target_; }
+  // Arbiter inputs: chunks currently held by the window as read-ahead,
+  // and this instance's pool headroom beyond its configured reserve.
+  [[nodiscard]] std::uint64_t readahead_chunks() const { return ra_chunks_; }
+  [[nodiscard]] std::uint64_t pool_headroom_chunks() const;
 
  private:
+  struct Extent {
+    std::uint64_t key = 0;
+    ExtentOpPtr op;
+  };
   struct Entry {
     std::size_t slot = 0;
-    ExtentOpPtr op;
+    std::vector<Extent> extents;
+    std::uint64_t chunks = 0;  // pool chunks this unit's extents occupy
     bool pinned = false;  // a consumer is awaiting it; reliever must skip
   };
 
-  void issue_back(std::size_t slot);
+  [[nodiscard]] static std::uint64_t extents_chunks(
+      const std::vector<UnitExtent>& xs, std::uint64_t chunk_bytes);
+  void issue_entry(std::size_t slot, std::vector<UnitExtent> xs, bool front);
   void top_up();
   [[nodiscard]] ExtentOpPtr oldest_unfinished();
   dlsim::Task<void> daemon_loop();
@@ -142,12 +227,14 @@ class Prefetcher {
   PrefetcherConfig cfg_;
   std::unique_ptr<dlsim::CpuCore> core_;
   dlsim::Event wake_;
-  const EpochSequence* seq_ = nullptr;
+  const ReadUnitProvider* provider_ = nullptr;
+  std::shared_ptr<PrefetchArbiter> arbiter_;
   std::deque<Entry> window_;  // slot order; front = next to be consumed
   std::vector<ExtentOpPtr> draining_;  // abandoned epochs' unfinished ops
   std::size_t next_issue_ = 0;
   std::size_t demand_floor_ = 0;  // one past the highest demanded slot
   std::size_t total_units_ = 0;
+  std::uint64_t ra_chunks_ = 0;  // sum of window_[i].chunks
   std::uint32_t window_target_;
   PrefetchStats stats_;
   std::exception_ptr daemon_error_{};

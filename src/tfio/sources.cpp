@@ -14,10 +14,12 @@ DlfsSource::DlfsSource(core::DlfsInstance& instance, std::uint64_t epoch_seed,
 }
 
 dlsim::Task<std::optional<Element>> DlfsSource::next() {
-  if (cursor_ >= pending_.samples.size()) {
+  while (cursor_ >= pending_.samples.size()) {
     pending_ = co_await instance_->bread(io_batch_, arena_);
     cursor_ = 0;
-    if (pending_.samples.empty()) co_return std::nullopt;
+    if (pending_.end_of_epoch) co_return std::nullopt;
+    // A non-final batch can come back empty when every sample was
+    // skipped (degraded epoch) — keep pulling until data or epoch end.
   }
   const auto& s = pending_.samples[cursor_++];
   co_return Element{s.sample_id, s.class_id, s.len};

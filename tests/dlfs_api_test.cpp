@@ -189,7 +189,7 @@ Task<void> drain_epoch(Rig& r, DlfsInstance& inst, std::size_t batch_size,
   std::vector<std::byte> arena(batch_size * (r.ds.max_sample_bytes() + 16));
   for (;;) {
     Batch b = co_await inst.bread(batch_size, arena);
-    if (b.samples.empty()) break;
+    if (b.end_of_epoch) break;
     for (const auto& s : b.samples) {
       out.order.push_back(s.sample_id);
       out.total_bytes += s.len;

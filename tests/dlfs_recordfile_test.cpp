@@ -150,7 +150,7 @@ TEST(RecordFileMount, BreadEpochCoversBatchedDataset) {
       std::vector<std::byte> arena(64_KiB), want(700);
       for (;;) {
         Batch b = co_await inst.bread(16, arena);
-        if (b.samples.empty()) break;
+        if (b.end_of_epoch) break;
         for (const auto& smp : b.samples) {
           s.insert(smp.sample_id);
           r.ds.fill_content(smp.sample_id, 0, want);

@@ -93,7 +93,7 @@ TEST(ZeroCopyBread, EpochCoversDatasetExactly) {
                    bool& ok) -> Task<void> {
     for (;;) {
       ViewBatch b = co_await inst.bread_views(17);
-      if (b.samples.empty()) break;
+      if (b.end_of_epoch) break;
       for (const auto& vs : b.samples) {
         if (!s.insert(vs.sample_id).second) ok = false;
         if (!view_matches(r.ds, vs)) ok = false;
@@ -118,7 +118,7 @@ TEST(ZeroCopyBread, ChunksStayPinnedUntilRelease) {
     // must not be recycled underneath b1's views.
     for (;;) {
       ViewBatch b = co_await inst.bread_views(64);
-      if (b.samples.empty()) break;
+      if (b.end_of_epoch) break;
       inst.release_views(b);
     }
     EXPECT_EQ(b1.samples[0].pieces[0][0], first);  // still readable
@@ -186,11 +186,11 @@ TEST(ZeroCopyBread, EliminatesTheCopyStage) {
       for (;;) {
         if (zc) {
           ViewBatch b = co_await inst.bread_views(32);
-          if (b.samples.empty()) break;
+          if (b.end_of_epoch) break;
           inst.release_views(b);
         } else {
           auto b = co_await inst.bread(32, arena);
-          if (b.samples.empty()) break;
+          if (b.end_of_epoch) break;
         }
       }
     }(inst, zero_copy));

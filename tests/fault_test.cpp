@@ -117,7 +117,7 @@ TEST(FaultInjection, DlfsRetriesTransientFaultsAndSucceeds) {
     std::size_t n = 0;
     for (;;) {
       auto b = co_await inst.bread(16, arena);
-      if (b.samples.empty()) break;
+      if (b.end_of_epoch) break;
       n += b.samples.size();
     }
     ok = n == 128;
@@ -141,7 +141,7 @@ TEST(FaultInjection, DlfsRemoteRetriesOverFabric) {
           std::vector<std::byte> arena(64_KiB);
           for (;;) {
             auto b = co_await inst.bread(16, arena);
-            if (b.samples.empty()) break;
+            if (b.end_of_epoch) break;
             n += b.samples.size();
           }
         }(rig.fleet.instance(c), total));
@@ -239,7 +239,7 @@ Task<void> run_epoch(dlfs::core::DlfsInstance& inst, EpochTally& t) {
   std::vector<std::byte> arena(64_KiB);
   for (;;) {
     auto b = co_await inst.bread(16, arena);
-    if (b.samples.empty() && b.samples_skipped == 0) break;
+    if (b.end_of_epoch) break;
     t.served += b.samples.size();
     t.skipped += b.samples_skipped;
   }
@@ -260,7 +260,7 @@ TEST(FaultInjection, TargetCrashMidEpochCompletesDegraded) {
   EXPECT_GT(t.served, 0u);
   EXPECT_GT(t.skipped, 0u);
   EXPECT_EQ(t.served + t.skipped, RemoteFleetRig::kSamples);
-  EXPECT_EQ(inst.samples_skipped(), t.skipped);
+  EXPECT_EQ(inst.stats().samples_skipped, t.skipped);
   const auto ts = inst.engine().transport_stats();
   EXPECT_GT(ts.timeouts, 0u);
   EXPECT_GE(ts.connections_lost, 1u);
@@ -283,7 +283,7 @@ TEST(FaultInjection, TargetCrashThenRecoverServesFullEpochAfterReconnect) {
         std::vector<std::byte> arena(64_KiB);
         for (;;) {
           auto b = co_await inst.bread(16, arena);
-          if (b.samples.empty() && b.samples_skipped == 0) break;
+          if (b.end_of_epoch) break;
           e1.served += b.samples.size();
           e1.skipped += b.samples_skipped;
         }
@@ -295,7 +295,7 @@ TEST(FaultInjection, TargetCrashThenRecoverServesFullEpochAfterReconnect) {
         inst.sequence(2);
         for (;;) {
           auto b = co_await inst.bread(16, arena);
-          if (b.samples.empty() && b.samples_skipped == 0) break;
+          if (b.end_of_epoch) break;
           e2.served += b.samples.size();
           e2.skipped += b.samples_skipped;
         }
@@ -376,7 +376,7 @@ TEST(FaultInjection, PrefetcherSurvivesTransientFaultSweep) {
     rig.sim.rethrow_failures();
     EXPECT_EQ(t2.served, 128u) << "rate " << c.rate;
     total_retries += inst.engine().retries();
-    EXPECT_GT(inst.prefetch_stats().units_issued, 0u);
+    EXPECT_GT(inst.stats().prefetch.units_issued, 0u);
   }
   EXPECT_GT(total_retries, 0u);
 }
@@ -411,7 +411,7 @@ TEST(FaultInjection, ReadAheadErrorSurfacesOnOwningBreadAndDaemonSurvives) {
   rig.sim.run();
   EXPECT_FALSE(p2.failed());
   EXPECT_EQ(t.served, 128u);
-  EXPECT_GT(inst.prefetch_stats().units_issued, 0u);
+  EXPECT_GT(inst.stats().prefetch.units_issued, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -205,7 +205,7 @@ TEST_P(DlfsStackProperty, EpochIsExactCoverWithExactBytes) {
       std::vector<std::byte> want;
       for (;;) {
         auto b = co_await inst.bread(13, arena);  // odd batch on purpose
-        if (b.samples.empty()) break;
+        if (b.end_of_epoch) break;
         for (const auto& smp : b.samples) {
           if (!s.insert(smp.sample_id).second) ok = false;  // duplicate!
           bytes += smp.len;
@@ -262,7 +262,7 @@ TEST(DlfsStackProperty, TwoEpochsDifferentSeedsBothCover) {
         std::vector<std::byte> arena(64_KiB);
         for (;;) {
           auto b = co_await inst.bread(8, arena);
-          if (b.samples.empty()) break;
+          if (b.end_of_epoch) break;
           for (const auto& s : b.samples) out.push_back(s.sample_id);
         }
       }(fleet.instance(c), order));
