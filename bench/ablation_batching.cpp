@@ -1,4 +1,4 @@
-// Ablation of the design choices DESIGN.md §6 calls out (not a paper
+// Ablation of the design choices DESIGN.md §7 calls out (not a paper
 // figure): batching mode, chunk size, SPDK queue depth, and the
 // SCQ copy-thread pool, all on a single node with a local device.
 

@@ -174,7 +174,6 @@ std::optional<std::uint32_t> DlfsFleet::sample_id_of(
 
 dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
   auto& sim = cluster_->simulator();
-  const auto& cal = config_.calibration;
 
   // --- storage role: upload shard, build directory slice ------------------
   if (p < storage_nodes_.size()) {

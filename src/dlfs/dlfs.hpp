@@ -101,10 +101,8 @@ struct Batch {
   // continues over the surviving subset.
   std::uint64_t samples_skipped = 0;
   // The epoch's sample order is exhausted; nothing further will be
-  // delivered until the next dlfs_sequence. Equivalent to the legacy
-  // sentinel `samples.empty() && samples_skipped == 0`, which remains
-  // true exactly when this flag is set (kept for one release; new code
-  // should test the flag).
+  // delivered until the next dlfs_sequence. This flag is the only
+  // epoch-end signal — do not infer it from batch contents.
   bool end_of_epoch = false;
 };
 
@@ -181,8 +179,8 @@ class DlfsInstance {
   }
 
   /// dlfs_bread: reads up to `max_samples` of this client's share of the
-  /// epoch into `arena`; returns the batch layout. Fewer samples (or an
-  /// empty batch) signal the end of the epoch.
+  /// epoch into `arena`; returns the batch layout. Epoch end is reported
+  /// via `Batch::end_of_epoch`.
   [[nodiscard]] dlsim::Task<Batch> bread(std::size_t max_samples,
                                          std::span<std::byte> arena);
 

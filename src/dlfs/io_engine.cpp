@@ -113,6 +113,7 @@ dlsim::Task<void> IoEngine::wait_any(dlsim::CpuCore& core) {
   if (!known && !any_unknown && !delayed_.empty()) {
     // Nothing in flight — only backed-off retries. Spin until the
     // earliest one is due.
+    dlsim::AccessSlice slice{pieces_ledger_, /*write=*/false};
     dlsim::SimTime due = delayed_.front().not_before;
     for (const Piece& p : delayed_) due = std::min(due, p.not_before);
     known = due;
@@ -174,6 +175,7 @@ spdk::IoQueueStats IoEngine::transport_stats() const {
 
 void IoEngine::promote_delayed() {
   if (delayed_.empty()) return;
+  dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
   const dlsim::SimTime now = sim_->now();
   for (auto it = delayed_.begin(); it != delayed_.end();) {
     if (it->not_before <= now) {
@@ -187,6 +189,7 @@ void IoEngine::promote_delayed() {
 
 std::vector<ExtentOpPtr> IoEngine::start_extents(
     std::vector<ReadExtent> extents) {
+  dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
   std::vector<ExtentOpPtr> ops;
   ops.reserve(extents.size());
   for (auto& x : extents) {
@@ -280,45 +283,54 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
     // *and* nothing is in flight the read can never make progress — fail
     // loudly instead of livelocking.
     while (!to_post_.empty()) {
-      if (to_post_.front().op->error_) {
-        // The extent already failed; drop its remaining queued pieces.
-        to_post_.pop_front();
-        progress = true;
-        continue;
-      }
-      const std::uint16_t nid = to_post_.front().op->extent.nid;
-      if (!node_available(nid)) {
-        Piece dead = std::move(to_post_.front());
-        to_post_.pop_front();
-        fail_op(*dead.op, std::make_exception_ptr(IoError(
-                              nid, dead.offset, IoErrorKind::kNodeDown)));
-        progress = true;
-        continue;
-      }
-      spdk::IoQueue& q = *targets_[nid];
-      if (q.outstanding() >= q.depth()) break;
-      if (pool_->free_chunks() == 0 && !to_post_.front().buffer.valid()) {
-        bool freed = cache_->evict_lru_one();
-        if (!freed && pressure_reliever_) freed = pressure_reliever_();
-        if (!freed) {
-          if (in_flight_.empty() && scq_->empty() && copies_pending_ == 0 &&
-              delayed_.empty()) {
-            throw std::runtime_error(
-                "huge-page pool exhausted: cache pinned + nothing in flight");
-          }
-          break;
+      Piece p;
+      spdk::IoQueue* q = nullptr;
+      {
+        // Suspension-free slice: claim (or reject) the head piece before
+        // the prep/post compute charge suspends this pumper.
+        dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+        if (to_post_.front().op->error_) {
+          // The extent already failed; drop its remaining queued pieces.
+          to_post_.pop_front();
+          progress = true;
+          continue;
         }
+        const std::uint16_t nid = to_post_.front().op->extent.nid;
+        if (!node_available(nid)) {
+          Piece dead = std::move(to_post_.front());
+          to_post_.pop_front();
+          fail_op(*dead.op, std::make_exception_ptr(IoError(
+                                nid, dead.offset, IoErrorKind::kNodeDown)));
+          progress = true;
+          continue;
+        }
+        q = targets_[nid].get();
+        if (q->outstanding() >= q->depth()) break;
+        if (pool_->free_chunks() == 0 && !to_post_.front().buffer.valid()) {
+          bool freed = cache_->evict_lru_one();
+          if (!freed && pressure_reliever_) freed = pressure_reliever_();
+          if (!freed) {
+            if (in_flight_.empty() && scq_->empty() && copies_pending_ == 0 &&
+                delayed_.empty()) {
+              throw std::runtime_error(
+                  "huge-page pool exhausted: cache pinned + nothing in "
+                  "flight");
+            }
+            break;
+          }
+        }
+        p = std::move(to_post_.front());
+        to_post_.pop_front();
       }
-      Piece p = std::move(to_post_.front());
-      to_post_.pop_front();
       if (!p.buffer.valid()) p.buffer = pool_->allocate();  // retry keeps its
       ++p.attempts;
       co_await core.compute(cal_->dlfs.prep_request + cal_->dlfs.sq_post);
       const std::uint64_t tag = next_tag_++;
-      const auto st = q.submit(spdk::IoOp::kRead, p.offset,
-                               p.buffer.span().subspan(0, p.len), tag);
+      const auto st = q->submit(spdk::IoOp::kRead, p.offset,
+                                p.buffer.span().subspan(0, p.len), tag);
       if (st == spdk::IoStatus::kQueueFull) {
         // A concurrent pumper filled the queue while we were prepping.
+        dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
         to_post_.push_front(std::move(p));
         break;
       }
@@ -336,7 +348,10 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         throw std::runtime_error("unexpected submit failure in read_extents");
       }
       ++posted_;
-      in_flight_.emplace(tag, std::move(p));
+      {
+        dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+        in_flight_.emplace(tag, std::move(p));
+      }
       progress = true;
     }
 
@@ -352,10 +367,14 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
     for (const auto& target : targets_) {
       if (!target) continue;
       for (const auto& c : target->poll()) {
-        auto it = in_flight_.find(c.user_tag);
-        assert(it != in_flight_.end());
-        Piece p = std::move(it->second);
-        in_flight_.erase(it);
+        Piece p;
+        {
+          dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+          auto it = in_flight_.find(c.user_tag);
+          assert(it != in_flight_.end());
+          p = std::move(it->second);
+          in_flight_.erase(it);
+        }
         co_await core.compute(cal_->dlfs.completion_handling);
         progress = true;
         if (p.op->error_) continue;  // failed extent: buffer just drops
@@ -387,6 +406,7 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
           const dlsim::SimDuration backoff =
               config_.retry_backoff
               << std::min<std::uint32_t>(p.attempts - 1, 10);
+          dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
           if (backoff == 0) {
             to_post_.push_back(std::move(p));
           } else {

@@ -41,6 +41,7 @@
 
 #include "common/calibration.hpp"
 #include "dlfs/sample_cache.hpp"
+#include "sim/check.hpp"
 #include "mem/hugepage_pool.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
@@ -288,7 +289,10 @@ class IoEngine {
   // Engine-global piece state: all concurrent drivers (bread demand
   // fetches, the prefetch daemon) share one posting queue and one
   // in-flight map, so completions are delivered to the right extent no
-  // matter which coroutine harvests them.
+  // matter which coroutine harvests them. Every pumper's touch of these
+  // queues is ledgered as a suspension-free slice — concurrent pumpers
+  // may interleave *between* slices, never inside one.
+  mutable dlsim::AccessLedger pieces_ledger_{"engine-pieces"};
   std::deque<Piece> to_post_;
   std::vector<Piece> delayed_;  // retries waiting out their backoff
   std::unordered_map<std::uint64_t, Piece> in_flight_;

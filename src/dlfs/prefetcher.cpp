@@ -10,13 +10,12 @@ namespace dlfs::core {
 // PrefetchArbiter
 
 void PrefetchArbiter::register_member(Prefetcher& p) {
-  if (std::find(members_.begin(), members_.end(), &p) == members_.end()) {
-    members_.push_back(&p);
-  }
+  auto m = members_.write();
+  if (std::find(m->begin(), m->end(), &p) == m->end()) m->push_back(&p);
 }
 
 void PrefetchArbiter::unregister_member(Prefetcher& p) {
-  std::erase(members_, &p);
+  std::erase(*members_.write(), &p);
 }
 
 std::uint64_t PrefetchArbiter::chunk_allowance(const Prefetcher& p) const {
@@ -27,7 +26,7 @@ std::uint64_t PrefetchArbiter::chunk_allowance(const Prefetcher& p) const {
   // and thereby their share.
   std::uint64_t budget = 0;
   std::uint64_t total_target = 0;
-  for (const Prefetcher* m : members_) {
+  for (const Prefetcher* m : *members_.read()) {
     budget += m->readahead_chunks() + m->pool_headroom_chunks();
     total_target += m->window_target();
   }
@@ -81,12 +80,15 @@ void Prefetcher::start_epoch(const ReadUnitProvider* provider) {
   // Extents cannot be cancelled: unfinished read-ahead from the previous
   // epoch keeps draining on the daemon and its buffers drop on arrival.
   // Finished entries release their chunks right here, with the ops.
-  for (auto& e : window_) {
-    for (auto& x : e.extents) {
-      if (!x.op->finished()) draining_.push_back(x.op);
+  {
+    auto w = window_.write();
+    for (auto& e : *w) {
+      for (auto& x : e.extents) {
+        if (!x.op->finished()) draining_.push_back(x.op);
+      }
     }
+    w->clear();
   }
-  window_.clear();
   ra_chunks_ = 0;
   provider_ = provider;
   next_issue_ = 0;
@@ -102,8 +104,8 @@ std::uint64_t Prefetcher::extents_chunks(const std::vector<UnitExtent>& xs,
   return n;
 }
 
-void Prefetcher::issue_entry(std::size_t slot, std::vector<UnitExtent> xs,
-                             bool front) {
+void Prefetcher::issue_entry(std::deque<Entry>& window, std::size_t slot,
+                             std::vector<UnitExtent> xs, bool front) {
   Entry e;
   e.slot = slot;
   e.chunks = extents_chunks(xs, chunk_bytes_);
@@ -118,21 +120,27 @@ void Prefetcher::issue_entry(std::size_t slot, std::vector<UnitExtent> xs,
   }
   ra_chunks_ += e.chunks;
   if (front) {
-    window_.push_front(std::move(e));
+    window.push_front(std::move(e));
   } else {
-    window_.push_back(std::move(e));
+    window.push_back(std::move(e));
   }
   ++stats_.units_issued;
   stats_.in_flight_hwm = std::max(
-      stats_.in_flight_hwm, static_cast<std::uint32_t>(window_.size()));
+      stats_.in_flight_hwm, static_cast<std::uint32_t>(window.size()));
   wake_.set();
 }
 
 void Prefetcher::ensure_issued_through(std::size_t slot) {
+  auto w = window_.write();
+  ensure_issued_through_locked(*w, slot);
+}
+
+void Prefetcher::ensure_issued_through_locked(std::deque<Entry>& window,
+                                              std::size_t slot) {
   if (provider_ == nullptr) return;
   demand_floor_ = std::max(demand_floor_, slot + 1);
   while (next_issue_ <= slot && next_issue_ < total_units_) {
-    issue_entry(next_issue_, provider_->unit_extents(next_issue_),
+    issue_entry(window, next_issue_, provider_->unit_extents(next_issue_),
                 /*front=*/false);
     ++next_issue_;
   }
@@ -140,6 +148,7 @@ void Prefetcher::ensure_issued_through(std::size_t slot) {
 
 void Prefetcher::top_up() {
   if (provider_ == nullptr) return;
+  auto w = window_.write();
   // The target is read-ahead depth beyond the demanded batch: demand
   // issues never count against it, so the device keeps working on future
   // units even while the consumer drains the current batch.
@@ -169,7 +178,7 @@ void Prefetcher::top_up() {
       }
       return;
     }
-    issue_entry(next_issue_, std::move(xs), /*front=*/false);
+    issue_entry(*w, next_issue_, std::move(xs), /*front=*/false);
     ++next_issue_;
   }
 }
@@ -178,7 +187,7 @@ ExtentOpPtr Prefetcher::oldest_unfinished() {
   for (const auto& op : draining_) {
     if (!op->finished()) return op;
   }
-  for (const auto& e : window_) {
+  for (const auto& e : *window_.read()) {
     for (const auto& x : e.extents) {
       if (!x.op->finished()) return x.op;
     }
@@ -191,7 +200,8 @@ bool Prefetcher::relieve_pressure() {
   // demand I/O now, and the consumer demand-fetches it again when the
   // cursor gets there. Entries being awaited (pinned) and unfinished ones
   // (chunks still in flight) cannot yield memory.
-  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+  auto w = window_.write();
+  for (auto it = w->rbegin(); it != w->rend(); ++it) {
     if (it->pinned) continue;
     const bool resident_clean = std::all_of(
         it->extents.begin(), it->extents.end(), [](const Extent& x) {
@@ -208,7 +218,7 @@ bool Prefetcher::relieve_pressure() {
       stats_.window_target = window_target_;
     }
     ra_chunks_ -= it->chunks;
-    window_.erase(std::next(it).base());
+    w->erase(std::next(it).base());
     return true;
   }
   return false;
@@ -223,9 +233,10 @@ void Prefetcher::discard(std::size_t slot) {
     wake_.set();
     return;
   }
-  auto it = std::find_if(window_.begin(), window_.end(),
+  auto w = window_.write();
+  auto it = std::find_if(w->begin(), w->end(),
                          [slot](const Entry& e) { return e.slot == slot; });
-  if (it == window_.end() || it->pinned) return;
+  if (it == w->end() || it->pinned) return;
   for (auto& x : it->extents) {
     if (!x.op->finished()) {
       draining_.push_back(x.op);
@@ -234,14 +245,15 @@ void Prefetcher::discard(std::size_t slot) {
     }
   }
   ra_chunks_ -= it->chunks;
-  window_.erase(it);
+  w->erase(it);
   wake_.set();
 }
 
 std::uint32_t Prefetcher::reissue_failed() {
   if (provider_ == nullptr) return 0;
   std::uint32_t n = 0;
-  for (auto& e : window_) {
+  auto w = window_.write();
+  for (auto& e : *w) {
     if (e.pinned) continue;
     for (auto& x : e.extents) {
       if (!x.op->error()) continue;
@@ -264,61 +276,73 @@ dlsim::Task<AcquiredUnit> Prefetcher::acquire(
     std::size_t slot, dlsim::CpuCore& consumer_core) {
   if (daemon_error_) std::rethrow_exception(daemon_error_);
   demand_floor_ = std::max(demand_floor_, slot + 1);
-  auto find_entry = [this, slot] {
-    return std::find_if(window_.begin(), window_.end(),
+  auto find_entry = [slot](std::deque<Entry>& w) {
+    return std::find_if(w.begin(), w.end(),
                         [slot](const Entry& e) { return e.slot == slot; });
   };
-  auto it = find_entry();
-  if (it == window_.end()) {
-    if (slot >= next_issue_) {
-      ensure_issued_through(slot);
+  // First slice: locate (or demand-issue) the unit and decide whether we
+  // must stall. The window guard is scoped to end *before* the awaits —
+  // the daemon legitimately tops the window up while we are parked.
+  std::vector<ExtentOpPtr> ops;  // non-empty => the stall path was taken
+  {
+    auto w = window_.write();
+    auto it = find_entry(*w);
+    if (it == w->end()) {
+      if (slot >= next_issue_) {
+        ensure_issued_through_locked(*w, slot);
+      } else {
+        // The unit was shed under pool pressure; demand re-fetch it. With
+        // in-order consumption every windowed slot is larger, so it goes
+        // back to the front.
+        issue_entry(*w, slot, provider_->unit_extents(slot), /*front=*/true);
+      }
+      it = find_entry(*w);
+    }
+    const bool resident = std::all_of(
+        it->extents.begin(), it->extents.end(),
+        [](const Extent& x) { return x.op->finished(); });
+    if (resident) {
+      ++stats_.units_resident_at_pick;
     } else {
-      // The unit was shed under pool pressure; demand re-fetch it. With
-      // in-order consumption every windowed slot is larger, so it goes
-      // back to the front.
-      issue_entry(slot, provider_->unit_extents(slot), /*front=*/true);
+      // The window was not deep enough to cover this consumer's
+      // inter-arrival time — stall (pumping the engine on the consumer's
+      // core, like a demand fetch) and deepen the window.
+      ++stats_.units_stalled;
+      if (window_target_ < cfg_.max_units) {
+        ++window_target_;
+        ++stats_.window_grows;
+        stats_.window_target = window_target_;
+      }
+      it->pinned = true;
+      // Snapshot the ops: the window may shift while awaiting.
+      ops.reserve(it->extents.size());
+      for (const auto& x : it->extents) ops.push_back(x.op);
     }
-    it = find_entry();
   }
-  const bool resident = std::all_of(
-      it->extents.begin(), it->extents.end(),
-      [](const Extent& x) { return x.op->finished(); });
-  if (resident) {
-    ++stats_.units_resident_at_pick;
-  } else {
-    // The window was not deep enough to cover this consumer's
-    // inter-arrival time — stall (pumping the engine on the consumer's
-    // core, like a demand fetch) and deepen the window.
-    ++stats_.units_stalled;
-    if (window_target_ < cfg_.max_units) {
-      ++window_target_;
-      ++stats_.window_grows;
-      stats_.window_target = window_target_;
-    }
-    it->pinned = true;
+  if (!ops.empty()) {
     const dlsim::SimTime t0 = sim_->now();
-    // Snapshot the ops: the window may shift while awaiting.
-    std::vector<ExtentOpPtr> ops;
-    ops.reserve(it->extents.size());
-    for (const auto& x : it->extents) ops.push_back(x.op);
     for (const auto& op : ops) {
       if (op->finished()) continue;
       co_await engine_->await_op(consumer_core, op);
     }
     stats_.stall_ns += sim_->now() - t0;
-    it = find_entry();
   }
+  // Second slice: hand the unit over and release its window entry.
   AcquiredUnit unit;
-  unit.extents.reserve(it->extents.size());
-  for (auto& x : it->extents) {
-    AcquiredExtent ax;
-    ax.key = x.key;
-    ax.error = x.op->error();
-    if (!ax.error) ax.buffers = x.op->take_buffers();
-    unit.extents.push_back(std::move(ax));
+  {
+    auto w = window_.write();
+    auto it = find_entry(*w);
+    unit.extents.reserve(it->extents.size());
+    for (auto& x : it->extents) {
+      AcquiredExtent ax;
+      ax.key = x.key;
+      ax.error = x.op->error();
+      if (!ax.error) ax.buffers = x.op->take_buffers();
+      unit.extents.push_back(std::move(ax));
+    }
+    ra_chunks_ -= it->chunks;
+    w->erase(it);
   }
-  ra_chunks_ -= it->chunks;
-  window_.erase(it);
   wake_.set();  // window space freed; the daemon can read further ahead
   co_return unit;
 }

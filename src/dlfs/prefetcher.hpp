@@ -54,6 +54,7 @@
 #include "dlfs/batching.hpp"
 #include "dlfs/io_engine.hpp"
 #include "mem/hugepage_pool.hpp"
+#include "sim/check.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -80,13 +81,16 @@ class PrefetchArbiter {
 
   void register_member(Prefetcher& p);
   void unregister_member(Prefetcher& p);
-  [[nodiscard]] std::size_t members() const { return members_.size(); }
+  [[nodiscard]] std::size_t members() const { return members_.read()->size(); }
 
   /// Chunks `p` may hold as read-ahead right now.
   [[nodiscard]] std::uint64_t chunk_allowance(const Prefetcher& p) const;
 
  private:
-  std::vector<Prefetcher*> members_;
+  // Checked: the membership list is read by every co-located daemon's
+  // top-up and mutated from instance setup/teardown; the ledger proves
+  // no daemon is suspended mid-budget-split while the fleet mutates it.
+  dlsim::Checked<std::vector<Prefetcher*>> members_{"prefetch-arbiter"};
 };
 
 struct PrefetcherConfig {
@@ -194,7 +198,9 @@ class Prefetcher {
 
   [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
   [[nodiscard]] dlsim::CpuCore& core() { return *core_; }
-  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+  [[nodiscard]] std::size_t window_size() const {
+    return window_.read()->size();
+  }
   [[nodiscard]] std::uint32_t window_target() const { return window_target_; }
   // Arbiter inputs: chunks currently held by the window as read-ahead,
   // and this instance's pool headroom beyond its configured reserve.
@@ -215,7 +221,10 @@ class Prefetcher {
 
   [[nodiscard]] static std::uint64_t extents_chunks(
       const std::vector<UnitExtent>& xs, std::uint64_t chunk_bytes);
-  void issue_entry(std::size_t slot, std::vector<UnitExtent> xs, bool front);
+  void issue_entry(std::deque<Entry>& window, std::size_t slot,
+                   std::vector<UnitExtent> xs, bool front);
+  void ensure_issued_through_locked(std::deque<Entry>& window,
+                                    std::size_t slot);
   void top_up();
   [[nodiscard]] ExtentOpPtr oldest_unfinished();
   dlsim::Task<void> daemon_loop();
@@ -229,7 +238,12 @@ class Prefetcher {
   dlsim::Event wake_;
   const ReadUnitProvider* provider_ = nullptr;
   std::shared_ptr<PrefetchArbiter> arbiter_;
-  std::deque<Entry> window_;  // slot order; front = next to be consumed
+  // Checked: the window is the structure both the daemon (top_up) and the
+  // consumer (acquire/discard/reissue) mutate; every access below scopes
+  // its guard to a suspension-free slice, so a future co_await slipped
+  // inside one of those slices trips DataRaceError in the tests.
+  // Slot order; front = next to be consumed.
+  dlsim::Checked<std::deque<Entry>> window_{"prefetch-window"};
   std::vector<ExtentOpPtr> draining_;  // abandoned epochs' unfinished ops
   std::size_t next_issue_ = 0;
   std::size_t demand_floor_ = 0;  // one past the highest demanded slot

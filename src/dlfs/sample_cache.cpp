@@ -11,6 +11,7 @@ SampleCache::SampleCache(mem::HugePagePool& pool, std::size_t capacity_chunks,
 
 std::vector<std::span<const std::byte>> SampleCache::pin(
     std::size_t sample_id) {
+  dlsim::AccessSlice slice{ledger_, /*write=*/true};  // LRU refresh mutates
   auto it = map_.find(sample_id);
   if (it == map_.end()) return {};
   Entry& e = it->second;
@@ -28,6 +29,7 @@ std::vector<std::span<const std::byte>> SampleCache::pin(
 }
 
 void SampleCache::unpin(std::size_t sample_id) {
+  dlsim::AccessSlice slice{ledger_, /*write=*/true};
   auto it = map_.find(sample_id);
   if (it == map_.end()) throw std::logic_error("unpin of non-resident sample");
   if (it->second.pins == 0) throw std::logic_error("unpin without pin");
@@ -37,6 +39,7 @@ void SampleCache::unpin(std::size_t sample_id) {
 void SampleCache::insert(std::size_t sample_id,
                          std::vector<mem::DmaBuffer> pieces,
                          std::vector<std::uint32_t> piece_lens) {
+  dlsim::AccessSlice slice{ledger_, /*write=*/true};
   assert(pieces.size() == piece_lens.size());
   if (sample_id >= valid_bits_.size()) {
     throw std::out_of_range("sample id beyond dataset size");
@@ -57,6 +60,7 @@ void SampleCache::insert(std::size_t sample_id,
 }
 
 void SampleCache::evict(std::size_t sample_id) {
+  dlsim::AccessSlice slice{ledger_, /*write=*/true};
   auto it = map_.find(sample_id);
   if (it == map_.end() || it->second.pins > 0) return;
   chunks_used_ -= it->second.pieces.size();
@@ -66,6 +70,7 @@ void SampleCache::evict(std::size_t sample_id) {
 }
 
 bool SampleCache::evict_lru_one() {
+  dlsim::AccessSlice slice{ledger_, /*write=*/true};
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     const std::size_t victim = *it;
     if (map_.at(victim).pins > 0) continue;

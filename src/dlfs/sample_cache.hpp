@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/hugepage_pool.hpp"
+#include "sim/check.hpp"
 
 namespace dlfs::core {
 
@@ -81,6 +82,10 @@ class SampleCache {
 
   void evict_until_fits(std::size_t incoming_chunks);
 
+  // The cache is shared by demand reads, read-ahead insertions, and the
+  // engine's pressure-eviction callback; every method is a suspension-free
+  // slice, which the ledger enforces should a co_await ever creep in.
+  mutable dlsim::AccessLedger ledger_{"sample-cache"};
   mem::HugePagePool* pool_;
   std::size_t capacity_;
   std::vector<std::uint8_t> valid_bits_;

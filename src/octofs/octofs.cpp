@@ -9,7 +9,8 @@ OctoFs::OctoFs(cluster::Cluster& cluster, const Calibration& cal)
   for (std::uint32_t n = 0; n < cluster.size(); ++n) {
     cluster_->node(n).device().claim(hw::DeviceOwner::kUserSpace);
     servers_[n].metadata_lock =
-        std::make_unique<dlsim::Mutex>(cluster.simulator());
+        std::make_unique<dlsim::Mutex>(cluster.simulator(),
+                                       "octofs-metadata");
     servers_[n].metadata_core = std::make_unique<dlsim::CpuCore>(
         cluster.simulator(), "octofs-md-" + std::to_string(n));
   }

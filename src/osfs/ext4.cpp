@@ -23,7 +23,7 @@ Ext4Fs::Ext4Fs(dlsim::Simulator& sim, hw::NvmeDevice& device,
       device_(&device),
       cal_(&cal),
       config_(config),
-      kernel_lock_(sim),
+      kernel_lock_(sim, "ext4-kernel"),
       page_cache_(config.page_cache_pages) {
   device_->claim(hw::DeviceOwner::kKernel);
 }
@@ -144,7 +144,9 @@ dlsim::Task<int> Ext4Fs::create(OsThread& t, const std::string& path) {
   const std::uint64_t ino = next_ino_++;
   dirmap_[path] = ino;
   files_[path] = ino;
-  inodes_[ino] = Inode{ino};
+  Inode inode;
+  inode.ino = ino;
+  inodes_[ino] = std::move(inode);
   dentry_insert(path);
   // Directory + inode updates: journalled metadata, amortized; charge the
   // in-memory work only (staging time is not part of any figure).

@@ -112,7 +112,7 @@ class Ext4Fs {
     std::uint64_t count;
   };
   struct Inode {
-    std::uint64_t ino;
+    std::uint64_t ino = 0;
     std::uint64_t size = 0;
     std::vector<Extent> extents;
   };

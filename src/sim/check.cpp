@@ -1,0 +1,123 @@
+#include "sim/check.hpp"
+
+#include <cstring>
+
+namespace dlsim {
+
+std::string format_site(const std::source_location& site) {
+  const char* file = site.file_name();
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  return std::string(file) + ":" + std::to_string(site.line());
+}
+
+LockOrderGraph::LockId LockOrderGraph::register_lock(std::string name) {
+  const LockId id = static_cast<LockId>(names_.size());
+  if (name.empty()) name = "mutex#" + std::to_string(id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+bool LockOrderGraph::find_path(
+    LockId from, LockId to,
+    std::vector<std::pair<LockId, LockId>>& path) const {
+  if (from == to) return true;
+  for (const auto& [key, edge] : edges_) {
+    (void)edge;
+    if (key.first != from) continue;
+    // Cheap cycle guard: the path can never be longer than the number of
+    // registered locks.
+    if (path.size() >= names_.size()) return false;
+    bool seen = false;
+    for (const auto& step : path) {
+      if (step.first == key.second) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    path.push_back(key);
+    if (find_path(key.second, to, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+void LockOrderGraph::on_attempt(LockId id, const void* task,
+                                const std::string& task_name,
+                                const std::string& site) {
+  auto& held = held_[task];
+  for (const auto& h : held) {
+    if (h.id == id) continue;  // recursive attempt; Mutex itself forbids it
+    const auto key = std::make_pair(h.id, id);
+    if (edges_.count(key) != 0) continue;  // ordering already vetted
+    // Adding h.id -> id closes a cycle iff id already reaches h.id.
+    std::vector<std::pair<LockId, LockId>> path;
+    if (find_path(id, h.id, path)) {
+      std::string msg = "potential deadlock (lock-order inversion): task '" +
+                        task_name + "' acquiring '" + names_[id] + "' at " +
+                        site + " while holding '" + names_[h.id] +
+                        "' (acquired at " + h.site + ")";
+      for (const auto& step : path) {
+        const Edge& e = edges_.at(step);
+        msg += "; conflicting order '" + names_[step.first] + "' -> '" +
+               names_[step.second] + "' established by task '" + e.task +
+               "' at " + e.to_site + " (holding '" + names_[step.first] +
+               "' acquired at " + e.from_site + ")";
+      }
+      throw PotentialDeadlockError(msg);
+    }
+    edges_.emplace(key, Edge{task_name, h.site, site});
+  }
+}
+
+void LockOrderGraph::on_acquired(LockId id, const void* task,
+                                 const std::string& site) {
+  held_[task].push_back(Held{id, site});
+}
+
+void LockOrderGraph::on_release(LockId id, const void* task) {
+  const auto it = held_.find(task);
+  if (it == held_.end()) return;
+  auto& held = it->second;
+  for (auto h = held.rbegin(); h != held.rend(); ++h) {
+    if (h->id == id) {
+      held.erase(std::next(h).base());
+      break;
+    }
+  }
+  if (held.empty()) held_.erase(it);
+}
+
+namespace detail {
+
+std::uint64_t AccessLedger::begin(bool write,
+                                  const std::source_location& site) {
+  const void* task = current_task_id();
+  for (const Rec& r : live_) {
+    if (r.task == task) continue;
+    if (!r.write && !write) continue;
+    throw DataRaceError(
+        "data race on '" + name_ + "': task '" + current_task_label() +
+        "' " + (write ? "writes" : "reads") + " at " + format_site(site) +
+        " while task '" + r.task_name + "' holds a " +
+        (r.write ? "write" : "read") + " access from " + r.site +
+        " across a suspension point");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  live_.push_back(
+      Rec{ticket, task, current_task_label(), write, format_site(site)});
+  return ticket;
+}
+
+void AccessLedger::end(std::uint64_t ticket) {
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->ticket == ticket) {
+      live_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace dlsim

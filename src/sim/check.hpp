@@ -1,0 +1,272 @@
+#pragma once
+
+// Dynamic concurrency-correctness checkers for the simulated kernel.
+//
+// Everything in the repository runs as cooperatively-scheduled coroutines
+// over one Simulator, so classic thread-race tooling (TSan) sees nothing:
+// the host process is single-threaded. The hazards that remain are
+// *interleaving* bugs — lock-order inversions between simulated tasks,
+// and shared state mutated by one task while another task still holds a
+// logical reference to it across a suspension point. Two checkers cover
+// them:
+//
+//   LockOrderGraph — every dlsim::Mutex acquisition *attempt* records a
+//   "held -> wanted" edge keyed by the acquiring task and its
+//   std::source_location call site. A cycle in the graph means two tasks
+//   have acquired the same mutexes in opposite orders — a potential
+//   deadlock even if this particular run got lucky — and raises
+//   PotentialDeadlockError naming both tasks and both acquisition sites.
+//   The graph persists for the Simulator's lifetime, so an inversion is
+//   reported the moment the second ordering appears, not only when the
+//   schedule actually deadlocks (Simulator::run's DeadlockError remains
+//   the backstop for those).
+//
+//   Checked<T> — wraps shared state with RAII access guards. A guard
+//   marks a critical slice: the region where one task reads or mutates
+//   the state. Slices must not overlap across tasks (a write overlapping
+//   any access, or any access overlapping a write, from a different
+//   task); if they do, DataRaceError names both tasks and both access
+//   sites. In a cooperative scheduler two slices can only overlap when
+//   one of them spans a suspension point, so the checker precisely flags
+//   "mutated between another task's suspension points without
+//   synchronization" — the coroutine analogue of a data race.
+//
+// Both checkers are cheap (small vectors, tiny graphs) and always on;
+// they are exercised by tests/check_test.cpp's expected-diagnostic
+// fixtures.
+
+#include <cstdint>
+#include <map>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dlsim {
+
+/// Label of the simulated task currently executing: the process name
+/// given to Simulator::spawn, "<unnamed>" for anonymous processes, and
+/// "<main>" outside any simulation step. Defined in simulator.cpp.
+[[nodiscard]] std::string current_task_label();
+
+/// Opaque identity of the currently executing task (nullptr for <main>).
+[[nodiscard]] const void* current_task_id();
+
+/// Formats a std::source_location as "file.cpp:123" (basename only).
+[[nodiscard]] std::string format_site(const std::source_location& site);
+
+/// Two tasks acquired the same mutexes in opposite orders. Thrown at the
+/// acquisition attempt that closes the cycle, i.e. usually *before* the
+/// schedule actually deadlocks.
+class PotentialDeadlockError : public std::runtime_error {
+ public:
+  explicit PotentialDeadlockError(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
+/// Lock-acquisition-order graph over every dlsim::Mutex of one Simulator.
+/// Nodes are mutexes; an edge A -> B records "some task acquired B while
+/// holding A" along with the task and both acquisition sites. Any cycle
+/// is a potential deadlock.
+class LockOrderGraph {
+ public:
+  using LockId = std::uint32_t;
+
+  /// Registers a mutex; the name (or "mutex#<id>" if empty) appears in
+  /// diagnostics. Names outlive the mutex, so reports stay valid even
+  /// for locks destroyed before the cycle closed.
+  LockId register_lock(std::string name);
+
+  /// Called before task `task` waits for lock `id`. Records the ordering
+  /// edges against every lock the task already holds and throws
+  /// PotentialDeadlockError if one of them closes a cycle.
+  void on_attempt(LockId id, const void* task, const std::string& task_name,
+                  const std::string& site);
+
+  /// Called once the lock is actually owned; adds it to the task's held
+  /// set (release drops it again).
+  void on_acquired(LockId id, const void* task, const std::string& site);
+  void on_release(LockId id, const void* task);
+
+  [[nodiscard]] std::size_t lock_count() const { return names_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  // By value: names_ may reallocate as later locks register.
+  [[nodiscard]] std::string lock_name(LockId id) const { return names_[id]; }
+
+ private:
+  struct Edge {
+    std::string task;       // who established this ordering
+    std::string from_site;  // where the held lock was acquired
+    std::string to_site;    // where the second lock was requested
+  };
+
+  struct Held {
+    LockId id;
+    std::string site;
+  };
+
+  // Walks recorded edges from -> ... -> to; fills `path` with the edge
+  // keys along one such chain.
+  [[nodiscard]] bool find_path(LockId from, LockId to,
+                               std::vector<std::pair<LockId, LockId>>& path)
+      const;
+
+  std::vector<std::string> names_;
+  std::map<std::pair<LockId, LockId>, Edge> edges_;
+  std::unordered_map<const void*, std::vector<Held>> held_;
+};
+
+/// Two tasks' access slices to one Checked<T> overlapped with at least
+/// one of them writing.
+class DataRaceError : public std::runtime_error {
+ public:
+  explicit DataRaceError(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+
+/// Non-template bookkeeping behind Checked<T>: the set of live access
+/// slices and the overlap check.
+class AccessLedger {
+ public:
+  explicit AccessLedger(std::string name) : name_(std::move(name)) {}
+
+  AccessLedger(const AccessLedger&) = delete;
+  AccessLedger& operator=(const AccessLedger&) = delete;
+
+  /// Opens a slice; throws DataRaceError on a conflicting overlap.
+  /// Returns a ticket for end().
+  std::uint64_t begin(bool write, const std::source_location& site);
+  void end(std::uint64_t ticket);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t live_accesses() const { return live_.size(); }
+
+ private:
+  struct Rec {
+    std::uint64_t ticket;
+    const void* task;
+    std::string task_name;
+    bool write;
+    std::string site;
+  };
+  std::string name_;
+  std::uint64_t next_ticket_ = 1;
+  std::vector<Rec> live_;
+};
+
+}  // namespace detail
+
+/// Exposed for classes that annotate whole methods (see AccessSlice)
+/// instead of wrapping a member in Checked<T>.
+using AccessLedger = detail::AccessLedger;
+
+/// Whole-method critical-slice annotation for classes whose state is too
+/// interleaved to funnel through one Checked<T> member: give the class a
+/// `mutable dlsim::AccessLedger ledger_{"name"};` and open an
+/// `dlsim::AccessSlice slice{ledger_, /*write=*/...};` at the top of each
+/// method touching the shared state. Methods must stay suspension-free
+/// while a slice is open; a co_await introduced inside one trips
+/// DataRaceError as soon as another task enters.
+class AccessSlice {
+ public:
+  AccessSlice(detail::AccessLedger& ledger, bool write,
+              std::source_location site = std::source_location::current())
+      : ledger_(&ledger), ticket_(ledger.begin(write, site)) {}
+  AccessSlice(AccessSlice&& o) noexcept
+      : ledger_(std::exchange(o.ledger_, nullptr)), ticket_(o.ticket_) {}
+  AccessSlice(const AccessSlice&) = delete;
+  AccessSlice& operator=(const AccessSlice&) = delete;
+  AccessSlice& operator=(AccessSlice&&) = delete;
+  ~AccessSlice() {
+    if (ledger_) ledger_->end(ticket_);
+  }
+
+ private:
+  detail::AccessLedger* ledger_;
+  std::uint64_t ticket_;
+};
+
+/// Shared-state wrapper: access goes through read()/write() RAII guards,
+/// each marking a critical slice attributed to the current simulated
+/// task. Overlapping slices from different tasks (with a write involved)
+/// raise DataRaceError naming both tasks and sites. Guards are meant to
+/// span exactly the suspension-free region that touches the state — a
+/// guard held across a co_await asserts that no other task touches the
+/// state while this one is parked.
+template <typename T>
+class Checked {
+ public:
+  template <typename... Args>
+  explicit Checked(std::string name, Args&&... args)
+      : ledger_(std::move(name)), value_(std::forward<Args>(args)...) {}
+
+  Checked(const Checked&) = delete;
+  Checked& operator=(const Checked&) = delete;
+
+  class WriteGuard {
+   public:
+    WriteGuard(Checked& c, const std::source_location& site)
+        : c_(&c), ticket_(c.ledger_.begin(/*write=*/true, site)) {}
+    WriteGuard(WriteGuard&& o) noexcept
+        : c_(std::exchange(o.c_, nullptr)), ticket_(o.ticket_) {}
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+    WriteGuard& operator=(WriteGuard&&) = delete;
+    ~WriteGuard() {
+      if (c_) c_->ledger_.end(ticket_);
+    }
+    [[nodiscard]] T& operator*() const { return c_->value_; }
+    [[nodiscard]] T* operator->() const { return &c_->value_; }
+
+   private:
+    Checked* c_;
+    std::uint64_t ticket_;
+  };
+
+  class ReadGuard {
+   public:
+    ReadGuard(const Checked& c, const std::source_location& site)
+        : c_(&c), ticket_(c.ledger_.begin(/*write=*/false, site)) {}
+    ReadGuard(ReadGuard&& o) noexcept
+        : c_(std::exchange(o.c_, nullptr)), ticket_(o.ticket_) {}
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() {
+      if (c_) c_->ledger_.end(ticket_);
+    }
+    [[nodiscard]] const T& operator*() const { return c_->value_; }
+    [[nodiscard]] const T* operator->() const { return &c_->value_; }
+
+   private:
+    const Checked* c_;
+    std::uint64_t ticket_;
+  };
+
+  /// Opens a mutating access slice.
+  [[nodiscard]] WriteGuard write(
+      std::source_location site = std::source_location::current()) {
+    return WriteGuard{*this, site};
+  }
+
+  /// Opens a read-only access slice.
+  [[nodiscard]] ReadGuard read(
+      std::source_location site = std::source_location::current()) const {
+    return ReadGuard{*this, site};
+  }
+
+  [[nodiscard]] std::size_t live_accesses() const {
+    return ledger_.live_accesses();
+  }
+
+ private:
+  mutable detail::AccessLedger ledger_;
+  T value_;
+};
+
+}  // namespace dlsim

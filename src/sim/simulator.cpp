@@ -4,6 +4,23 @@
 
 namespace dlsim {
 
+Simulator* Simulator::current_sim_ = nullptr;
+
+std::string current_task_label() {
+  Simulator* sim = Simulator::current();
+  return sim ? sim->current_task_name() : std::string("<main>");
+}
+
+const void* current_task_id() {
+  Simulator* sim = Simulator::current();
+  return sim ? static_cast<const void*>(sim->current_process()) : nullptr;
+}
+
+std::string Simulator::current_task_name() const {
+  if (!current_) return "<main>";
+  return current_->name.empty() ? "<unnamed>" : current_->name;
+}
+
 Simulator::~Simulator() {
   // Tear down an aborted simulation without double-frees: queue entries are
   // *non-owning* references to suspended frames, so they are never destroyed
@@ -20,10 +37,11 @@ Simulator::~Simulator() {
   }
 }
 
-void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
+void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h,
+                            detail::ProcessState* owner) {
   assert(h && "scheduling a null coroutine handle");
   assert(t >= now_ && "scheduling into the past");
-  queue_.push(Item{t, seq_++, h});
+  queue_.push(Item{t, seq_++, h, owner});
 }
 
 Task<void> Simulator::process_wrapper(
@@ -36,7 +54,7 @@ Task<void> Simulator::process_wrapper(
   st->done = true;
   st->root = {};  // the frame self-destroys at final suspend
   if (!daemon) --live_;
-  for (auto j : st->joiners) schedule_now(j);
+  for (const auto& j : st->joiners) schedule_now(j.h, j.owner);
   st->joiners.clear();
 }
 
@@ -51,7 +69,7 @@ Process Simulator::spawn_impl(Task<void> t, std::string name, bool daemon) {
   auto h = wrapper.release();
   h.promise().self_destroy = true;
   st->root = h;
-  schedule_now(h);
+  schedule_now(h, st.get());
   return Process{st};
 }
 
@@ -69,7 +87,15 @@ bool Simulator::step() {
   queue_.pop();
   now_ = item.t;
   ++processed_;
+  // Publish the running task's identity for the duration of this slice
+  // (saved/restored so a simulation stepped from inside another
+  // simulation's process attributes correctly).
+  Simulator* prev_sim = current_sim_;
+  current_sim_ = this;
+  current_ = item.owner;
   item.h.resume();
+  current_ = nullptr;
+  current_sim_ = prev_sim;
   return true;
 }
 
@@ -115,7 +141,9 @@ Task<void> Process::join() const {
       detail::ProcessState* st;
       bool await_ready() const noexcept { return st->done; }
       void await_suspend(std::coroutine_handle<> h) {
-        st->joiners.push_back(h);
+        Simulator* sim = Simulator::current();
+        st->joiners.push_back(
+            detail::Parked{h, sim ? sim->current_process() : nullptr});
       }
       void await_resume() const noexcept {}
     };

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -59,12 +60,24 @@ class DeadlockError : public std::runtime_error {
 };
 
 namespace detail {
+struct ProcessState;
+
+/// A parked coroutine handle plus the process it belongs to. Owners ride
+/// along through every park/schedule hop so that, when the handle is
+/// eventually resumed, the Simulator knows which simulated task is
+/// executing — the identity the lock-order and Checked<T> diagnostics
+/// attribute their findings to.
+struct Parked {
+  std::coroutine_handle<> h;
+  ProcessState* owner = nullptr;
+};
+
 struct ProcessState {
   bool done = false;
   bool daemon = false;
   std::exception_ptr error;
   std::string name;
-  std::vector<std::coroutine_handle<>> joiners;
+  std::vector<Parked> joiners;
   // Root coroutine frame of the process; non-null while the process is
   // alive. Destroying it cascades into every child frame it owns, which is
   // how Simulator::~Simulator tears down an aborted simulation safely.
@@ -110,9 +123,40 @@ class Simulator {
   [[nodiscard]] std::size_t live_processes() const { return live_; }
 
   /// Schedules a raw coroutine resumption (used by awaitables and the sync
-  /// primitives; application code should prefer delay()/spawn()).
-  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  /// primitives; application code should prefer delay()/spawn()). The
+  /// two-argument form attributes the handle to the currently executing
+  /// process — correct for self-suspension (delay/yield); wakers passing
+  /// on a *parked* handle must use the owner-carrying overload so the
+  /// resumption is attributed to the parked task, not the waker.
+  void schedule_at(SimTime t, std::coroutine_handle<> h) {
+    schedule_at(t, h, current_);
+  }
+  void schedule_at(SimTime t, std::coroutine_handle<> h,
+                   detail::ProcessState* owner);
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+  void schedule_now(std::coroutine_handle<> h, detail::ProcessState* owner) {
+    schedule_at(now_, h, owner);
+  }
+
+  /// The process whose coroutine slice is executing right now (nullptr
+  /// between events and outside run()). Within one step() control never
+  /// leaves the resumed process — symmetric transfer only moves along its
+  /// own await chain — so this is exact, not heuristic.
+  [[nodiscard]] detail::ProcessState* current_process() const {
+    return current_;
+  }
+
+  /// Name of the current process: "<unnamed>" for anonymous processes,
+  /// "<main>" outside any step.
+  [[nodiscard]] std::string current_task_name() const;
+
+  /// The Simulator currently inside step(), if any (the process-global
+  /// hook behind current_task_label()).
+  [[nodiscard]] static Simulator* current() { return current_sim_; }
+
+  /// Lock-acquisition-order graph shared by every Mutex of this
+  /// Simulator; see sim/check.hpp.
+  [[nodiscard]] LockOrderGraph& lock_graph() { return lock_graph_; }
 
   /// Awaitable that suspends the current coroutine for `d` nanoseconds.
   [[nodiscard]] auto delay(SimDuration d) {
@@ -178,6 +222,7 @@ class Simulator {
     SimTime t;
     std::uint64_t seq;
     std::coroutine_handle<> h;
+    detail::ProcessState* owner;
   };
   struct Later {
     bool operator()(const Item& a, const Item& b) const {
@@ -188,10 +233,14 @@ class Simulator {
 
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   std::vector<std::shared_ptr<detail::ProcessState>> processes_;
+  LockOrderGraph lock_graph_;
+  detail::ProcessState* current_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;
+
+  static Simulator* current_sim_;  // the instance inside step(), if any
 };
 
 }  // namespace dlsim

@@ -13,9 +13,12 @@
 #include <cstddef>
 #include <deque>
 #include <optional>
+#include <source_location>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "sim/check.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
@@ -24,7 +27,9 @@ namespace dlsim {
 namespace detail {
 
 /// FIFO list of suspended coroutines. The building block for every
-/// primitive below.
+/// primitive below. Each parked handle carries the identity of the
+/// process that parked it, so a wake attributes the resumed slice to the
+/// *waiter*, not to whoever called wake_one().
 class WaitList {
  public:
   explicit WaitList(Simulator& sim) : sim_(&sim) {}
@@ -38,7 +43,7 @@ class WaitList {
       WaitList& wl;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        wl.waiters_.push_back(h);
+        wl.waiters_.push_back(detail::Parked{h, wl.sim_->current_process()});
       }
       void await_resume() const noexcept {}
     };
@@ -48,7 +53,8 @@ class WaitList {
   /// Schedules the oldest waiter (if any) at the current time.
   void wake_one() {
     if (waiters_.empty()) return;
-    sim_->schedule_now(waiters_.front());
+    const detail::Parked& w = waiters_.front();
+    sim_->schedule_now(w.h, w.owner);
     waiters_.pop_front();
   }
 
@@ -58,7 +64,7 @@ class WaitList {
 
  private:
   Simulator* sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<detail::Parked> waiters_;
 };
 
 }  // namespace detail
@@ -112,30 +118,52 @@ class ScopedLock {
 
 /// FIFO mutex. Ownership hands off directly to the oldest waiter, so the
 /// lock cannot be barged.
+///
+/// Every acquisition attempt is recorded in the Simulator's
+/// LockOrderGraph (sim/check.hpp) together with the acquiring task and
+/// the call site, so two tasks taking two mutexes in opposite orders
+/// raise PotentialDeadlockError at the attempt that closes the cycle —
+/// usually before the schedule actually deadlocks. Give contended
+/// mutexes a name; it is what the diagnostic prints.
 class Mutex {
  public:
-  explicit Mutex(Simulator& sim) : waiters_(sim) {}
+  explicit Mutex(Simulator& sim, std::string name = {})
+      : sim_(&sim),
+        waiters_(sim),
+        id_(sim.lock_graph().register_lock(std::move(name))) {}
 
   [[nodiscard]] bool locked() const { return locked_; }
+  [[nodiscard]] std::string name() const {
+    return sim_->lock_graph().lock_name(id_);
+  }
 
   /// Awaitable lock acquisition.
-  [[nodiscard]] Task<void> lock() {
+  [[nodiscard]] Task<void> lock(
+      std::source_location site = std::source_location::current()) {
+    const std::string site_str = format_site(site);
+    sim_->lock_graph().on_attempt(id_, sim_->current_process(),
+                                  sim_->current_task_name(), site_str);
     if (!locked_) {
       locked_ = true;
-      co_return;
+    } else {
+      // Park; unlock() transfers ownership to us before waking, so no
+      // re-check loop is needed (FIFO handoff, not Mesa, for fairness).
+      co_await waiters_.wait();
     }
-    // Park; unlock() transfers ownership to us before waking, so no
-    // re-check loop is needed (FIFO handoff, not Mesa, for fairness).
-    co_await waiters_.wait();
+    owner_ = sim_->current_process();
+    sim_->lock_graph().on_acquired(id_, owner_, site_str);
   }
 
   /// Awaitable returning an RAII guard.
-  [[nodiscard]] Task<ScopedLock> scoped_lock() {
-    co_await lock();
+  [[nodiscard]] Task<ScopedLock> scoped_lock(
+      std::source_location site = std::source_location::current()) {
+    co_await lock(site);
     co_return ScopedLock{*this};
   }
 
   void unlock() {
+    sim_->lock_graph().on_release(id_, owner_);
+    owner_ = nullptr;
     if (!waiters_.empty()) {
       // Ownership passes to the woken waiter; locked_ stays true.
       waiters_.wake_one();
@@ -145,8 +173,11 @@ class Mutex {
   }
 
  private:
+  Simulator* sim_;
   bool locked_ = false;
   detail::WaitList waiters_;
+  LockOrderGraph::LockId id_;
+  detail::ProcessState* owner_ = nullptr;
 };
 
 inline void ScopedLock::release() {

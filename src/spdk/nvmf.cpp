@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "sim/check.hpp"
 
 namespace dlfs::spdk {
 
@@ -98,6 +99,7 @@ class RemoteIoQueue final : public IoQueue {
     }
     ++outstanding_;
     const RemoteCmd cmd{op, offset, buf, user_tag};
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/true};
     inflight_.emplace(user_tag,
                       Inflight{cmd, sim_->now() + fault_.command_timeout});
     deadline_fifo_.push_back(user_tag);
@@ -145,6 +147,7 @@ class RemoteIoQueue final : public IoQueue {
 
   /// Called by the target's harvester when the data has landed.
   void deliver(IoCompletion c) {
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/true};
     const auto it = inflight_.find(c.user_tag);
     // Unknown tag: the command already timed out (and was possibly
     // replayed) — this is the slow original finally arriving. Drop it, the
@@ -177,6 +180,7 @@ class RemoteIoQueue final : public IoQueue {
   /// so a deadline miss is a connection-level event, not a slow device.
   void expire_overdue() {
     if (inflight_.empty()) return;
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/true};
     const dlsim::SimTime now = sim_->now();
     bool expired = false;
     while (!deadline_fifo_.empty()) {
@@ -258,6 +262,7 @@ class RemoteIoQueue final : public IoQueue {
   }
 
   void replay_inflight() {
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/true};
     std::vector<std::uint64_t> tags = pending_tags();
     deadline_fifo_.clear();
     const dlsim::SimTime deadline = sim_->now() + fault_.command_timeout;
@@ -271,6 +276,7 @@ class RemoteIoQueue final : public IoQueue {
   }
 
   void declare_dead() {
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/true};
     state_ = ConnState::kDead;
     for (const std::uint64_t tag : pending_tags()) {
       const IoCompletion c{tag, inflight_.at(tag).cmd.op,
@@ -283,6 +289,7 @@ class RemoteIoQueue final : public IoQueue {
 
   /// In-flight tags in submission order (tags are caller-monotone).
   [[nodiscard]] std::vector<std::uint64_t> pending_tags() const {
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/false};
     std::vector<std::uint64_t> tags;
     tags.reserve(inflight_.size());
     for (const auto& [tag, inf] : inflight_) tags.push_back(tag);
@@ -291,6 +298,7 @@ class RemoteIoQueue final : public IoQueue {
   }
 
   [[nodiscard]] dlsim::SimTime next_deadline() const {
+    dlsim::AccessSlice slice{inflight_ledger_, /*write=*/false};
     for (const std::uint64_t tag : deadline_fifo_) {
       const auto it = inflight_.find(tag);
       if (it != inflight_.end()) return it->second.deadline;
@@ -322,8 +330,11 @@ class RemoteIoQueue final : public IoQueue {
   dlsim::Task<void> send_command(std::shared_ptr<bool> alive, RemoteCmd cmd) {
     if (!*alive) co_return;
     // Command capsule over the wire, then into the target's inbound queue.
-    if (!co_await fabric_->send(client_node_, target_->node(),
-                                hw::kControlMessageBytes)) {
+    // Hoisted await (not `if (!co_await ...)`): GCC 12 miscompiles the
+    // negated await-in-condition shape — same hazard probe() documents.
+    const bool sent = co_await fabric_->send(client_node_, target_->node(),
+                                             hw::kControlMessageBytes);
+    if (!sent) {
       co_return;  // capsule lost in the fabric; the deadline notices
     }
     if (!*alive) co_return;
@@ -351,6 +362,10 @@ class RemoteIoQueue final : public IoQueue {
   std::shared_ptr<bool> alive_;
   ConnState state_ = ConnState::kConnected;
   std::uint32_t outstanding_ = 0;
+  // The replay list is touched by the consumer (submit/poll), the target's
+  // harvester (deliver), the timeout timer, and the reconnect loop — four
+  // tasks; each touch must stay a suspension-free slice.
+  mutable dlsim::AccessLedger inflight_ledger_{"nvmf-inflight"};
   std::unordered_map<std::uint64_t, Inflight> inflight_;
   std::deque<std::uint64_t> deadline_fifo_;
   dlsim::SimTime timer_armed_until_ = 0;
@@ -366,7 +381,7 @@ NvmfTarget::NvmfTarget(dlsim::Simulator& sim, hw::Fabric& fabric,
       node_(node),
       device_(&device),
       poller_core_(sim, "nvmf-target-" + std::to_string(node)),
-      poller_mutex_(sim) {
+      poller_mutex_(sim, "nvmf-poller") {
   device_->claim(hw::DeviceOwner::kUserSpace);
 }
 

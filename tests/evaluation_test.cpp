@@ -88,7 +88,9 @@ TEST(EvaluationClaims, Fig9ScalingAndDominance) {
   for (std::uint32_t nodes : {2u, 4u, 8u}) {
     const auto w = small_node_workload(nodes, 512, 2048);
     const double dlfs = dlfs::bench::run_dlfs(w, chunked()).samples_per_sec;
-    if (prev > 0) EXPECT_GT(dlfs, 1.5 * prev);  // >= 75% scaling efficiency
+    if (prev > 0) {
+      EXPECT_GT(dlfs, 1.5 * prev);  // >= 75% scaling efficiency
+    }
     prev = dlfs;
     EXPECT_GT(dlfs, 5.0 * dlfs::bench::run_ext4(w, 1).samples_per_sec);
     EXPECT_GT(dlfs, 5.0 * dlfs::bench::run_octopus(w).samples_per_sec);

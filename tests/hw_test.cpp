@@ -427,7 +427,7 @@ TEST(Fabric, StatsPerNode) {
 TEST(Fabric, BadNodeIdThrows) {
   Simulator sim;
   Fabric fab(sim, 2);
-  EXPECT_THROW(fab.bytes_sent(5), std::out_of_range);
+  EXPECT_THROW((void)fab.bytes_sent(5), std::out_of_range);
 }
 
 }  // namespace

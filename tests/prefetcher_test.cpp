@@ -316,7 +316,7 @@ TEST(Prefetcher, SharedArbiterBoundsCoLocatedReadAhead) {
   std::vector<std::uint32_t> got[2];
   for (std::uint32_t c = 0; c < 2; ++c) rig.fleet.instance(c).sequence(9);
   for (std::uint32_t c = 0; c < 2; ++c) {
-    rig.sim.spawn([](Rig& r, DlfsInstance& inst,
+    rig.sim.spawn([](DlfsInstance& inst,
                      std::vector<std::uint32_t>& out) -> Task<void> {
       std::vector<std::byte> arena(8 * 128_KiB);
       for (;;) {
@@ -324,7 +324,7 @@ TEST(Prefetcher, SharedArbiterBoundsCoLocatedReadAhead) {
         if (b.end_of_epoch) break;
         for (const auto& s : b.samples) out.push_back(s.sample_id);
       }
-    }(rig, rig.fleet.instance(c), got[c]));
+    }(rig.fleet.instance(c), got[c]));
   }
   rig.sim.run();
   rig.sim.rethrow_failures();

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <set>
@@ -15,7 +16,9 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "dataset/dataset.hpp"
+#include "dlfs/avl_tree.hpp"
 #include "dlfs/dlfs.hpp"
+#include "dlfs/sample_entry.hpp"
 #include "hw/net/fabric.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -274,6 +277,188 @@ TEST(DlfsStackProperty, TwoEpochsDifferentSeedsBothCover) {
     epochs.push_back(std::move(order));
   }
   EXPECT_NE(epochs[0], epochs[1]);  // reshuffled between epochs
+}
+
+// ---------------------------------------------------------------------------
+// SampleEntry bit-field packing (Fig. 3b: NID:16 | key:48 || off:40 |
+// len:23 | V:1)
+
+using dlfs::core::SampleEntry;
+
+TEST(SampleEntryPacking, MaxValuesRoundTripExactly) {
+  const auto nid = static_cast<std::uint16_t>(SampleEntry::kMaxNid);
+  const SampleEntry e(nid, SampleEntry::kKeyMask, SampleEntry::kMaxOffset,
+                      static_cast<std::uint32_t>(SampleEntry::kMaxLen),
+                      /*valid_in_cache=*/true);
+  EXPECT_EQ(e.nid(), nid);
+  EXPECT_EQ(e.key(), SampleEntry::kKeyMask);
+  EXPECT_EQ(e.offset(), SampleEntry::kMaxOffset);
+  EXPECT_EQ(e.len(), SampleEntry::kMaxLen);
+  EXPECT_TRUE(e.valid_in_cache());
+  // All 128 bits are accounted for: every field at max + V set must
+  // saturate both words.
+  EXPECT_EQ(e.raw_hi(), ~0ull);
+  EXPECT_EQ(e.raw_lo(), ~0ull);
+}
+
+TEST(SampleEntryPacking, ZeroEntryIsAllClear) {
+  const SampleEntry e(0, 0, 0, 0, false);
+  EXPECT_EQ(e.raw_hi(), 0u);
+  EXPECT_EQ(e.raw_lo(), 0u);
+  EXPECT_FALSE(e.valid_in_cache());
+}
+
+TEST(SampleEntryPacking, FieldsDoNotBleedIntoNeighbours) {
+  // Each field alone at max must leave every other field zero — a shift
+  // or mask bug would leak bits across the boundary.
+  const SampleEntry only_nid(static_cast<std::uint16_t>(SampleEntry::kMaxNid),
+                             0, 0, 0);
+  EXPECT_EQ(only_nid.key(), 0u);
+  EXPECT_EQ(only_nid.raw_lo(), 0u);
+
+  const SampleEntry only_key(0, SampleEntry::kKeyMask, 0, 0);
+  EXPECT_EQ(only_key.nid(), 0u);
+  EXPECT_EQ(only_key.raw_lo(), 0u);
+
+  const SampleEntry only_off(0, 0, SampleEntry::kMaxOffset, 0);
+  EXPECT_EQ(only_off.raw_hi(), 0u);
+  EXPECT_EQ(only_off.len(), 0u);
+  EXPECT_FALSE(only_off.valid_in_cache());
+
+  const SampleEntry only_len(
+      0, 0, 0, static_cast<std::uint32_t>(SampleEntry::kMaxLen));
+  EXPECT_EQ(only_len.raw_hi(), 0u);
+  EXPECT_EQ(only_len.offset(), 0u);
+  EXPECT_FALSE(only_len.valid_in_cache());
+}
+
+TEST(SampleEntryPacking, OverflowingAnyFieldIsRejected) {
+  EXPECT_THROW(SampleEntry(0, SampleEntry::kKeyMask + 1, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(SampleEntry(0, 0, SampleEntry::kMaxOffset + 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SampleEntry(0, 0, 0,
+                  static_cast<std::uint32_t>(SampleEntry::kMaxLen + 1)),
+      std::invalid_argument);
+}
+
+TEST(SampleEntryPacking, RandomizedRoundTripAndValidBitIsolation) {
+  dlfs::Rng rng(0xf193b);  // deterministic seed, independent of others
+  for (int i = 0; i < 5000; ++i) {
+    const auto nid = static_cast<std::uint16_t>(rng.next_below(1ull << 16));
+    const std::uint64_t key = rng.next_below(SampleEntry::kKeyMask + 1);
+    const std::uint64_t off = rng.next_below(SampleEntry::kMaxOffset + 1);
+    const auto len =
+        static_cast<std::uint32_t>(rng.next_below(SampleEntry::kMaxLen + 1));
+    const bool v = rng.next_below(2) == 1;
+    SampleEntry e(nid, key, off, len, v);
+    ASSERT_EQ(e.nid(), nid);
+    ASSERT_EQ(e.key(), key);
+    ASSERT_EQ(e.offset(), off);
+    ASSERT_EQ(e.len(), len);
+    ASSERT_EQ(e.valid_in_cache(), v);
+    // Flipping V must not disturb any packed neighbour.
+    e.set_valid_in_cache(!v);
+    ASSERT_EQ(e.valid_in_cache(), !v);
+    ASSERT_EQ(e.offset(), off);
+    ASSERT_EQ(e.len(), len);
+    ASSERT_EQ(e.raw_hi(), SampleEntry(nid, key, off, len, !v).raw_hi());
+    ASSERT_EQ(e.raw_lo(), SampleEntry(nid, key, off, len, !v).raw_lo());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AvlTree duplicate-key and rebalance edge cases
+
+using IntTree = dlfs::core::AvlTree<int, int>;
+
+TEST(AvlTreeEdge, DuplicateInsertIsRejectedAndTreeUnchanged) {
+  IntTree t;
+  EXPECT_TRUE(t.insert(7, 70));
+  EXPECT_FALSE(t.insert(7, 71));  // duplicate: refused...
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(7), 70);  // ...and the original value survives
+  // Duplicates below an interior node must not trigger a rebalance or a
+  // size bump either.
+  for (int k : {3, 11, 1, 5, 9, 13}) EXPECT_TRUE(t.insert(k, k * 10));
+  const std::size_t sz = t.size();
+  const int h = t.height();
+  for (int k : {3, 11, 1, 5, 9, 13, 7}) EXPECT_FALSE(t.insert(k, -1));
+  EXPECT_EQ(t.size(), sz);
+  EXPECT_EQ(t.height(), h);
+  EXPECT_TRUE(t.validate());
+  for (int k : {3, 11, 1, 5, 9, 13}) EXPECT_EQ(*t.find(k), k * 10);
+}
+
+TEST(AvlTreeEdge, MonotonicInsertsStayLogarithmic) {
+  // Ascending and descending runs force every LL/RR rotation chain.
+  for (const bool ascending : {true, false}) {
+    IntTree t;
+    constexpr int kN = 1024;
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_TRUE(t.insert(ascending ? i : kN - i, i));
+      ASSERT_TRUE(t.validate());
+    }
+    EXPECT_EQ(t.size(), static_cast<std::size_t>(kN));
+    // AVL height bound: h <= 1.4405 * log2(n + 2).
+    EXPECT_LE(t.height(), 15);  // 1.4405 * log2(1026) ~ 14.4
+  }
+}
+
+TEST(AvlTreeEdge, ZigZagInsertsForceDoubleRotations) {
+  // LR shape: insert 30, 10, 20 — root must become 20.
+  IntTree lr;
+  EXPECT_TRUE(lr.insert(30, 0));
+  EXPECT_TRUE(lr.insert(10, 0));
+  EXPECT_TRUE(lr.insert(20, 0));
+  EXPECT_TRUE(lr.validate());
+  EXPECT_EQ(lr.height(), 2);
+  // RL shape: 10, 30, 20.
+  IntTree rl;
+  EXPECT_TRUE(rl.insert(10, 0));
+  EXPECT_TRUE(rl.insert(30, 0));
+  EXPECT_TRUE(rl.insert(20, 0));
+  EXPECT_TRUE(rl.validate());
+  EXPECT_EQ(rl.height(), 2);
+}
+
+TEST(AvlTreeEdge, EraseTwoChildNodeKeepsOrderAndBalance) {
+  IntTree t;
+  for (int k : {8, 4, 12, 2, 6, 10, 14, 1, 3, 5, 7, 9, 11, 13, 15}) {
+    ASSERT_TRUE(t.insert(k, k));
+  }
+  // Erase the root (two children) and interior two-child nodes; the
+  // in-order successor replacement must preserve BST order + balance.
+  for (int k : {8, 4, 12}) {
+    ASSERT_TRUE(t.erase(k));
+    ASSERT_FALSE(t.contains(k));
+    ASSERT_TRUE(t.validate());
+  }
+  EXPECT_FALSE(t.erase(8));  // erasing twice reports absence
+  std::vector<int> order;
+  t.for_each([&](const int& k, const int&) { order.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(order.size(), 12u);
+}
+
+TEST(AvlTreeEdge, RandomizedInsertEraseMirrorsReferenceSet) {
+  dlfs::Rng rng(20260806);
+  IntTree t;
+  std::set<int> ref;
+  for (int step = 0; step < 4000; ++step) {
+    const int key = static_cast<int>(rng.next_below(512));
+    if (rng.next_below(3) == 0) {
+      ASSERT_EQ(t.erase(key), ref.erase(key) == 1);
+    } else {
+      ASSERT_EQ(t.insert(key, key), ref.insert(key).second);
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  ASSERT_TRUE(t.validate());
+  std::vector<int> order;
+  t.for_each([&](const int& k, const int&) { order.push_back(k); });
+  EXPECT_TRUE(std::equal(order.begin(), order.end(), ref.begin(), ref.end()));
 }
 
 }  // namespace

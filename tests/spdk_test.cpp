@@ -381,7 +381,9 @@ TEST(Nvmf, CrashTimesOutReconnectFailsThenReprobeRevives) {
     co_await q.wait_for_completion();
     auto revived = q.poll();
     EXPECT_EQ(revived.size(), 1u);
-    if (!revived.empty()) EXPECT_EQ(revived[0].status, IoStatus::kOk);
+    if (!revived.empty()) {
+      EXPECT_EQ(revived[0].status, IoStatus::kOk);
+    }
   }(rig, *q, dma.span()));
   rig.sim.run();
   rig.sim.rethrow_failures();

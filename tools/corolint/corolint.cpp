@@ -1,0 +1,728 @@
+// corolint — coroutine-lifetime lint for the dlfs tree.
+//
+// A lightweight AST-less scanner (comment/literal stripping + bracket
+// matching; no libclang dependency) for the coroutine hazards this
+// repository has actually been bitten by:
+//
+//   CL001  Task<> coroutine taking reference / string_view / span
+//          parameters. The coroutine frame stores the *reference*; if the
+//          caller's argument dies before the coroutine finishes (detached
+//          coroutines, or frames outliving a full-expression), the frame
+//          dangles. GCC 12 additionally miscompiles some such frames
+//          outright (see spdk/nvmf.cpp probe()). Vetted sites — callers
+//          that demonstrably co_await the task to completion within the
+//          referents' lifetimes — belong in the allowlist.
+//
+//   CL002  Lambda coroutine capturing by reference. The lambda object is
+//          destroyed once the full-expression ends, but the coroutine
+//          frame keeps using its captures — by-reference captures then
+//          dangle on the first resume.
+//
+//   CL003  Detached coroutine (spawn / spawn_daemon) built from a lambda
+//          capturing `this` (or defaulting to it via [&] / [=]). The
+//          daemon outlives scopes; unless the object's destructor
+//          provably outlives the simulator drain, `this` dangles.
+//
+//   CL004  `if (!co_await ...)` / `while (!co_await ...)`: the negated
+//          await-in-condition shape GCC 12 miscompiles (frame clobber).
+//          Hoist the await into a named local first.
+//
+// Modes:
+//   corolint [--allowlist FILE] PATH...       scan; exit 1 on findings
+//   corolint --self-test FIXTURE_PATH...      verify the fixture corpus:
+//          every `// CORO-LINT-EXPECT: CLxxx` marker must be matched by a
+//          finding of that rule on the marked line, and no unexpected
+//          findings may appear. Exit 1 on any mismatch.
+//
+// Allowlist lines: `CLxxx <path-suffix> <name>` where <name> is the
+// flagged function's name, `<lambda>` for lambda findings, or `*` for
+// every finding of that rule in the file. `#` starts a comment.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string rule;
+  std::string file;  // as passed / discovered
+  int line = 0;
+  std::string name;  // function name or "<lambda>"
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string file_suffix;
+  std::string name;  // "*" = any
+};
+
+// --- source preprocessing ---------------------------------------------------
+
+// Replaces comments and string/char literals with spaces, preserving
+// every byte position and newline so offsets map 1:1 to the original.
+std::string strip_comments_and_literals(const std::string& src) {
+  std::string out(src.size(), ' ');
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto copy_nl = [&](std::size_t at) {
+    if (src[at] == '\n') out[at] = '\n';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;  // newline handled next iteration
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        copy_nl(i);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src.find(close, p);
+      const std::size_t stop = end == std::string::npos ? n : end + close.size();
+      for (std::size_t k = i; k < stop; ++k) copy_nl(k);
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      out[i] = q;  // keep the quote itself so tokens don't merge
+      ++i;
+      while (i < n && src[i] != q) {
+        if (src[i] == '\\') {
+          copy_nl(i);
+          ++i;
+          if (i < n) copy_nl(i);
+          ++i;
+          continue;
+        }
+        copy_nl(i);
+        ++i;
+      }
+      if (i < n) {
+        out[i] = q;
+        ++i;
+      }
+      continue;
+    }
+    out[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+struct SourceFile {
+  std::string path;
+  std::string orig;
+  std::string code;  // stripped
+  std::vector<std::size_t> line_starts;
+
+  void index_lines() {
+    line_starts.clear();
+    line_starts.push_back(0);
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      if (orig[i] == '\n') line_starts.push_back(i + 1);
+    }
+  }
+
+  [[nodiscard]] int line_of(std::size_t off) const {
+    const auto it =
+        std::upper_bound(line_starts.begin(), line_starts.end(), off);
+    return static_cast<int>(it - line_starts.begin());
+  }
+};
+
+// --- small token helpers ----------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t skip_ws_back(const std::string& s, std::size_t i) {
+  // Returns the index of the last non-ws char at or before i, or npos.
+  while (i != std::string::npos &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    if (i == 0) return std::string::npos;
+    --i;
+  }
+  return i;
+}
+
+// Matches a bracket pair forward; s[open] must be the opening char.
+// Returns index of the matching closer, or npos.
+std::size_t match_forward(const std::string& s, std::size_t open, char o,
+                          char c) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == o) ++depth;
+    if (s[i] == c) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Matches a bracket pair backward; s[close] must be the closing char.
+std::size_t match_backward(const std::string& s, std::size_t close, char o,
+                           char c) {
+  int depth = 0;
+  for (std::size_t i = close;; --i) {
+    if (s[i] == c) ++depth;
+    if (s[i] == o) {
+      --depth;
+      if (depth == 0) return i;
+    }
+    if (i == 0) break;
+  }
+  return std::string::npos;
+}
+
+bool contains_word(const std::string& s, const std::string& w) {
+  std::size_t p = 0;
+  while ((p = s.find(w, p)) != std::string::npos) {
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const std::size_t after = p + w.size();
+    const bool right_ok = after >= s.size() || !ident_char(s[after]);
+    if (left_ok && right_ok) return true;
+    p += 1;
+  }
+  return false;
+}
+
+bool has_coroutine_keyword(const std::string& body) {
+  return contains_word(body, "co_await") || contains_word(body, "co_return") ||
+         contains_word(body, "co_yield");
+}
+
+// What makes a parameter list hazardous for a coroutine.
+std::string param_hazard(const std::string& params) {
+  if (params.find('&') != std::string::npos) return "reference parameter";
+  if (params.find("string_view") != std::string::npos) {
+    return "string_view parameter";
+  }
+  std::size_t p = 0;
+  while ((p = params.find("span", p)) != std::string::npos) {
+    const bool left_ok = p == 0 || !ident_char(params[p - 1]);
+    const std::size_t after = skip_ws(params, p + 4);
+    if (left_ok && after < params.size() && params[after] == '<') {
+      return "span parameter";
+    }
+    ++p;
+  }
+  return {};
+}
+
+std::vector<std::string> split_captures(const std::string& caps) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : caps) {
+    if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  out.push_back(cur);
+  for (auto& t : out) {
+    const std::size_t b = t.find_first_not_of(" \t\n");
+    const std::size_t e = t.find_last_not_of(" \t\n");
+    t = b == std::string::npos ? std::string{} : t.substr(b, e - b + 1);
+  }
+  return out;
+}
+
+// --- rule scanners ----------------------------------------------------------
+
+// Finds `Task <...>` occurrences; returns offset past the closing '>' or
+// npos. `pos` points at the 'T' of a candidate "Task".
+std::size_t task_template_end(const std::string& code, std::size_t pos) {
+  if (pos > 0 && (ident_char(code[pos - 1]))) return std::string::npos;
+  std::size_t p = skip_ws(code, pos + 4);
+  if (p >= code.size() || code[p] != '<') return std::string::npos;
+  int depth = 0;
+  for (; p < code.size(); ++p) {
+    if (code[p] == '<') ++depth;
+    if (code[p] == '>') {
+      --depth;
+      if (depth == 0) return p + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// CL001 for named functions/methods: `Task<...> name(args) ... {body}`.
+void scan_named_coroutines(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("Task", pos)) != std::string::npos) {
+    const std::size_t after_tmpl = task_template_end(code, pos);
+    if (after_tmpl == std::string::npos) {
+      pos += 4;
+      continue;
+    }
+    std::size_t p = skip_ws(code, after_tmpl);
+    // Possibly-qualified identifier.
+    std::size_t name_begin = p;
+    while (p < code.size() && (ident_char(code[p]) || code[p] == ':')) ++p;
+    if (p == name_begin) {
+      pos = after_tmpl;
+      continue;
+    }
+    std::string name = code.substr(name_begin, p - name_begin);
+    p = skip_ws(code, p);
+    if (p >= code.size() || code[p] != '(') {
+      pos = after_tmpl;
+      continue;
+    }
+    const std::size_t close = match_forward(code, p, '(', ')');
+    if (close == std::string::npos) {
+      pos = after_tmpl;
+      continue;
+    }
+    const std::string params = code.substr(p + 1, close - p - 1);
+    // Find the body start (or ';' for a declaration) at depth 0.
+    std::size_t q = close + 1;
+    std::size_t body_open = std::string::npos;
+    while (q < code.size()) {
+      const char c = code[q];
+      if (c == ';') break;
+      if (c == '{') {
+        body_open = q;
+        break;
+      }
+      if (c == '(') {  // e.g. noexcept(...)
+        q = match_forward(code, q, '(', ')');
+        if (q == std::string::npos) break;
+      }
+      ++q;
+    }
+    if (body_open == std::string::npos) {
+      pos = close;
+      continue;  // declaration only; the definition is scanned elsewhere
+    }
+    const std::size_t body_close = match_forward(code, body_open, '{', '}');
+    if (body_close == std::string::npos) {
+      pos = close;
+      continue;
+    }
+    const std::string body =
+        code.substr(body_open + 1, body_close - body_open - 1);
+    if (has_coroutine_keyword(body)) {
+      const std::string hazard = param_hazard(params);
+      if (!hazard.empty()) {
+        // Unqualify the name for reporting/allowlisting.
+        const std::size_t colon = name.rfind("::");
+        if (colon != std::string::npos) name = name.substr(colon + 2);
+        out.push_back({"CL001", f.path, f.line_of(name_begin), name,
+                       "coroutine '" + name + "' takes a " + hazard +
+                           "; the frame outlives the full-expression and the "
+                           "referent may dangle (hoist to a by-value param)"});
+      }
+    }
+    pos = close;
+  }
+}
+
+// CL001/CL002 for lambda coroutines: `[caps](params) ... -> Task<...>`.
+void scan_lambda_coroutines(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("->", pos)) != std::string::npos) {
+    const std::size_t arrow = pos;
+    pos += 2;
+    std::size_t p = skip_ws(code, arrow + 2);
+    // Accept `Task<`, `dlsim::Task<`, `sim::Task<`, ...
+    std::size_t t = p;
+    while (t < code.size() && (ident_char(code[t]) || code[t] == ':')) ++t;
+    const std::string ret = code.substr(p, t - p);
+    const bool is_task = ret == "Task" || (ret.size() > 4 &&
+                                           ret.compare(ret.size() - 4, 4,
+                                                       "Task") == 0 &&
+                                           ret[ret.size() - 5] == ':');
+    if (!is_task) continue;
+    if (task_template_end(code, t - 4) == std::string::npos) continue;
+    // Backtrack over the parameter list.
+    std::size_t b = skip_ws_back(code, arrow - 1);
+    if (b == std::string::npos || code[b] != ')') continue;
+    const std::size_t open = match_backward(code, b, '(', ')');
+    if (open == std::string::npos) continue;
+    const std::string params = code.substr(open + 1, b - open - 1);
+    std::size_t before = skip_ws_back(code, open == 0 ? 0 : open - 1);
+    if (before == std::string::npos) continue;
+    if (code[before] == ']') {
+      // Lambda coroutine.
+      const std::size_t cap_open = match_backward(code, before, '[', ']');
+      if (cap_open == std::string::npos) continue;
+      const std::string caps =
+          code.substr(cap_open + 1, before - cap_open - 1);
+      const int line = f.line_of(cap_open);
+      for (const std::string& tok : split_captures(caps)) {
+        if (tok.empty()) continue;
+        if (tok[0] == '&' && tok.rfind("&&", 0) != 0) {
+          out.push_back({"CL002", f.path, line, "<lambda>",
+                         "lambda coroutine captures '" + tok +
+                             "' by reference; the lambda object dies at the "
+                             "end of the full-expression and the capture "
+                             "dangles on the first resume"});
+          break;
+        }
+      }
+      const std::string hazard = param_hazard(params);
+      if (!hazard.empty()) {
+        out.push_back({"CL001", f.path, line, "<lambda>",
+                       "lambda coroutine takes a " + hazard +
+                           "; the frame outlives the full-expression and the "
+                           "referent may dangle (pass by value / pointer)"});
+      }
+    } else if (ident_char(code[before])) {
+      // Named function with a trailing return type: `auto f(...) -> Task<>`.
+      std::size_t nb = before;
+      while (nb > 0 && (ident_char(code[nb - 1]) || code[nb - 1] == ':')) --nb;
+      std::string name = code.substr(nb, before - nb + 1);
+      const std::size_t colon = name.rfind("::");
+      if (colon != std::string::npos) name = name.substr(colon + 2);
+      const std::string hazard = param_hazard(params);
+      if (hazard.empty()) continue;
+      // Only flag definitions that are actually coroutines.
+      std::size_t q = t;
+      while (q < code.size() && code[q] != '{' && code[q] != ';') ++q;
+      if (q >= code.size() || code[q] != '{') continue;
+      const std::size_t body_close = match_forward(code, q, '{', '}');
+      if (body_close == std::string::npos) continue;
+      if (!has_coroutine_keyword(code.substr(q + 1, body_close - q - 1))) {
+        continue;
+      }
+      out.push_back({"CL001", f.path, f.line_of(nb), name,
+                     "coroutine '" + name + "' takes a " + hazard +
+                         "; the frame outlives the full-expression and the "
+                         "referent may dangle (hoist to a by-value param)"});
+    }
+  }
+}
+
+// CL003: spawn()/spawn_daemon() of a lambda capturing `this` (or
+// defaulting to capture it).
+void scan_detached_this(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  for (const std::string fn : {"spawn_daemon", "spawn"}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(fn, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += fn.size();
+      const bool left_ok = start == 0 || !ident_char(code[start - 1]);
+      const std::size_t after = skip_ws(code, start + fn.size());
+      if (!left_ok || after >= code.size() || code[after] != '(') continue;
+      // `spawn` is a prefix of `spawn_daemon`; skip the daemon form here so
+      // it is only reported once (the loop visits spawn_daemon first).
+      if (fn == "spawn" && code.compare(start, 12, "spawn_daemon") == 0) {
+        continue;
+      }
+      const std::size_t close = match_forward(code, after, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(after + 1, close - after - 1);
+      // Lambda intros within the call arguments.
+      std::size_t lp = 0;
+      while ((lp = args.find('[', lp)) != std::string::npos) {
+        const std::size_t lclose = match_forward(args, lp, '[', ']');
+        if (lclose == std::string::npos) break;
+        const std::size_t nxt = skip_ws(args, lclose + 1);
+        const bool looks_like_lambda =
+            nxt < args.size() &&
+            (args[nxt] == '(' || args[nxt] == '{' || args[nxt] == '<');
+        if (looks_like_lambda) {
+          for (const std::string& tok :
+               split_captures(args.substr(lp + 1, lclose - lp - 1))) {
+            if (tok == "this" || tok == "*this" || tok == "&" || tok == "=") {
+              out.push_back(
+                  {"CL003", f.path, f.line_of(after + 1 + lp), "<lambda>",
+                   "detached coroutine (" + fn + ") captures '" + tok +
+                       "'; the daemon may outlive the object — pass an "
+                       "owning/liveness token instead"});
+              break;
+            }
+          }
+        }
+        lp = lclose + 1;
+      }
+    }
+  }
+}
+
+// CL004: `if (!co_await ...)` / `while (!co_await ...)`.
+void scan_negated_await(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  for (const std::string kw : {"if", "while"}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(kw, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += kw.size();
+      const bool left_ok = start == 0 || !ident_char(code[start - 1]);
+      if (!left_ok || start + kw.size() >= code.size() ||
+          ident_char(code[start + kw.size()])) {
+        continue;
+      }
+      std::size_t p = skip_ws(code, start + kw.size());
+      if (p >= code.size() || code[p] != '(') continue;
+      p = skip_ws(code, p + 1);
+      if (p >= code.size() || code[p] != '!') continue;
+      p = skip_ws(code, p + 1);
+      if (p < code.size() && code[p] == '(') p = skip_ws(code, p + 1);
+      if (p + 8 < code.size() && code.compare(p, 8, "co_await") == 0 &&
+          !ident_char(code[p + 8])) {
+        out.push_back({"CL004", f.path, f.line_of(start), kw,
+                       "negated co_await inside a " + kw +
+                           " condition — GCC 12 miscompiles this shape "
+                           "(frame clobber); hoist the await into a named "
+                           "local first"});
+      }
+    }
+  }
+}
+
+// --- driver -----------------------------------------------------------------
+
+bool load(const std::string& path, SourceFile& f) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  f.path = path;
+  f.orig = ss.str();
+  f.code = strip_comments_and_literals(f.orig);
+  f.index_lines();
+  return true;
+}
+
+std::vector<Finding> scan_file(const SourceFile& f) {
+  std::vector<Finding> out;
+  scan_named_coroutines(f, out);
+  scan_lambda_coroutines(f, out);
+  scan_detached_this(f, out);
+  scan_negated_await(f, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line < b.line || (a.line == b.line && a.rule < b.rule);
+  });
+  return out;
+}
+
+bool source_like(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots,
+                                         bool skip_fixtures) {
+  std::vector<std::string> files;
+  for (const std::string& r : roots) {
+    if (fs::is_regular_file(r)) {
+      files.push_back(r);
+      continue;
+    }
+    if (!fs::is_directory(r)) {
+      std::cerr << "corolint: no such path: " << r << "\n";
+      continue;
+    }
+    for (const auto& e : fs::recursive_directory_iterator(r)) {
+      if (!e.is_regular_file() || !source_like(e.path())) continue;
+      const std::string s = e.path().string();
+      if (skip_fixtures && s.find("corolint/fixtures") != std::string::npos) {
+        continue;
+      }
+      files.push_back(s);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "corolint: cannot read allowlist: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    AllowEntry e;
+    if (ss >> e.rule >> e.file_suffix >> e.name) entries.push_back(e);
+  }
+  return entries;
+}
+
+bool allowlisted(const Finding& f, const std::vector<AllowEntry>& allow) {
+  for (const AllowEntry& e : allow) {
+    if (e.rule != f.rule) continue;
+    if (f.file.size() < e.file_suffix.size() ||
+        f.file.compare(f.file.size() - e.file_suffix.size(),
+                       e.file_suffix.size(), e.file_suffix) != 0) {
+      continue;
+    }
+    if (e.name == "*" || e.name == f.name) return true;
+  }
+  return false;
+}
+
+// Self-test: verify findings against `// CORO-LINT-EXPECT: CLxxx[,CLyyy]`
+// markers. A marker on a line of its own applies to the next line.
+int self_test(const std::vector<std::string>& files) {
+  int failures = 0;
+  for (const std::string& path : files) {
+    SourceFile f;
+    if (!load(path, f)) {
+      std::cerr << "corolint: cannot read " << path << "\n";
+      return 2;
+    }
+    const std::vector<Finding> findings = scan_file(f);
+    struct Expect {
+      std::string rule;
+      int line;
+      bool hit = false;
+    };
+    std::vector<Expect> expects;
+    std::istringstream ss(f.orig);
+    std::string line;
+    int ln = 0;
+    static const std::string kMarker = "CORO-LINT-EXPECT:";
+    while (std::getline(ss, line)) {
+      ++ln;
+      const std::size_t m = line.find(kMarker);
+      if (m == std::string::npos) continue;
+      const std::size_t first = line.find_first_not_of(" \t");
+      const bool own_line =
+          first != std::string::npos && line.compare(first, 2, "//") == 0;
+      std::string rules = line.substr(m + kMarker.size());
+      std::istringstream rs(rules);
+      std::string rule;
+      while (std::getline(rs, rule, ',')) {
+        const std::size_t b = rule.find_first_not_of(" \t");
+        const std::size_t e = rule.find_last_not_of(" \t\r");
+        if (b == std::string::npos) continue;
+        expects.push_back(
+            {rule.substr(b, e - b + 1), own_line ? ln + 1 : ln, false});
+      }
+    }
+    std::vector<bool> matched(findings.size(), false);
+    for (Expect& ex : expects) {
+      for (std::size_t i = 0; i < findings.size(); ++i) {
+        if (!matched[i] && findings[i].rule == ex.rule &&
+            findings[i].line == ex.line) {
+          matched[i] = true;
+          ex.hit = true;
+          break;
+        }
+      }
+      if (!ex.hit) {
+        std::cerr << path << ":" << ex.line << ": MISSED expected " << ex.rule
+                  << " finding\n";
+        ++failures;
+      }
+    }
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (!matched[i]) {
+        std::cerr << findings[i].file << ":" << findings[i].line
+                  << ": UNEXPECTED " << findings[i].rule << " "
+                  << findings[i].message << "\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "corolint self-test: all fixture expectations matched\n";
+    return 0;
+  }
+  std::cerr << "corolint self-test: " << failures << " mismatch(es)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allowlist_path;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--allowlist") {
+      if (++i >= argc) {
+        std::cerr << "corolint: --allowlist needs a path\n";
+        return 2;
+      }
+      allowlist_path = argv[i];
+    } else if (a == "--self-test") {
+      selftest = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: corolint [--allowlist FILE] PATH...\n"
+                   "       corolint --self-test FIXTURE_PATH...\n";
+      return 0;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "corolint: no paths given (try --help)\n";
+    return 2;
+  }
+  const std::vector<std::string> files =
+      collect_sources(roots, /*skip_fixtures=*/!selftest);
+  if (selftest) return self_test(files);
+
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) allow = load_allowlist(allowlist_path);
+  int reported = 0;
+  int suppressed = 0;
+  for (const std::string& path : files) {
+    SourceFile f;
+    if (!load(path, f)) {
+      std::cerr << "corolint: cannot read " << path << "\n";
+      return 2;
+    }
+    for (const Finding& finding : scan_file(f)) {
+      if (allowlisted(finding, allow)) {
+        ++suppressed;
+        continue;
+      }
+      std::cout << finding.file << ":" << finding.line << ": " << finding.rule
+                << " [" << finding.name << "] " << finding.message << "\n";
+      ++reported;
+    }
+  }
+  std::cout << "corolint: " << files.size() << " file(s), " << reported
+            << " finding(s), " << suppressed << " allowlisted\n";
+  return reported == 0 ? 0 : 1;
+}

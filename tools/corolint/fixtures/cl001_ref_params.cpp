@@ -1,0 +1,65 @@
+// corolint fixture: CL001 — Task<> coroutines taking reference /
+// string_view / span parameters. These snippets are scanned, never
+// compiled; each marked line must produce exactly the expected finding.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sim/task.hpp"
+
+namespace fixture {
+
+struct Dev {
+  int id = 0;
+};
+
+dlsim::Task<void> by_lvalue_ref(Dev& dev) {  // CORO-LINT-EXPECT: CL001
+  co_await do_io(dev.id);
+}
+
+dlsim::Task<int> by_const_ref(const std::string& name) {  // CORO-LINT-EXPECT: CL001
+  co_return static_cast<int>(name.size());
+}
+
+dlsim::Task<void> by_rvalue_ref(std::string&& s) {  // CORO-LINT-EXPECT: CL001
+  co_await consume(std::move(s));
+}
+
+dlsim::Task<void> by_string_view(std::string_view sv) {  // CORO-LINT-EXPECT: CL001
+  co_await log_line(sv);
+}
+
+dlsim::Task<void> by_span(std::span<int> xs) {  // CORO-LINT-EXPECT: CL001
+  co_await sum(xs);
+}
+
+// CORO-LINT-EXPECT: CL001
+dlsim::Task<void> mixed(int n, const Dev& dev, int m) {
+  co_await do_io(dev.id + n + m);
+}
+
+// Trailing-return-type spelling is flagged too.
+// CORO-LINT-EXPECT: CL001
+auto trailing_ref(Dev& dev) -> dlsim::Task<void> {
+  co_await do_io(dev.id);
+}
+
+// --- negative cases: must produce NO findings -------------------------------
+
+// By value: safe, the frame owns its copy.
+dlsim::Task<void> by_value(std::string name, Dev dev, int n) {
+  co_await do_io(dev.id + n + static_cast<int>(name.size()));
+}
+
+// Pointer params are the sanctioned idiom for shared referents.
+dlsim::Task<void> by_pointer(Dev* dev) { co_await do_io(dev->id); }
+
+// A non-coroutine returning Task (composer) may forward references: no
+// frame of its own ever stores them.
+dlsim::Task<void> composer(Dev& dev) { return by_value({}, dev, 1); }
+
+// Declarations are not flagged; the definition site is.
+dlsim::Task<void> declared_elsewhere(const Dev& dev);
+
+}  // namespace fixture

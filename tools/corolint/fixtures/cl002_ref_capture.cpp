@@ -1,0 +1,71 @@
+// corolint fixture: CL002 — lambda coroutines capturing by reference.
+// The lambda object dies at the end of the full-expression; the frame's
+// captures dangle on the first resume.
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace fixture {
+
+void cases(dlsim::Simulator& sim, int counter) {
+  // CORO-LINT-EXPECT: CL002
+  auto bad_default = [&]() -> dlsim::Task<void> {
+    co_await sim.delay(1);
+    ++counter;
+  };
+
+  // CORO-LINT-EXPECT: CL002
+  auto bad_named = [&counter]() -> dlsim::Task<void> {
+    co_await nothing();
+    ++counter;
+  };
+
+  // CORO-LINT-EXPECT: CL002
+  auto bad_mixed = [n = 1, &counter]() -> dlsim::Task<void> {
+    co_await nothing();
+    counter += n;
+  };
+
+  // Reference capture AND a reference parameter: both rules fire.
+  // CORO-LINT-EXPECT: CL001, CL002
+  auto doubly_bad = [&counter](int& x) -> dlsim::Task<void> {
+    co_await nothing();
+    counter += x;
+  };
+
+  // --- negative cases -------------------------------------------------------
+
+  // By-value captures are owned by the lambda *object*, which the frame
+  // copies; still subtle, but not the dangling-reference hazard.
+  auto ok_value = [counter]() -> dlsim::Task<void> {
+    co_await nothing();
+    (void)counter;
+  };
+
+  // Init-capture by move: owned, fine.
+  auto ok_move = [c = counter]() -> dlsim::Task<void> {
+    co_await nothing();
+    (void)c;
+  };
+
+  // Captureless immediately-invoked lambda with pointer params: the
+  // sanctioned test idiom.
+  auto t = [](dlsim::Simulator* s, int* out) -> dlsim::Task<void> {
+    co_await s->delay(1);
+    ++*out;
+  }(&sim, &counter);
+
+  // A non-coroutine lambda capturing by reference is ordinary C++.
+  auto ok_plain = [&counter] { return counter + 1; };
+
+  (void)bad_default;
+  (void)bad_named;
+  (void)bad_mixed;
+  (void)doubly_bad;
+  (void)ok_value;
+  (void)ok_move;
+  (void)t;
+  (void)ok_plain;
+}
+
+}  // namespace fixture

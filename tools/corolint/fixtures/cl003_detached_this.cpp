@@ -1,0 +1,62 @@
+// corolint fixture: CL003 — detached coroutines (spawn / spawn_daemon)
+// built from lambdas that capture `this` (directly or via a default
+// capture). The daemon can outlive the object; `this` then dangles.
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace fixture {
+
+class Server {
+ public:
+  explicit Server(dlsim::Simulator& sim) : sim_(&sim) {}
+
+  void start() {
+    // CORO-LINT-EXPECT: CL003
+    sim_->spawn_daemon([this]() -> dlsim::Task<void> {
+      for (;;) co_await sim_->delay(1);
+    }());
+  }
+
+  void start_by_default_ref() {
+    // A default ref capture is both a dangling capture (CL002) and an
+    // implicit `this` capture on a detached coroutine (CL003).
+    // CORO-LINT-EXPECT: CL002, CL003
+    sim_->spawn([&]() -> dlsim::Task<void> { co_await sim_->delay(1); }());
+  }
+
+  void start_by_default_copy() {
+    // CORO-LINT-EXPECT: CL003
+    sim_->spawn([=]() -> dlsim::Task<void> { co_await sim_->delay(1); }());
+  }
+
+  void start_deref_this() {
+    // CORO-LINT-EXPECT: CL003
+    sim_->spawn_daemon([*this]() -> dlsim::Task<void> {
+      co_await sim_->delay(1);
+    }());
+  }
+
+  // --- negative cases -------------------------------------------------------
+
+  // Member coroutine spawned directly (no lambda): the established repo
+  // pattern — lifetime is the owner's responsibility, visible at the
+  // call site, and a liveness token guards the detached paths.
+  void start_member() { sim_->spawn_daemon(loop()); }
+
+  // Lambda with explicit value state only: owns what it uses.
+  void start_token(int token) {
+    sim_->spawn([](dlsim::Simulator* s, int t) -> dlsim::Task<void> {
+      co_await s->delay(t);
+    }(sim_, token));
+  }
+
+ private:
+  dlsim::Task<void> loop() {
+    for (;;) co_await sim_->delay(1);
+  }
+
+  dlsim::Simulator* sim_;
+};
+
+}  // namespace fixture

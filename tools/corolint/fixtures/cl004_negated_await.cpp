@@ -1,0 +1,55 @@
+// corolint fixture: CL004 — `if (!co_await ...)` / `while (!co_await
+// ...)`: the negated await-in-condition shape GCC 12 miscompiles (the
+// coroutine frame is clobbered around the await). The repo convention is
+// hoisting the await into a named local (see spdk/nvmf.cpp probe()).
+
+#include "sim/task.hpp"
+
+namespace fixture {
+
+dlsim::Task<bool> probe_once();
+
+dlsim::Task<void> bad_if() {
+  if (!co_await probe_once()) {  // CORO-LINT-EXPECT: CL004
+    co_return;
+  }
+}
+
+dlsim::Task<void> bad_if_parenthesized() {
+  if (!(co_await probe_once())) {  // CORO-LINT-EXPECT: CL004
+    co_return;
+  }
+}
+
+dlsim::Task<void> bad_while() {
+  while (!co_await probe_once()) {  // CORO-LINT-EXPECT: CL004
+    co_await probe_once();
+  }
+}
+
+dlsim::Task<void> bad_if_spread() {
+  if (!co_await  // CORO-LINT-EXPECT: CL004
+          probe_once()) {
+    co_return;
+  }
+}
+
+// --- negative cases ---------------------------------------------------------
+
+// Hoisted into a named local: the sanctioned shape.
+dlsim::Task<void> ok_hoisted() {
+  const bool ok = co_await probe_once();
+  if (!ok) co_return;
+}
+
+// Un-negated await in a condition is not the miscompiled shape.
+dlsim::Task<void> ok_positive() {
+  if (co_await probe_once()) co_return;
+}
+
+// `!` applied to something other than the await.
+dlsim::Task<void> ok_other_negation(bool flag) {
+  if (!flag) co_await probe_once();
+}
+
+}  // namespace fixture
