@@ -9,8 +9,17 @@
 // the rest as skipped. Sweep B crashes at a fixed point and varies the
 // outage length: short outages are absorbed by command replay after
 // reconnect (zero skips), long ones degrade the epoch.
+//
+// Flags:
+//   --smoke          shrunken dataset and one point per sweep (CI entry)
+//   --replication N  k-way replica placement; with N >= 2 a permanent
+//                    single-node crash must skip ZERO samples (reads fail
+//                    over to the surviving replica) — the run exits
+//                    non-zero if any Sweep A point skips.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,24 +63,49 @@ dlfs::core::DlfsConfig fault_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint32_t replication = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      replication = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--replication N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   dlfs::print_banner(
       "Availability: epoch continuation across storage-node crashes");
+  std::printf("replication=%u%s\n", replication, smoke ? " (smoke)" : "");
 
-  const Workload w = remote_pool_workload();
-  const dlfs::core::DlfsConfig cfg = fault_config();
-  dlfs::bench::JsonReport report("availability_sweep");
+  Workload w = remote_pool_workload();
+  if (smoke) w.samples_per_node = 128;
+  dlfs::core::DlfsConfig cfg = fault_config();
+  cfg.replication = replication;
+  dlfs::bench::JsonReport report(
+      replication > 1 ? "availability_sweep_r" + std::to_string(replication)
+                      : std::string("availability_sweep"));
 
   const auto baseline = dlfs::bench::run_dlfs(w, cfg);
   report.add("fault=none", baseline);
   const double epoch_ms = dlsim::to_micros(baseline.elapsed) / 1e3;
 
   // Sweep A: permanent crash at a fraction of the healthy epoch time.
+  // With replication >= 2 every sample has a live replica, so a single
+  // permanent crash must cost routing, not samples: skipped == 0.
+  bool replication_held = true;
+  const std::vector<double> fracs =
+      smoke ? std::vector<double>{0.3}
+            : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
   Table ta({"crash_at", "epoch", "served", "skipped", "timeouts", "unit"});
   ta.add_row({"never", Table::num(epoch_ms, 2), Table::integer(baseline.samples),
               Table::integer(baseline.samples_skipped),
               Table::integer(baseline.transport.timeouts), "ms/samples"});
-  for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+  for (const double frac : fracs) {
     FaultPlan plan;
     plan.crash_slot = 0;
     plan.crash_at = static_cast<dlsim::SimDuration>(
@@ -82,6 +116,7 @@ int main() {
                 Table::num(dlsim::to_micros(r.elapsed) / 1e3, 2),
                 Table::integer(r.samples), Table::integer(r.samples_skipped),
                 Table::integer(r.transport.timeouts), "ms/samples"});
+    if (replication >= 2 && r.samples_skipped != 0) replication_held = false;
   }
   std::printf("\nSweep A: permanent crash of 1 of 2 targets\n");
   ta.print();
@@ -91,7 +126,10 @@ int main() {
             "unit"});
   const auto crash_at = static_cast<dlsim::SimDuration>(
       static_cast<double>(baseline.elapsed) * 0.3);
-  for (const double out_ms : {1.0, 10.0, 40.0, 200.0}) {
+  const std::vector<double> outages =
+      smoke ? std::vector<double>{10.0}
+            : std::vector<double>{1.0, 10.0, 40.0, 200.0};
+  for (const double out_ms : outages) {
     FaultPlan plan;
     plan.crash_slot = 0;
     plan.crash_at = crash_at;
@@ -109,5 +147,12 @@ int main() {
   tb.print();
 
   std::printf("wrote %s\n", report.write().c_str());
+  if (!replication_held) {
+    std::fprintf(stderr,
+                 "FAIL: replication=%u run skipped samples on a single-node "
+                 "crash\n",
+                 replication);
+    return 1;
+  }
   return 0;
 }

@@ -124,8 +124,12 @@ std::vector<EpochSequence::UnitPicks> EpochSequence::take(std::size_t n) {
 
 EpochUnitProvider::EpochUnitProvider(const EpochSequence& seq,
                                      std::uint32_t group,
-                                     const SampleCache* cache)
-    : seq_(&seq), group_(std::max<std::uint32_t>(group, 1)), cache_(cache) {}
+                                     const SampleCache* cache,
+                                     RouteResolver routes)
+    : seq_(&seq),
+      group_(std::max<std::uint32_t>(group, 1)),
+      cache_(cache),
+      routes_(std::move(routes)) {}
 
 std::size_t EpochUnitProvider::num_units() const {
   return (seq_->num_units() + group_ - 1) / group_;
@@ -152,7 +156,9 @@ std::vector<UnitExtent> EpochUnitProvider::unit_extents(
     // samples are served from it at consume time — don't re-read them.
     const std::uint32_t id = u->samples.front().sample_id;
     if (cache_ != nullptr && cache_->valid(id)) continue;
-    out.push_back(UnitExtent{u->nid, u->offset, u->len, id});
+    UnitExtent x{u->nid, u->offset, u->len, id};
+    if (routes_) x.routes = routes_(id);
+    out.push_back(std::move(x));
   }
   return out;
 }

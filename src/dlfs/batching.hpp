@@ -20,9 +20,11 @@
 // not hurt training accuracy.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "dlfs/sample_entry.hpp"
 
 namespace dlfs::core {
 
@@ -86,6 +88,8 @@ struct UnitExtent {
   std::uint64_t offset = 0;
   std::uint32_t len = 0;
   std::uint64_t key = 0;
+  // Replica failover order for these bytes (empty without replication).
+  std::vector<RouteHop> routes{};
 };
 
 /// What the asynchronous prefetcher walks: an ordered list of read units,
@@ -158,8 +162,13 @@ class EpochSequence {
 /// device read-ahead.
 class EpochUnitProvider final : public ReadUnitProvider {
  public:
+  /// `routes` (optional) resolves a sample id to its replica failover
+  /// list; per-sample extents carry it so prefetched reads can fail over.
+  /// Chunk units read record regions, not samples — they get no routes.
+  using RouteResolver = std::function<std::vector<RouteHop>(std::uint32_t)>;
+
   EpochUnitProvider(const EpochSequence& seq, std::uint32_t group,
-                    const SampleCache* cache);
+                    const SampleCache* cache, RouteResolver routes = {});
 
   [[nodiscard]] std::size_t num_units() const override;
   [[nodiscard]] std::vector<UnitExtent> unit_extents(
@@ -175,6 +184,7 @@ class EpochUnitProvider final : public ReadUnitProvider {
   const EpochSequence* seq_;
   std::uint32_t group_;
   const SampleCache* cache_;  // may be null: no elision
+  RouteResolver routes_;      // may be null: no replication
 };
 
 /// Trivial provider over a precomputed extent list, one unit per extent

@@ -148,6 +148,43 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
       }
     }
   }
+  // Replica placement (replication > 1): sample i's copy r lives on
+  // hash(name ‖ r) % S, skipping nodes that already hold one; a bounded
+  // linear fallback guarantees k distinct nodes when the hash keeps
+  // colliding. Replica bytes are always raw per-sample extents (no
+  // record headers — replica reads return exactly the payload) appended
+  // after each slot's primary region, so primary offsets — and therefore
+  // every healthy run — stay byte-identical to replication = 1.
+  const std::uint32_t reps = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(config_.replication, 1),
+      static_cast<std::uint32_t>(storage_nodes_.size()));
+  if (reps > 1) {
+    replica_layout_.resize(n);
+    shard_replicas_.resize(storage_nodes_.size());
+    const std::uint32_t hash_probes = 8 * reps + 32;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& spec = dataset_->sample(i);
+      const std::uint16_t primary = layout_[i].nid;
+      std::vector<std::uint16_t> chosen{primary};
+      for (std::uint32_t r = 1; chosen.size() < reps; ++r) {
+        const auto cand = static_cast<std::uint16_t>(
+            r <= hash_probes
+                ? hash64(std::string(spec.name) + '\x1f' +
+                         std::to_string(r)) %
+                      storage_nodes_.size()
+                : (primary + r) % storage_nodes_.size());
+        if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end()) {
+          continue;
+        }
+        chosen.push_back(cand);
+        const std::uint64_t off = next_offset[cand];
+        next_offset[cand] += layout_[i].len;
+        shard_replicas_[cand].push_back(
+            ReplicaRow{static_cast<std::uint32_t>(i), off});
+        replica_layout_[i].push_back(RouteHop{cand, off});
+      }
+    }
+  }
   for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
     const auto cap =
         cluster_->node(storage_nodes_[s]).device().capacity();
@@ -181,10 +218,15 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
     const auto& ids = shard_samples_[p];
     std::uint64_t shard_bytes = 0;
     for (auto id : ids) shard_bytes += layout_[id].len;
+    // Replica rows hosted on this slot ride the same PFS stream.
+    static const std::vector<ReplicaRow> kNoReplicas;
+    const auto& replicas =
+        p < shard_replicas_.size() ? shard_replicas_[p] : kNoReplicas;
+    for (const auto& row : replicas) shard_bytes += layout_[row.sample_id].len;
 
     // One streamed PFS request for the whole shard.
-    co_await pfs_->stream_samples(ids.empty() ? 0 : ids.front(), ids.size(),
-                                  shard_bytes);
+    co_await pfs_->stream_samples(ids.empty() ? 0 : ids.front(),
+                                  ids.size() + replicas.size(), shard_bytes);
 
     // Write the shard to the local device in 1 MiB segments, pipelined at
     // queue depth 8. Contents are generated from the dataset's content
@@ -235,6 +277,14 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
         }
         co_await emit(scratch);
       }
+      // Replica region: the rows were assigned contiguous offsets right
+      // after the primary region in this exact order, so the sequential
+      // emit stream lands each copy at its planned offset.
+      for (const auto& row : replicas) {
+        scratch.resize(layout_[row.sample_id].len);
+        dataset_->fill_content(row.sample_id, 0, scratch);
+        co_await emit(scratch);
+      }
       co_await flush();
       while (qp->outstanding() > 0) {
         co_await qp->wait_for_completion();
@@ -248,6 +298,15 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
       const SampleLocation& loc = layout_[id];
       directory_.insert(id, dataset_->sample(id).name, loc.nid, loc.offset,
                         loc.len);
+      // The primary owner registers the sample's replica hops (its
+      // insert just created the id-index row they attach to); every
+      // registration lands before the upload barrier, so the allgather
+      // slices below already account the replica rows.
+      if (!replica_layout_.empty()) {
+        for (const RouteHop& h : replica_layout_[id]) {
+          directory_.add_replica(id, h.nid, h.offset);
+        }
+      }
     }
     // File-oriented entries for the batched record files on this node.
     for (const auto& f : record_files_[p]) {
@@ -321,14 +380,18 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   ecfg.chunk_bytes = cfg.chunk_bytes;
   ecfg.copy_threads = cfg.copy_threads;
   ecfg.retry_backoff = cfg.io_retry_backoff;
+  ecfg.reprobe_interval = cfg.reprobe_interval;
   engine_ = std::make_unique<IoEngine>(node.simulator(), *pool_, *cache_,
                                        cfg.calibration, ecfg);
   // Node fault domain: when a storage node's reconnect budget is
   // exhausted the engine reports it down and the shared directory's
-  // wholesale V bit clears, so every path skips its samples; a
-  // successful reprobe restores it.
+  // wholesale V bit clears, so every path fails over (or skips) its
+  // samples; a successful reprobe — epoch-boundary or the mid-epoch
+  // probe daemon — restores it and retries read-ahead that failed while
+  // the node was down.
   engine_->set_node_down_handler([this](std::uint16_t nid, bool up) {
     fleet_->directory_.set_node_available(nid, up);
+    if (up && prefetcher_) (void)prefetcher_->reissue_failed();
   });
   if (cfg.prefetch.enabled) {
     prefetcher_ = std::make_unique<Prefetcher>(
@@ -354,6 +417,34 @@ DlfsInstance::~DlfsInstance() = default;
 dlsim::Task<void> DlfsInstance::charge_lookup() {
   lookup_time_total_ += fleet_->config_.calibration.dlfs.dir_lookup;
   co_await io_core_->compute(fleet_->config_.calibration.dlfs.dir_lookup);
+}
+
+dlsim::Task<void> DlfsInstance::maybe_reprobe() {
+  if (!reprobe_pending_) co_return;
+  reprobe_pending_ = false;
+  if (engine_->nodes_down() == 0) co_return;
+  const std::uint32_t recovered =
+      co_await engine_->reprobe_down_nodes(*io_core_);
+  // Read-ahead issued while the node was down carries baked-in
+  // failures; retry it now that the node answers again.
+  if (recovered > 0 && prefetcher_) (void)prefetcher_->reissue_failed();
+}
+
+std::vector<RouteHop> DlfsInstance::sample_routes(
+    std::uint32_t sample_id) const {
+  return fleet_->directory_.replicas(sample_id);
+}
+
+bool DlfsInstance::sample_reachable(std::uint32_t sample_id) const {
+  auto up = [this](std::uint16_t nid) {
+    return engine_->node_available(nid) &&
+           fleet_->directory_.node_available(nid);
+  };
+  if (up(fleet_->layout_[sample_id].nid)) return true;
+  for (const RouteHop& h : fleet_->directory_.replicas(sample_id)) {
+    if (up(h.nid)) return true;
+  }
+  return false;
 }
 
 dlsim::Task<SampleHandle> DlfsInstance::open(std::string_view name) {
@@ -441,7 +532,8 @@ dlsim::Task<void> DlfsInstance::read(const SampleHandle& h,
   } else {
     cache_->note_miss();
     co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
-                               dst.data(), h.sample_id);
+                               dst.data(), h.sample_id,
+                               sample_routes(h.sample_id));
   }
   ++samples_delivered_;
   bytes_delivered_ += e.len();
@@ -466,9 +558,16 @@ void DlfsInstance::sequence(std::uint64_t seed) {
     // consecutive per-sample slots into one unit and elide extents whose
     // sample is already cache-resident.
     const bool chunk = fleet_->config_.batching == BatchingMode::kChunkLevel;
+    // With replication, per-sample extents (sample-level/unbatched units
+    // and chunk-mode edge samples) carry their replica failover list so
+    // read-ahead re-routes inside the engine instead of failing.
+    EpochUnitProvider::RouteResolver routes;
+    if (fleet_->config_.replication > 1) {
+      routes = [this](std::uint32_t id) { return sample_routes(id); };
+    }
     epoch_provider_ = std::make_unique<EpochUnitProvider>(
         *seq_, chunk ? 1u : fleet_->config_.prefetch.group_samples,
-        chunk ? nullptr : cache_.get());
+        chunk ? nullptr : cache_.get(), std::move(routes));
     prefetcher_->start_epoch(epoch_provider_.get());
   }
 }
@@ -515,16 +614,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
   if (!seq_) {
     throw std::logic_error("dlfs_bread: call dlfs_sequence(seed) first");
   }
-  if (reprobe_pending_) {
-    reprobe_pending_ = false;
-    if (engine_->nodes_down() > 0) {
-      const std::uint32_t recovered =
-          co_await engine_->reprobe_down_nodes(*io_core_);
-      // Read-ahead issued while the node was down carries baked-in
-      // failures; retry it now that the node answers again.
-      if (recovered > 0 && prefetcher_) (void)prefetcher_->reissue_failed();
-    }
-  }
+  co_await maybe_reprobe();
   const auto mode = fleet_->config_.batching;
   if (mode == BatchingMode::kNone) {
     co_return co_await bread_unbatched(max_samples, arena);
@@ -537,6 +627,9 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
   // The daemon serves whatever order was installed last; a record-file
   // streaming order (sequence_files) means bread fetches on demand.
   const bool use_pf = prefetcher_ != nullptr && !file_seq_active_;
+  // Skip accounting: one entry per unreachable sample, no matter how
+  // many paths (per-request fault, unit-level skip, precheck) notice it.
+  std::unordered_set<std::uint32_t> skipped;
 
   // Frontend: directory lookups for every sample in the mini-batch.
   std::size_t total = 0;
@@ -645,22 +738,20 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           } else {
             co_await engine_->enqueue_copy(std::move(job));
           }
-        } else if (ax != nullptr) {
-          // Read-ahead failure surfaces on the bread that owns the
-          // sample: media errors stay fatal (after the latches settle),
-          // node-level faults skip just this sample.
-          if (is_node_fault(ax->error)) {
-            ++batch.samples_skipped;
-          } else if (!fatal) {
-            fatal = ax->error;
-          }
+        } else if (ax != nullptr && !is_node_fault(ax->error)) {
+          // Read-ahead media/unknown errors surface on the bread that
+          // owns the sample and stay fatal (after the latches settle).
+          if (!fatal) fatal = ax->error;
           copy_latch.count_down();
-        } else if (!node_up(loc.nid)) {
-          ++batch.samples_skipped;
+        } else if (!sample_reachable(us.sample_id)) {
+          // No live copy anywhere: degrade by skipping just this sample.
+          skipped.insert(us.sample_id);
           copy_latch.count_down();
         } else {
-          // Elided at issue time (the sample was cache-resident then) but
-          // evicted since: demand-fetch it like the synchronous path.
+          // Elided at issue time (the sample was cache-resident then but
+          // evicted since), or its read-ahead died on a node fault while
+          // a replica — or the recovered primary — can still serve it:
+          // demand-fetch with the failover route attached.
           if (arena_pos + loc.len > arena.size()) {
             throw std::invalid_argument(
                 "dlfs_bread: arena too small for batch");
@@ -669,13 +760,14 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           try {
             co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
                                        loc.len, arena.data() + arena_pos,
-                                       us.sample_id);
+                                       us.sample_id,
+                                       sample_routes(us.sample_id));
             (void)place(us.sample_id, loc.len);
           } catch (const IoError& e) {
             if (e.kind == IoErrorKind::kMedia) {
               if (!fatal) fatal = std::current_exception();
             } else {
-              ++batch.samples_skipped;
+              skipped.insert(us.sample_id);
             }
           }
           copy_latch.count_down();
@@ -706,14 +798,15 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           job.dst = arena.data() + off;
           co_await engine_->run_copy_inline(*io_core_, std::move(job));
           cache_->unpin(us.sample_id);
-        } else if (!node_up(loc.nid)) {
-          ++batch.samples_skipped;
+        } else if (!sample_reachable(us.sample_id)) {
+          skipped.insert(us.sample_id);
         } else {
           cache_->note_miss();
           const auto off = place(us.sample_id, loc.len);
           extents.push_back(ReadExtent{loc.nid, loc.offset, loc.len,
                                        arena.data() + off, us.sample_id,
-                                       nullptr});
+                                       nullptr, {},
+                                       sample_routes(us.sample_id)});
           extent_samples.push_back(us.sample_id);
         }
       }
@@ -741,7 +834,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
       if (fatal) std::rethrow_exception(fatal);
       if (!failed_ids.empty()) {
-        batch.samples_skipped += failed_ids.size();
+        skipped.insert(failed_ids.begin(), failed_ids.end());
         std::erase_if(batch.samples, [&](const BatchSample& s) {
           return failed_ids.contains(s.sample_id);
         });
@@ -768,23 +861,42 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
     }
 
-    // Degraded-epoch skip protocol: a unit whose storage node is gone
-    // drops every one of its pending samples — the latch still accounts
-    // for them (no hang), the batch loses them at the end, and the
-    // prefetcher forgets the slot.
-    std::vector<std::uint32_t> skipped_ids;
-    std::unordered_set<std::size_t> skipped_slots;
-    auto skip_slot = [&](std::size_t slot) {
-      if (!skipped_slots.insert(slot).second) return;
-      for (const auto& pk : picks) {
-        if (pk.unit_slot != slot) continue;
-        for (std::uint32_t i = 0; i < pk.count; ++i) {
-          skipped_ids.push_back(
-              pk.unit->samples[pk.first_sample + i].sample_id);
+    // Degraded-unit protocol: a unit whose chunk read cannot be served
+    // (storage node gone) no longer drops every one of its samples —
+    // each pending sample is re-read individually from its replicas (or
+    // the recovered primary) straight into its preplaced arena offset,
+    // so a replicated batch stays byte-identical to a no-fault run.
+    // Only samples with no reachable copy are skipped; the latch
+    // accounts for every sample either way (no hang) and the prefetcher
+    // forgets the slot.
+    std::unordered_set<std::size_t> degraded_slots;
+    std::exception_ptr recover_fatal;
+    auto recover_slot = [&](std::size_t slot) -> dlsim::Task<void> {
+      if (!degraded_slots.insert(slot).second) co_return;
+      auto it = copies_by_slot.find(slot);
+      if (it != copies_by_slot.end()) {
+        for (const auto& pc : it->second) {
+          const std::uint32_t id = pc.us->sample_id;
+          const SampleLocation& loc = fleet_->layout_[id];
+          bool served = false;
+          if (sample_reachable(id)) {
+            try {
+              co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
+                                         loc.len,
+                                         arena.data() + pc.arena_off,
+                                         std::nullopt, sample_routes(id));
+              served = true;
+            } catch (const IoError& e) {
+              if (e.kind == IoErrorKind::kMedia && !recover_fatal) {
+                recover_fatal = std::current_exception();
+              }
+            }
+          }
+          if (!served) skipped.insert(id);
           latch.count_down();
         }
+        copies_by_slot.erase(it);
       }
-      copies_by_slot.erase(slot);
       fetched_.erase(slot);
       if (use_pf) prefetcher_->discard(slot);
     };
@@ -845,22 +957,23 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
       for (const auto& pk : picks) {
         const std::size_t slot = pk.unit_slot;
-        if (skipped_slots.contains(slot)) continue;
+        if (degraded_slots.contains(slot)) continue;
         if (!fetched_.contains(slot)) {
           if (!node_up(pk.unit->nid)) {
-            skip_slot(slot);
+            co_await recover_slot(slot);
             continue;
           }
           AcquiredUnit au = co_await prefetcher_->acquire(slot, *io_core_);
           if (std::exception_ptr err = au.first_error()) {
             // Read-ahead faults surface here, on the bread that owns the
-            // unit: media errors stay fatal; node-level faults skip.
+            // unit: media errors stay fatal; node-level faults degrade
+            // to per-sample replica recovery.
             if (!is_node_fault(err)) std::rethrow_exception(err);
-            skip_slot(slot);
+            co_await recover_slot(slot);
             continue;
           }
           if (au.extents.empty()) {  // cannot happen for chunk units
-            skip_slot(slot);
+            co_await recover_slot(slot);
             continue;
           }
           fetched_[slot].buffers = std::move(au.extents.front().buffers);
@@ -889,9 +1002,9 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       };
 
       for (const auto& pk : picks) {
-        if (skipped_slots.contains(pk.unit_slot)) continue;
+        if (degraded_slots.contains(pk.unit_slot)) continue;
         if (!fetched_.contains(pk.unit_slot) && !node_up(pk.unit->nid)) {
-          skip_slot(pk.unit_slot);
+          co_await recover_slot(pk.unit_slot);
           continue;
         }
         if (add_fetch(pk.unit_slot, pk.unit)) {
@@ -934,17 +1047,19 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           co_await engine_->await_op(*io_core_, ops[i], inj);
           inj = 0;
           if (!ops[i]->error()) continue;
+          bool needs_recovery = false;
           try {
             std::rethrow_exception(ops[i]->error());
           } catch (const IoError& e) {
             if (e.kind == IoErrorKind::kMedia) {
               if (!fatal) fatal = ops[i]->error();
             } else {
-              skip_slot(extent_slots[i]);
+              needs_recovery = true;  // co_await is illegal in a handler
             }
           } catch (...) {
             if (!fatal) fatal = ops[i]->error();
           }
+          if (needs_recovery) co_await recover_slot(extent_slots[i]);
         }
         if (fatal) std::rethrow_exception(fatal);
       }
@@ -961,19 +1076,18 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
     }
     co_await latch.wait();
+    if (recover_fatal) std::rethrow_exception(recover_fatal);
     // Release fully-consumed units.
     for (const auto& pk : picks) maybe_release_unit(pk.unit_slot);
-    if (!skipped_ids.empty()) {
-      const std::unordered_set<std::uint32_t> gone(skipped_ids.begin(),
-                                                   skipped_ids.end());
+    if (!skipped.empty()) {
       std::erase_if(batch.samples, [&](const BatchSample& s) {
-        return gone.contains(s.sample_id);
+        return skipped.contains(s.sample_id);
       });
-      batch.samples_skipped += skipped_ids.size();
     }
   }
 
   batch.bytes = arena_pos;
+  batch.samples_skipped = skipped.size();
   if (batch.samples_skipped > 0) {
     // Skipped samples left holes in the arena; the batch's byte count is
     // what was actually delivered.
@@ -1006,16 +1120,7 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
         "bread_views requires chunk-level batching (samples must live in "
         "resident data chunks)");
   }
-  if (reprobe_pending_) {
-    reprobe_pending_ = false;
-    if (engine_->nodes_down() > 0) {
-      const std::uint32_t recovered =
-          co_await engine_->reprobe_down_nodes(*io_core_);
-      // Read-ahead issued while the node was down carries baked-in
-      // failures; retry it now that the node answers again.
-      if (recovered > 0 && prefetcher_) (void)prefetcher_->reissue_failed();
-    }
-  }
+  co_await maybe_reprobe();
   ViewBatch batch;
   auto picks = seq_->take(max_samples);
   batch.end_of_epoch = picks.empty();
@@ -1040,11 +1145,49 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
     return engine_->node_available(nid) &&
            fleet_->directory_.node_available(nid);
   };
-  std::unordered_set<std::size_t> skipped_slots;
-  auto skip_slot = [&](std::size_t slot) {
-    if (!skipped_slots.insert(slot).second) return;
-    fetched_.erase(slot);
+  // One entry per unreachable sample (never double-counted between the
+  // unit-level and per-sample paths).
+  std::unordered_set<std::uint32_t> skipped;
+  // Degraded units: the chunk read cannot be served, so each picked
+  // sample is re-read individually from its replicas into fresh buffers
+  // (FetchedUnit::per_sample); the view handout below branches on the
+  // unit's chunk buffers being absent. Samples with no reachable copy
+  // are recorded in `skipped`.
+  std::unordered_set<std::size_t> degraded_slots;
+  auto recover_slot = [&](std::size_t slot) -> dlsim::Task<void> {
+    if (!degraded_slots.insert(slot).second) co_return;
     if (use_pf) prefetcher_->discard(slot);
+    // The degraded entry persists across breads (a unit can span batch
+    // boundaries); re-entry fills the newly-picked samples only.
+    FetchedUnit& fu = fetched_[slot];
+    fu.buffers.clear();
+    for (const auto& pk : picks) {
+      if (pk.unit_slot != slot) continue;
+      for (std::uint32_t i = 0; i < pk.count; ++i) {
+        const auto& us = pk.unit->samples[pk.first_sample + i];
+        const std::uint32_t id = us.sample_id;
+        if (fu.per_sample.contains(id)) continue;
+        if (!sample_reachable(id)) {
+          skipped.insert(id);
+          continue;
+        }
+        const SampleLocation& loc = fleet_->layout_[id];
+        std::vector<mem::DmaBuffer> pieces;
+        auto op = engine_->start_extent(
+            ReadExtent{loc.nid, loc.offset, loc.len, nullptr, std::nullopt,
+                       &pieces, {}, sample_routes(id)});
+        bool served = true;
+        co_await engine_->await_op(*io_core_, op, 0);
+        if (op->error()) {
+          if (!is_node_fault(op->error())) {
+            std::rethrow_exception(op->error());
+          }
+          skipped.insert(id);
+          served = false;
+        }
+        if (served) fu.per_sample.emplace(id, std::move(pieces));
+      }
+    }
   };
 
   // Fetch the units backing this batch (plus read-ahead), then hand out
@@ -1063,21 +1206,27 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       inj_done.count_down();
     }
     for (const auto& pk : picks) {
-      if (skipped_slots.contains(pk.unit_slot)) continue;
-      if (!fetched_.contains(pk.unit_slot)) {
+      if (degraded_slots.contains(pk.unit_slot)) continue;
+      auto fit = fetched_.find(pk.unit_slot);
+      if (fit != fetched_.end() && fit->second.buffers.empty()) {
+        // Degraded in an earlier batch: recover this batch's picks too.
+        co_await recover_slot(pk.unit_slot);
+        continue;
+      }
+      if (fit == fetched_.end()) {
         if (!node_up(pk.unit->nid)) {
-          skip_slot(pk.unit_slot);
+          co_await recover_slot(pk.unit_slot);
           continue;
         }
         AcquiredUnit au = co_await prefetcher_->acquire(pk.unit_slot,
                                                         *io_core_);
         if (std::exception_ptr err = au.first_error()) {
           if (!is_node_fault(err)) std::rethrow_exception(err);
-          skip_slot(pk.unit_slot);
+          co_await recover_slot(pk.unit_slot);
           continue;
         }
         if (au.extents.empty()) {
-          skip_slot(pk.unit_slot);
+          co_await recover_slot(pk.unit_slot);
           continue;
         }
         fetched_[pk.unit_slot].buffers =
@@ -1098,9 +1247,16 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       extent_slots.push_back(slot);
     };
     for (const auto& pk : picks) {
-      if (skipped_slots.contains(pk.unit_slot)) continue;
-      if (!fetched_.contains(pk.unit_slot) && !node_up(pk.unit->nid)) {
-        skip_slot(pk.unit_slot);
+      if (degraded_slots.contains(pk.unit_slot)) continue;
+      auto fit = fetched_.find(pk.unit_slot);
+      if (fit != fetched_.end() && fit->second.buffers.empty() &&
+          !slots_fetching.contains(pk.unit_slot)) {
+        // Degraded in an earlier batch: recover this batch's picks too.
+        co_await recover_slot(pk.unit_slot);
+        continue;
+      }
+      if (fit == fetched_.end() && !node_up(pk.unit->nid)) {
+        co_await recover_slot(pk.unit_slot);
         continue;
       }
       add_fetch(pk.unit_slot, pk.unit);
@@ -1121,27 +1277,25 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
         co_await engine_->await_op(*io_core_, ops[i], inj);
         inj = 0;
         if (!ops[i]->error()) continue;
+        bool needs_recovery = false;
         try {
           std::rethrow_exception(ops[i]->error());
         } catch (const IoError& e) {
           if (e.kind == IoErrorKind::kMedia) {
             if (!fatal) fatal = ops[i]->error();
           } else {
-            skip_slot(extent_slots[i]);
+            needs_recovery = true;  // co_await is illegal in a handler
           }
         } catch (...) {
           if (!fatal) fatal = ops[i]->error();
         }
+        if (needs_recovery) co_await recover_slot(extent_slots[i]);
       }
       if (fatal) std::rethrow_exception(fatal);
     }
   }
 
   for (const auto& pk : picks) {
-    if (skipped_slots.contains(pk.unit_slot)) {
-      batch.samples_skipped += pk.count;
-      continue;
-    }
     FetchedUnit& fu = fetched_.at(pk.unit_slot);
     ++fu.view_pins;
     batch.pinned_slots.push_back(pk.unit_slot);
@@ -1152,8 +1306,17 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       vs.sample_id = us.sample_id;
       vs.class_id = fleet_->dataset_->sample(us.sample_id).class_id;
       vs.len = us.len;
-      vs.pieces = window_views(fu.buffers, fleet_->config_.chunk_bytes,
-                               us.offset_in_unit, us.len);
+      if (!fu.buffers.empty()) {
+        vs.pieces = window_views(fu.buffers, fleet_->config_.chunk_bytes,
+                                 us.offset_in_unit, us.len);
+      } else {
+        // Degraded unit: views come out of the per-sample replica
+        // buffers; samples with no reachable copy were already counted.
+        auto rec = fu.per_sample.find(us.sample_id);
+        if (rec == fu.per_sample.end()) continue;
+        vs.pieces = window_views(rec->second, fleet_->config_.chunk_bytes,
+                                 0, us.len);
+      }
       batch.bytes += us.len;
       batch.samples.push_back(std::move(vs));
       // Handing out a view costs no extra CPU: the frontend's
@@ -1161,6 +1324,7 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       // span construction replaces the copy-job setup included there.
     }
   }
+  batch.samples_skipped = skipped.size();
   batch.token = 1;
   samples_delivered_ += batch.samples.size();
   samples_skipped_ += batch.samples_skipped;
@@ -1202,10 +1366,8 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
         epoch_provider_->unit_of(picks.back().unit_slot));
   }
   std::uint64_t arena_pos = 0;
-  auto node_up = [this](std::uint16_t nid) {
-    return engine_->node_available(nid) &&
-           fleet_->directory_.node_available(nid);
-  };
+  // One entry per unreachable sample, whichever path notices it.
+  std::unordered_set<std::uint32_t> skipped;
   for (const auto& pk : picks) {
     for (std::uint32_t i = 0; i < pk.count; ++i) {
       const auto& us = pk.unit->samples[pk.first_sample + i];
@@ -1260,12 +1422,14 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
         ++samples_delivered_;
         bytes_delivered_ += loc.len;
         served = true;
-      } else if (ax != nullptr) {
-        if (!is_node_fault(ax->error)) std::rethrow_exception(ax->error);
-        ++batch.samples_skipped;
-      } else if (!node_up(loc.nid)) {
-        ++batch.samples_skipped;
+      } else if (ax != nullptr && !is_node_fault(ax->error)) {
+        std::rethrow_exception(ax->error);
+      } else if (!sample_reachable(us.sample_id)) {
+        skipped.insert(us.sample_id);
       } else {
+        // Demand read (never prefetched, or read-ahead died on a node
+        // fault while a live copy remains): read() carries the replica
+        // failover route.
         SampleHandle h{us.sample_id,
                        fleet_->directory_.lookup_id(us.sample_id)};
         co_await charge_lookup();
@@ -1274,7 +1438,7 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
           served = true;
         } catch (const IoError& e) {
           if (e.kind == IoErrorKind::kMedia) throw;
-          ++batch.samples_skipped;
+          skipped.insert(us.sample_id);
         }
       }
       if (pun != nullptr && --pun->slots_left == 0) {
@@ -1288,6 +1452,7 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
     }
   }
   batch.bytes = arena_pos;
+  batch.samples_skipped = skipped.size();
   samples_skipped_ += batch.samples_skipped;
   // read() / the inline copies above already counted samples/bytes.
   co_return batch;

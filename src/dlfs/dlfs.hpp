@@ -73,6 +73,18 @@ struct DlfsConfig {
   // defaults keep healthy runs byte-identical; tests and benches shrink
   // them to exercise the fault paths quickly.
   spdk::NvmfFaultParams nvmf_fault{};
+  // k-way deterministic replica placement: every sample keeps its primary
+  // at hash(name) % S and additionally lives on replication-1 other
+  // storage nodes (hash(name ‖ r) % S, duplicates skipped), appended
+  // after each shard's primary region. Read paths fail over to the first
+  // live copy, so a single-node failure costs routing, not samples. 1 =
+  // no replication (byte- and layout-identical to previous behavior).
+  std::uint32_t replication = 1;
+  // Mid-epoch reprobe cadence (IoEngineConfig::reprobe_interval): > 0
+  // runs a background probe daemon per instance so nodes that heal
+  // mid-epoch rejoin within one interval; 0 = epoch-boundary reprobe
+  // only (the dlfs_sequence contract, and the previous behavior).
+  dlsim::SimDuration reprobe_interval = 0;
   // Engine-level re-post backoff for transient completion errors
   // (media/timeout); doubles per attempt.
   dlsim::SimDuration io_retry_backoff = 10'000;
@@ -227,6 +239,11 @@ class DlfsInstance {
 
   struct FetchedUnit {
     std::vector<mem::DmaBuffer> buffers;
+    // Per-sample replica recovery (chunk units only): when the unit's
+    // chunk read failed on a down node, surviving samples are re-read
+    // individually from their replicas into fresh buffers keyed by
+    // sample id. Views/copies branch on `buffers` being empty.
+    std::unordered_map<std::uint32_t, std::vector<mem::DmaBuffer>> per_sample;
     std::uint32_t delivered = 0;
     std::uint32_t view_pins = 0;  // live ViewBatches referencing this unit
   };
@@ -235,6 +252,15 @@ class DlfsInstance {
   dlsim::Task<void> charge_lookup();
   dlsim::Task<Batch> bread_unbatched(std::size_t max_samples,
                                      std::span<std::byte> arena);
+  /// Epoch-boundary reprobe, shared by bread and bread_views: after
+  /// sequence(), the first batch of the epoch revalidates down nodes
+  /// once and retries read-ahead that failed while they were down.
+  dlsim::Task<void> maybe_reprobe();
+  /// Replica failover list for a sample (empty without replication).
+  [[nodiscard]] std::vector<RouteHop> sample_routes(
+      std::uint32_t sample_id) const;
+  /// True when the sample's primary or any replica node is reachable.
+  [[nodiscard]] bool sample_reachable(std::uint32_t sample_id) const;
 
   DlfsFleet* fleet_;
   std::uint32_t client_idx_;
@@ -362,6 +388,17 @@ class DlfsFleet {
   SampleDirectory directory_;
   std::vector<SampleLocation> layout_;  // sample id -> location
   std::vector<std::vector<std::uint32_t>> shard_samples_;  // slot -> ids
+  // Replica placement (config_.replication > 1): per-sample failover
+  // hops in priority order, and per-slot rows of (sample id, device
+  // offset) hosted as replicas, in on-device order after the slot's
+  // primary region. The mount writes replica bytes from shard_replicas_
+  // and the primary owner registers replica_layout_ in the directory.
+  std::vector<std::vector<RouteHop>> replica_layout_;  // sample id -> hops
+  struct ReplicaRow {
+    std::uint32_t sample_id = 0;
+    std::uint64_t offset = 0;
+  };
+  std::vector<std::vector<ReplicaRow>> shard_replicas_;  // slot -> rows
   std::unordered_map<std::uint64_t, std::uint32_t> name_to_id_;
   std::vector<std::vector<RecordFileInfo>> record_files_;  // per slot
   std::unique_ptr<BatchPlan> plan_;

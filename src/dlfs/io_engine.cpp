@@ -18,9 +18,41 @@ IoEngine::IoEngine(dlsim::Simulator& sim, mem::HugePagePool& pool,
         std::make_unique<dlsim::CpuCore>(sim, "copy-" + std::to_string(i)));
     sim.spawn_daemon(copy_thread_loop(i), "dlfs-copy-" + std::to_string(i));
   }
+  if (config_.reprobe_interval > 0) {
+    probe_core_ = std::make_unique<dlsim::CpuCore>(sim, "probe");
+    probe_wake_ = std::make_unique<dlsim::Event>(sim);
+    sim.spawn_daemon(probe_loop(alive_), "dlfs-reprobe");
+  }
 }
 
-IoEngine::~IoEngine() { scq_->close(); }
+IoEngine::~IoEngine() {
+  *alive_ = false;
+  scq_->close();
+}
+
+dlsim::Task<void> IoEngine::probe_loop(std::shared_ptr<bool> alive) {
+  // Deadline-driven recovery: a node that heals mid-epoch comes back
+  // within one interval, instead of staying "down" until the next epoch
+  // boundary. The alive token is taken by value and re-checked after
+  // every suspension (the engine may be destroyed while we sleep).
+  // Event-gated: the daemon parks on probe_wake_ while the cluster is
+  // healthy and only ticks timers while a node is down, so a healthy
+  // simulator still quiesces.
+  for (;;) {
+    co_await probe_wake_->wait();
+    if (!*alive) co_return;
+    probe_wake_->reset();
+    while (*alive && nodes_down() > 0) {
+      co_await sim_->delay(config_.reprobe_interval);
+      if (!*alive) co_return;
+      if (nodes_down() == 0) break;
+      const std::uint32_t recovered = co_await reprobe_down_nodes(*probe_core_);
+      if (!*alive) co_return;
+      (void)recovered;  // transitions are reported through node_handler_
+    }
+    if (!*alive) co_return;
+  }
+}
 
 void IoEngine::attach_target(std::uint16_t nid,
                              std::unique_ptr<spdk::IoQueue> queue) {
@@ -136,7 +168,35 @@ void IoEngine::mark_node_down(std::uint16_t nid) {
   if (node_down_.size() <= nid) node_down_.resize(nid + 1, 0);
   if (node_down_[nid] != 0) return;
   node_down_[nid] = 1;
+  if (probe_wake_) probe_wake_->set();
   if (node_handler_) node_handler_(nid, false);
+}
+
+bool IoEngine::advance_route(ReadExtent& x) {
+  while (!x.routes.empty()) {
+    const RouteHop hop = x.routes.front();
+    x.routes.erase(x.routes.begin());
+    if (hop.nid < targets_.size() && targets_[hop.nid] != nullptr &&
+        node_available(hop.nid)) {
+      x.nid = hop.nid;
+      x.offset = hop.offset;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IoEngine::reroute_piece(Piece& p) {
+  ReadExtent& x = p.op->extent;
+  // "The op already moved on": a sibling piece re-routed the extent to a
+  // node that is still up — just requeue, the posting loop follows the
+  // extent's current route. Otherwise consume the next live alternate.
+  const bool follow = p.nid != x.nid && node_available(x.nid);
+  if (!follow && !advance_route(x)) return false;
+  p.attempts = 0;  // fresh retry budget on the new node
+  p.not_before = 0;
+  to_post_.push_back(std::move(p));
+  return true;
 }
 
 std::uint32_t IoEngine::nodes_down() const {
@@ -151,7 +211,11 @@ dlsim::Task<std::uint32_t> IoEngine::reprobe_down_nodes(dlsim::CpuCore& core) {
     if (node_down_[nid] == 0) continue;
     if (nid >= targets_.size() || targets_[nid] == nullptr) continue;
     co_await core.compute(cal_->dlfs.prep_request);
-    if (co_await targets_[nid]->reprobe()) {
+    // Hoisted await (repo convention). The node_down_ re-check matters:
+    // the epoch-boundary reprobe and the probe_loop daemon can race on
+    // the same node, and only the first one back may fire the handler.
+    const bool up = co_await targets_[nid]->reprobe();
+    if (up && node_down_[nid] != 0) {
       node_down_[nid] = 0;
       ++recovered;
       if (node_handler_) node_handler_(nid, true);
@@ -197,9 +261,10 @@ std::vector<ExtentOpPtr> IoEngine::start_extents(
       throw std::logic_error("read_extents: no queue for storage node " +
                              std::to_string(x.nid));
     }
-    if (!node_available(x.nid)) {
-      // The node is known-down: fail fast instead of queueing pieces that
-      // would only burn a timeout each. Callers route on the error kind.
+    if (!node_available(x.nid) && !advance_route(x)) {
+      // The node is known-down and no replica route survives: fail fast
+      // instead of queueing pieces that would only burn a timeout each.
+      // Callers route on the error kind.
       auto op = std::make_shared<ExtentOp>(*sim_, std::move(x));
       fail_op(*op, std::make_exception_ptr(IoError(
                        op->extent.nid, op->extent.offset,
@@ -282,6 +347,7 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
     // then the prefetcher sheds read-ahead; if neither can free a chunk
     // *and* nothing is in flight the read can never make progress — fail
     // loudly instead of livelocking.
+    std::size_t rotated = 0;  // pieces parked behind degraded queues this pass
     while (!to_post_.empty()) {
       Piece p;
       spdk::IoQueue* q = nullptr;
@@ -295,17 +361,35 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
           progress = true;
           continue;
         }
-        const std::uint16_t nid = to_post_.front().op->extent.nid;
+        std::uint16_t nid = to_post_.front().op->extent.nid;
         if (!node_available(nid)) {
-          Piece dead = std::move(to_post_.front());
-          to_post_.pop_front();
-          fail_op(*dead.op, std::make_exception_ptr(IoError(
-                                nid, dead.offset, IoErrorKind::kNodeDown)));
-          progress = true;
-          continue;
+          // The current route is down: re-point the extent at the first
+          // live replica before giving up on its pieces.
+          if (advance_route(to_post_.front().op->extent)) {
+            nid = to_post_.front().op->extent.nid;
+          } else {
+            Piece dead = std::move(to_post_.front());
+            to_post_.pop_front();
+            fail_op(*dead.op, std::make_exception_ptr(IoError(
+                                  nid, dead.offset, IoErrorKind::kNodeDown)));
+            progress = true;
+            continue;
+          }
         }
         q = targets_[nid].get();
-        if (q->outstanding() >= q->depth()) break;
+        if (q->outstanding() >= q->admission_depth()) {
+          // A healthy queue at its natural depth frees slots via the poll
+          // phase below — stop posting. A *degraded* queue (reconnecting
+          // at its admission cap) must not head-block work for healthy
+          // nodes: rotate the piece to the back. One full pass without a
+          // post means everything left is capped — stop then too.
+          if (q->connected() && q->admission_depth() >= q->depth()) break;
+          if (rotated >= to_post_.size()) break;
+          ++rotated;
+          to_post_.push_back(std::move(to_post_.front()));
+          to_post_.pop_front();
+          continue;
+        }
         if (pool_->free_chunks() == 0 && !to_post_.front().buffer.valid()) {
           bool freed = cache_->evict_lru_one();
           if (!freed && pressure_reliever_) freed = pressure_reliever_();
@@ -321,6 +405,12 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         }
         p = std::move(to_post_.front());
         to_post_.pop_front();
+        // Bind the piece to the extent's *current* route at post time (it
+        // may have been re-routed since the piece was queued). Pieces are
+        // chunk-aligned splits, so piece k starts at offset + k * chunk.
+        p.nid = nid;
+        p.offset = p.op->extent.offset +
+                   static_cast<std::uint64_t>(p.idx) * config_.chunk_bytes;
       }
       if (!p.buffer.valid()) p.buffer = pool_->allocate();  // retry keeps its
       ++p.attempts;
@@ -329,18 +419,30 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
       const auto st = q->submit(spdk::IoOp::kRead, p.offset,
                                 p.buffer.span().subspan(0, p.len), tag);
       if (st == spdk::IoStatus::kQueueFull) {
-        // A concurrent pumper filled the queue while we were prepping.
         dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
-        to_post_.push_front(std::move(p));
-        break;
+        if (q->connected()) {
+          // A concurrent pumper filled the queue while we were prepping.
+          to_post_.push_front(std::move(p));
+          break;
+        }
+        // The queue slipped into reconnecting (and hit its admission cap)
+        // mid-prep: park the piece at the back so healthy nodes keep
+        // posting; its route advances when the node is declared down.
+        to_post_.push_back(std::move(p));
+        continue;
       }
       if (st == spdk::IoStatus::kConnectionLost) {
         // The queue's reconnect budget is spent (or the local controller
-        // died): the whole node is gone, not just this piece.
-        mark_node_down(p.op->extent.nid);
-        fail_op(*p.op, std::make_exception_ptr(IoError(
-                           p.op->extent.nid, p.offset,
-                           IoErrorKind::kNodeDown)));
+        // died): the whole node is gone, not just this piece. Fail over
+        // to a surviving replica in place when the extent has one.
+        mark_node_down(p.nid);
+        {
+          dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+          if (!reroute_piece(p)) {
+            fail_op(*p.op, std::make_exception_ptr(IoError(
+                               p.nid, p.offset, IoErrorKind::kNodeDown)));
+          }
+        }
         progress = true;
         continue;
       }
@@ -379,12 +481,15 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         progress = true;
         if (p.op->error_) continue;  // failed extent: buffer just drops
         if (c.status == spdk::IoStatus::kConnectionLost) {
-          // Transport gave up on the node; everything queued for it is
-          // failed by the posting loop above on its next pass.
-          mark_node_down(p.op->extent.nid);
-          fail_op(*p.op, std::make_exception_ptr(IoError(
-                             p.op->extent.nid, p.offset,
-                             IoErrorKind::kNodeDown)));
+          // Transport gave up on the node. Re-route the piece to a
+          // surviving replica in place; queued siblings follow the
+          // extent's new route in the posting loop above.
+          mark_node_down(p.nid);
+          dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+          if (!reroute_piece(p)) {
+            fail_op(*p.op, std::make_exception_ptr(IoError(
+                               p.nid, p.offset, IoErrorKind::kNodeDown)));
+          }
           continue;
         }
         if (c.status == spdk::IoStatus::kMediaError ||
@@ -394,9 +499,17 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
           // retries don't hot-loop the device queue.
           if (c.status == spdk::IoStatus::kTimeout) ++timeouts_;
           if (p.attempts > config_.max_retries) {
+            if (c.status == spdk::IoStatus::kTimeout) {
+              // Timeout budget spent: before declaring the read failed,
+              // try a replica — the node may be slow or partitioned while
+              // a sibling copy is healthy. Media errors stay sample-fatal
+              // (the application must hear about bad bytes).
+              dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+              if (reroute_piece(p)) continue;
+            }
             fail_op(*p.op,
                     std::make_exception_ptr(IoError(
-                        p.op->extent.nid, p.offset,
+                        p.nid, p.offset,
                         c.status == spdk::IoStatus::kTimeout
                             ? IoErrorKind::kTimeout
                             : IoErrorKind::kMedia)));
@@ -465,9 +578,11 @@ dlsim::Task<void> IoEngine::read_one(dlsim::CpuCore& core, std::uint16_t nid,
                                      std::uint64_t offset, std::uint32_t len,
                                      std::byte* dst,
                                      std::optional<std::size_t>
-                                         cache_sample_id) {
+                                         cache_sample_id,
+                                     std::vector<RouteHop> routes) {
   std::vector<ReadExtent> one(1);
-  one[0] = ReadExtent{nid, offset, len, dst, cache_sample_id, nullptr};
+  one[0] = ReadExtent{nid,     offset, len, dst, cache_sample_id,
+                      nullptr, {},     std::move(routes)};
   co_await read_extents(core, std::move(one));
 }
 

@@ -41,6 +41,7 @@
 
 #include "common/calibration.hpp"
 #include "dlfs/sample_cache.hpp"
+#include "dlfs/sample_entry.hpp"
 #include "sim/check.hpp"
 #include "mem/hugepage_pool.hpp"
 #include "sim/cpu.hpp"
@@ -62,6 +63,14 @@ struct IoEngineConfig {
   // First-retry delay; doubles per attempt. Keeps a faulting device from
   // being hammered with re-posts within the same poll quantum.
   dlsim::SimDuration retry_backoff = 10'000;  // 10 us
+  // Mid-epoch reprobe: when > 0, a background daemon revalidates down
+  // nodes every `reprobe_interval` on its own core, instead of waiting
+  // for the caller's epoch-boundary reprobe. 0 = epoch-boundary only.
+  // The daemon only schedules timers while a node is down (it parks on
+  // an event otherwise), so the simulator can quiesce once the cluster
+  // is healthy; a node that never recovers keeps the timer wheel alive,
+  // so such runs must be bounded with run_until/run_watchdog.
+  dlsim::SimDuration reprobe_interval = 0;
 };
 
 /// Why a read ultimately failed — callers route on this: media errors are
@@ -112,6 +121,12 @@ struct ReadExtent {
   // start copying a data chunk's samples out without waiting for the
   // whole batch (keeps copy threads and the NIC busy simultaneously).
   std::function<void()> on_buffers_ready{};
+  // Alternate placements of the same bytes (replica failover order). The
+  // engine consumes hops from the front as it re-routes, so at any moment
+  // the list holds exactly the untried alternates: when (nid, offset)
+  // stops being reachable the extent is re-pointed at the first hop whose
+  // node is up and the read restarts there instead of failing kNodeDown.
+  std::vector<RouteHop> routes{};
 };
 
 /// Shared state of one in-flight extent read. Created by start_extents();
@@ -207,7 +222,8 @@ class IoEngine {
                                            std::uint64_t offset,
                                            std::uint32_t len, std::byte* dst,
                                            std::optional<std::size_t>
-                                               cache_sample_id = {});
+                                               cache_sample_id = {},
+                                           std::vector<RouteHop> routes = {});
 
   /// Enqueues a copy of already-resident bytes (cache hits, chunk-batched
   /// sample delivery). The latch is counted down after the memcpy.
@@ -265,9 +281,24 @@ class IoEngine {
     mem::DmaBuffer buffer;
     std::uint32_t attempts = 0;
     dlsim::SimTime not_before = 0;  // retry backoff gate
+    // Node this piece was last *posted* to. The extent may be re-routed
+    // by a sibling piece while this one is in flight, so failure handling
+    // compares p.nid against op->extent.nid to tell "my route died" from
+    // "the op already moved on — just follow it".
+    std::uint16_t nid = 0;
   };
 
   void mark_node_down(std::uint16_t nid);
+  /// Re-points `x` at the first routed replica whose node is attached and
+  /// up, consuming hops from the front. False when no alternate remains.
+  bool advance_route(ReadExtent& x);
+  /// Failure handling for a piece whose posted route (p.nid) stopped
+  /// working: follows the op if a sibling already re-routed it, otherwise
+  /// advances to the next live replica; requeues the piece with a fresh
+  /// retry budget. False = no route left, the caller fails the op. Must
+  /// run inside a pieces_ledger_ write slice.
+  bool reroute_piece(Piece& p);
+  dlsim::Task<void> probe_loop(std::shared_ptr<bool> alive);
   void promote_delayed();
   dlsim::Task<void> pump(dlsim::CpuCore& core, const ExtentOp& until,
                          dlsim::SimDuration injected_compute);
@@ -286,6 +317,16 @@ class IoEngine {
   std::vector<std::unique_ptr<spdk::IoQueue>> targets_;  // index = nid
   std::unique_ptr<dlsim::Channel<CopyJob>> scq_;
   std::vector<std::unique_ptr<dlsim::CpuCore>> copy_cores_;
+  // Mid-epoch reprobe daemon (reprobe_interval > 0): its own core, so
+  // probe handshakes never steal cycles from the I/O thread; the alive
+  // token is cleared by the destructor and checked after every await.
+  // The daemon parks on probe_wake_ while every node is up (set by
+  // mark_node_down) so it holds no pending timers when the cluster is
+  // healthy and the simulator can quiesce. The destructor must NOT set
+  // the event: the parked frame would resume into a destroyed member.
+  std::unique_ptr<dlsim::CpuCore> probe_core_;
+  std::unique_ptr<dlsim::Event> probe_wake_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   // Engine-global piece state: all concurrent drivers (bread demand
   // fetches, the prefetch daemon) share one posting queue and one
   // in-flight map, so completions are delivered to the right extent no

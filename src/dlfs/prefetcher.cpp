@@ -110,12 +110,12 @@ void Prefetcher::issue_entry(std::deque<Entry>& window, std::size_t slot,
   e.slot = slot;
   e.chunks = extents_chunks(xs, chunk_bytes_);
   e.extents.reserve(xs.size());
-  for (const auto& x : xs) {
+  for (auto& x : xs) {
     Extent ex;
     ex.key = x.key;
-    ex.op = engine_->start_extent(
-        ReadExtent{x.nid, x.offset, x.len, nullptr, std::nullopt, nullptr,
-                   {}});
+    ex.op = engine_->start_extent(ReadExtent{x.nid, x.offset, x.len, nullptr,
+                                             std::nullopt, nullptr, {},
+                                             std::move(x.routes)});
     e.extents.push_back(std::move(ex));
   }
   ra_chunks_ += e.chunks;
@@ -260,10 +260,14 @@ std::uint32_t Prefetcher::reissue_failed() {
       // An op can carry an error while pieces still drain; those buffers
       // cannot be reused, so the old op keeps draining off to the side.
       if (!x.op->finished()) draining_.push_back(x.op);
+      // The failed op's extent already consumed the routes it tried, so
+      // rx.routes holds exactly the untried alternates: the reissue
+      // resumes the failover walk instead of restarting it. A reissue
+      // after the node *recovered* simply succeeds on rx.nid directly.
       const ReadExtent& rx = x.op->extent;
-      x.op = engine_->start_extent(
-          ReadExtent{rx.nid, rx.offset, rx.len, nullptr, std::nullopt,
-                     nullptr, {}});
+      x.op = engine_->start_extent(ReadExtent{rx.nid, rx.offset, rx.len,
+                                              nullptr, std::nullopt, nullptr,
+                                              {}, rx.routes});
       ++stats_.units_reissued;
       ++n;
     }

@@ -7,7 +7,8 @@ namespace dlfs::core {
 SampleDirectory::SampleDirectory(std::uint32_t num_nodes)
     : trees_(num_nodes),
       node_available_(num_nodes, 1),
-      shard_counts_(num_nodes, 0) {
+      shard_counts_(num_nodes, 0),
+      replica_counts_(num_nodes, 0) {
   if (num_nodes == 0 || num_nodes > SampleEntry::kMaxNid + 1) {
     throw std::invalid_argument("node count must be in [1, 65536]");
   }
@@ -70,12 +71,47 @@ void SampleDirectory::insert_file(std::string_view name, std::uint16_t nid,
     throw std::invalid_argument("duplicate file entry '" + std::string(name) +
                                 "'");
   }
-  std::uint64_t key = full & SampleEntry::kKeyMask;
+  std::uint64_t key = full & probe_mask_;
   Tree& tree = trees_.at(nid);
-  while (!tree.insert(key, SampleEntry(nid, key, offset, len))) {
-    key = (key + 1) & SampleEntry::kKeyMask;  // probe past sample entries
+  if (!tree.insert(key, SampleEntry(nid, key, offset, len))) {
+    // Probe past sample entries — with the same full-wrap termination
+    // guard as insert(); a saturated tree must throw, not spin forever.
+    std::uint64_t probe = key;
+    for (;;) {
+      probe = (probe + 1) & probe_mask_;
+      if (probe == key) {
+        throw std::overflow_error("sample directory tree is full");
+      }
+      if (tree.insert(probe, SampleEntry(nid, probe, offset, len))) break;
+    }
+    key = probe;
   }
   file_index_.emplace(full, IdLoc{nid, key});
+}
+
+void SampleDirectory::add_replica(std::size_t sample_id, std::uint16_t nid,
+                                  std::uint64_t offset) {
+  if (nid >= trees_.size()) {
+    throw std::invalid_argument("replica nid out of range");
+  }
+  if (offset > SampleEntry::kMaxOffset) {
+    throw std::invalid_argument("replica offset exceeds 40 bits (1 TiB)");
+  }
+  if (sample_id >= id_index_.size() || id_index_[sample_id].nid == 0xffff) {
+    throw std::invalid_argument("replica added for unknown sample id " +
+                                std::to_string(sample_id));
+  }
+  if (replica_index_.size() <= sample_id) replica_index_.resize(sample_id + 1);
+  replica_index_[sample_id].push_back(RouteHop{nid, offset});
+  ++replica_counts_.at(nid);
+  ++replica_rows_;
+}
+
+const std::vector<RouteHop>& SampleDirectory::replicas(
+    std::size_t sample_id) const {
+  static const std::vector<RouteHop> kNone;
+  if (sample_id >= replica_index_.size()) return kNone;
+  return replica_index_[sample_id];
 }
 
 const SampleEntry* SampleDirectory::lookup_file(std::string_view name) const {

@@ -72,15 +72,36 @@ class SampleDirectory {
   [[nodiscard]] const SampleEntry* lookup_file(std::string_view name) const;
   [[nodiscard]] std::size_t num_files() const { return file_index_.size(); }
 
+  // --- replica placement ---------------------------------------------------
+  // k-way deterministic replication: the primary stays at `hash % N`
+  // (owner_of); replica r lives on node `hash(name ‖ r) % N`, skipping
+  // nodes already holding a copy. Replicas are *alternate routes*, not
+  // directory entries: each is a (nid, offset) recorded against the
+  // sample id, moved with the shard in the mount-time allgather, and
+  // consulted only when a read must fail over. Order = failover order.
+
+  /// Records one replica of `sample_id`. Must be called after insert().
+  void add_replica(std::size_t sample_id, std::uint16_t nid,
+                   std::uint64_t offset);
+
+  /// Alternate placements of a sample, in failover order (empty when the
+  /// dataset was mounted without replication).
+  [[nodiscard]] const std::vector<RouteHop>& replicas(
+      std::size_t sample_id) const;
+
+  [[nodiscard]] std::size_t num_replicas() const { return replica_rows_; }
+
   [[nodiscard]] std::size_t num_samples() const { return id_index_.size(); }
   [[nodiscard]] const Tree& tree(std::uint16_t nid) const {
     return trees_.at(nid);
   }
 
   /// Serialized size of node `nid`'s shard — what the mount-time
-  /// allgather moves per node (16 B entry + 12 B id-index row).
+  /// allgather moves per node (16 B entry + 12 B id-index row, plus a
+  /// 12 B route row for every replica hosted on this node).
   [[nodiscard]] std::uint64_t shard_bytes(std::uint16_t nid) const {
-    return shard_counts_.at(nid) * (16ull + 12ull);
+    return shard_counts_.at(nid) * (16ull + 12ull) +
+           replica_counts_.at(nid) * 12ull;
   }
 
   [[nodiscard]] std::size_t collision_count() const {
@@ -105,6 +126,10 @@ class SampleDirectory {
     return n;
   }
 
+  /// Test-only: shrink the linear-probe key space so saturation (and the
+  /// wrap-around overflow guard) can be exercised without 2^48 inserts.
+  void set_probe_mask_for_test(std::uint64_t mask) { probe_mask_ = mask; }
+
  private:
   struct IdLoc {
     std::uint16_t nid = 0xffff;
@@ -116,6 +141,10 @@ class SampleDirectory {
   std::vector<IdLoc> id_index_;          // sample id -> (nid, key)
   std::unordered_map<std::uint64_t, IdLoc> file_index_;  // file hash -> loc
   std::vector<std::uint64_t> shard_counts_;
+  std::vector<std::vector<RouteHop>> replica_index_;  // sample id -> routes
+  std::vector<std::uint64_t> replica_counts_;  // replicas hosted per nid
+  std::size_t replica_rows_ = 0;
+  std::uint64_t probe_mask_ = SampleEntry::kKeyMask;
   // full 64-bit name hash -> probed key, for the rare 48-bit collisions.
   std::unordered_map<std::uint64_t, std::uint64_t> collision_keys_;
 };

@@ -69,4 +69,17 @@ class SampleEntry {
 static_assert(sizeof(SampleEntry) == 16,
               "a sample entry must be exactly 128 bits (paper, Fig. 3b)");
 
+// RouteHop: one alternate placement of a sample (replica location). Read
+// paths carry a short list of these alongside the primary (nid, offset)
+// so a downed node becomes a routing decision instead of a skip. The
+// length is not repeated: every copy of a sample has the primary's length.
+struct RouteHop {
+  std::uint16_t nid = 0;
+  std::uint64_t offset = 0;
+
+  friend bool operator==(const RouteHop& a, const RouteHop& b) {
+    return a.nid == b.nid && a.offset == b.offset;
+  }
+};
+
 }  // namespace dlfs::core

@@ -46,6 +46,12 @@ struct NvmfFaultParams {
   dlsim::SimDuration reconnect_backoff_max = 8'000'000;
   std::uint32_t reconnect_attempts = 6;
   std::uint64_t jitter_seed = 0x6a09e667f3bcc909ull;   // decorrelates clients
+  /// Client-side admission control: while the connection is reconnecting,
+  /// cap the number of in-flight commands (parked for replay) at this
+  /// value; further submits see kQueueFull. 0 = no cap (full queue depth).
+  /// Bounding the parked set bounds the replay burst that hits a freshly
+  /// recovered target — and frees the caller to route around the node.
+  std::uint32_t max_inflight_during_reconnect = 0;
 };
 
 class NvmfTarget {

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -233,6 +234,49 @@ TEST(SampleDirectory, SingleNodeHoldsEverything) {
   }
   EXPECT_EQ(dir.tree(0).size(), 100u);
   EXPECT_TRUE(dir.tree(0).validate());
+}
+
+TEST(SampleDirectory, InsertFileOverflowThrowsInsteadOfSpinning) {
+  // Regression: insert_file's linear-probe loop used to have no
+  // wrap-around guard and spun forever once the tree was saturated.
+  // Shrink the probe key space to 4 slots so saturation is reachable.
+  SampleDirectory dir(1);
+  dir.set_probe_mask_for_test(0x3);
+  int inserted = 0;
+  try {
+    for (int i = 0; i < 16; ++i) {
+      dir.insert_file("rec_" + std::to_string(i), 0, i * 4096ull, 4096);
+      ++inserted;
+    }
+    FAIL() << "expected overflow_error after the key space saturated";
+  } catch (const std::overflow_error&) {
+  }
+  // Exactly the key-space capacity landed before the guard fired.
+  EXPECT_EQ(inserted, 4);
+  EXPECT_EQ(dir.tree(0).size(), 4u);
+}
+
+TEST(SampleDirectory, ReplicasAreRecordedInFailoverOrder) {
+  SampleDirectory dir(4);
+  const std::string name = "img_r";
+  const std::uint16_t owner = dir.owner_of(name);
+  dir.insert(0, name, owner, 4096, 512);
+  EXPECT_TRUE(dir.replicas(0).empty());  // no replication by default
+  const auto r1 = static_cast<std::uint16_t>((owner + 1) % 4);
+  const auto r2 = static_cast<std::uint16_t>((owner + 2) % 4);
+  dir.add_replica(0, r1, 8192);
+  dir.add_replica(0, r2, 12288);
+  const auto& hops = dir.replicas(0);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].nid, r1);
+  EXPECT_EQ(hops[0].offset, 8192u);
+  EXPECT_EQ(hops[1].nid, r2);
+  EXPECT_EQ(hops[1].offset, 12288u);
+  // Ids never inserted (or out of range) have no replicas and adding one
+  // for them is a caller bug.
+  EXPECT_TRUE(dir.replicas(7).empty());
+  EXPECT_THROW(dir.add_replica(7, r1, 0), std::invalid_argument);
+  EXPECT_THROW(dir.add_replica(0, 9, 0), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
