@@ -78,12 +78,25 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     sim.spawn([](dlsim::Simulator& sim, core::DlfsInstance& inst,
                  const Workload& w, std::uint64_t& total,
                  SimTime& done) -> Task<void> {
-      std::vector<std::byte> arena(
-          (w.batch_size + 1) * static_cast<std::size_t>(w.sample_bytes));
-      for (;;) {
-        auto batch = co_await inst.bread(w.batch_size, arena);
-        if (batch.end_of_epoch) break;
-        total += batch.samples.size();
+      if (w.zero_copy) {
+        // Double-buffered zero-copy reader: each view batch stays pinned
+        // (consumed by "the application") while the next is fetched; the
+        // lease handoff releases the previous batch's units.
+        core::ViewLease prev;
+        for (;;) {
+          auto vb = co_await inst.bread_views(w.batch_size);
+          if (vb.end_of_epoch) break;
+          total += vb.samples.size();
+          prev = core::ViewLease(inst, std::move(vb));
+        }
+      } else {
+        std::vector<std::byte> arena(
+            (w.batch_size + 1) * static_cast<std::size_t>(w.sample_bytes));
+        for (;;) {
+          auto batch = co_await inst.bread(w.batch_size, arena);
+          if (batch.end_of_epoch) break;
+          total += batch.samples.size();
+        }
       }
       done = std::max(done, sim.now());
     }(sim, fleet.instance(c), w, total_samples, readers_done));
@@ -106,6 +119,10 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     lookup_us += dlsim::to_micros(st.lookup_time_total);
     r.cache_hits += inst.cache().hits();
     r.cache_misses += inst.cache().misses();
+    r.bytes_copied += st.bytes_copied;
+    r.bytes_zero_copy += st.bytes_zero_copy;
+    r.view_pins_active += st.view_pins_active;
+    r.cross_core_handoffs += st.cross_core_handoffs;
     const core::PrefetchStats& ps = st.prefetch;
     r.prefetch.units_issued += ps.units_issued;
     r.prefetch.units_resident_at_pick += ps.units_resident_at_pick;
@@ -402,6 +419,10 @@ std::string JsonReport::write() const {
         << ", \"lookup_us_avg\": " << r.lookup_us_avg
         << ", \"cache_hits\": " << r.cache_hits
         << ", \"cache_misses\": " << r.cache_misses
+        << ", \"bytes_copied\": " << r.bytes_copied
+        << ", \"bytes_zero_copy\": " << r.bytes_zero_copy
+        << ", \"view_pins_active\": " << r.view_pins_active
+        << ", \"cross_core_handoffs\": " << r.cross_core_handoffs
         << ", \"prefetch_units_issued\": " << p.units_issued
         << ", \"prefetch_units_resident_at_pick\": "
         << p.units_resident_at_pick

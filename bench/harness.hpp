@@ -38,6 +38,11 @@ struct Workload {
   std::size_t samples_per_node = 2000;
   std::size_t batch_size = 32;
   std::uint64_t seed = 42;
+  // DLFS runs only: read the epoch through dlfs_bread_views (zero-copy
+  // view batches, chunk-level batching required) instead of dlfs_bread.
+  // The reader double-buffers: each batch stays pinned while the next
+  // one is fetched, then its ViewLease releases it.
+  bool zero_copy = false;
   Calibration calibration{};
 };
 
@@ -62,6 +67,13 @@ struct RunResult {
   // high-water mark and target are maxima).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Delivery-path byte split (DLFS only): memcpy'd bytes vs bytes handed
+  // out as zero-copy views, plus units still pinned at epoch end and
+  // copy jobs that ran on a core other than their producer's.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_zero_copy = 0;
+  std::uint64_t view_pins_active = 0;
+  std::uint64_t cross_core_handoffs = 0;
   core::PrefetchStats prefetch{};
   // Fault-domain counters, summed over clients: device-level retries, the
   // transport's timeout/reconnect tallies, samples the degraded epoch

@@ -101,6 +101,11 @@ struct DlfsCosts {
   // Sample-cache to application-buffer memcpy bandwidth (hugepage-backed,
   // single core on a Sandy-Bridge-class Xeon).
   double copy_bw_bytes_per_sec = 8e9;
+  // Executing a copy job on a different core than the one that produced
+  // it: cache-line transfer of the job descriptor plus first-touch misses
+  // on the source chunk. ~0.2 us covers the cross-socket case on the
+  // paper's dual-socket E5-2650 testbed; same-core execution pays zero.
+  SimDuration cross_core_handoff = 200_ns;
 };
 
 /// Octopus-like distributed FS costs (RDMA-enabled, distributed metadata).

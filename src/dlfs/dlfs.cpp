@@ -373,6 +373,7 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   const DlfsConfig& cfg = fleet.config_;
   pool_ = std::make_unique<mem::HugePagePool>(cfg.pool_bytes,
                                               cfg.chunk_bytes);
+  pool_->set_scribble_on_free(cfg.scribble_on_free);
   cache_ = std::make_unique<SampleCache>(*pool_, cfg.cache_chunks,
                                          fleet.dataset_->num_samples());
   driver_ = std::make_unique<spdk::NvmeDriver>(node.simulator(), *pool_);
@@ -435,16 +436,263 @@ std::vector<RouteHop> DlfsInstance::sample_routes(
   return fleet_->directory_.replicas(sample_id);
 }
 
+bool DlfsInstance::node_up(std::uint16_t nid) const {
+  return engine_->node_available(nid) &&
+         fleet_->directory_.node_available(nid);
+}
+
 bool DlfsInstance::sample_reachable(std::uint32_t sample_id) const {
-  auto up = [this](std::uint16_t nid) {
-    return engine_->node_available(nid) &&
-           fleet_->directory_.node_available(nid);
-  };
-  if (up(fleet_->layout_[sample_id].nid)) return true;
+  if (node_up(fleet_->layout_[sample_id].nid)) return true;
   for (const RouteHop& h : fleet_->directory_.replicas(sample_id)) {
-    if (up(h.nid)) return true;
+    if (node_up(h.nid)) return true;
   }
   return false;
+}
+
+void DlfsInstance::spawn_injected(dlsim::CountdownLatch* done) {
+  if (injected_ <= 0) {
+    done->count_down();
+    return;
+  }
+  // Injected poll-loop compute (Fig. 7b) runs concurrently with the
+  // fetches — the daemon keeps pumping I/O meanwhile, so the compute
+  // hides under the batch's stalls exactly as it hid under the
+  // synchronous pump's poll loop.
+  node_->simulator().spawn(
+      [](dlsim::CpuCore* core, dlsim::SimDuration d,
+         dlsim::CountdownLatch* latch) -> dlsim::Task<void> {
+        co_await core->compute(d);
+        latch->count_down();
+      }(io_core_, injected_, done));
+}
+
+dlsim::Task<void> DlfsInstance::charge_frontend(
+    std::span<const EpochSequence::UnitPicks> picks) {
+  std::size_t total = 0;
+  for (const auto& pk : picks) {
+    total += pk.count;
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      (void)fleet_->directory_.lookup_id(
+          pk.unit->samples[pk.first_sample + i].sample_id);  // real tree walk
+    }
+  }
+  lookup_time_total_ += total * fleet_->config_.calibration.dlfs.dir_lookup;
+  co_await io_core_->compute(
+      total * (fleet_->config_.calibration.dlfs.dir_lookup +
+               fleet_->config_.calibration.dlfs.bread_per_sample));
+}
+
+dlsim::Task<void> DlfsInstance::recover_chunk_slot(
+    std::size_t slot, std::span<const EpochSequence::UnitPicks> picks,
+    bool use_pf, std::unordered_set<std::uint32_t>* skipped,
+    std::exception_ptr* fatal) {
+  if (use_pf) prefetcher_->discard(slot);
+  const EpochSequence::UnitPicks* pick = nullptr;
+  for (const auto& pk : picks) {
+    if (pk.unit_slot == slot) {
+      pick = &pk;
+      break;
+    }
+  }
+  if (pick == nullptr) {
+    // Pure read-ahead slot: forget it so a later bread re-fetches the
+    // whole chunk once the node recovers.
+    fetched_.erase(slot);
+    co_return;
+  }
+  // The degraded entry persists across breads (a unit can span batch
+  // boundaries); re-entry fills the newly-picked samples only. Empty
+  // `buffers` is the degraded marker every consumer branches on.
+  FetchedUnit& fu = fetched_[slot];
+  fu.buffers.clear();
+  for (std::uint32_t i = 0; i < pick->count; ++i) {
+    const auto& us = pick->unit->samples[pick->first_sample + i];
+    const std::uint32_t id = us.sample_id;
+    if (fu.per_sample.contains(id)) continue;
+    if (!sample_reachable(id)) {
+      skipped->insert(id);
+      continue;
+    }
+    const SampleLocation& loc = fleet_->layout_[id];
+    std::vector<mem::DmaBuffer> pieces;
+    auto op = engine_->start_extent(ReadExtent{loc.nid, loc.offset, loc.len,
+                                               nullptr, std::nullopt, &pieces,
+                                               {}, sample_routes(id)});
+    co_await engine_->await_op(*io_core_, op, 0);
+    if (op->error()) {
+      // Media/unknown faults stay fatal; the caller rethrows after its
+      // latch settles. Either way this sample has nothing to deliver.
+      if (!is_node_fault(op->error()) && !*fatal) *fatal = op->error();
+      skipped->insert(id);
+      continue;
+    }
+    fu.per_sample.emplace(id, std::move(pieces));
+  }
+}
+
+dlsim::Task<void> DlfsInstance::fetch_chunk_units(
+    std::span<const EpochSequence::UnitPicks> picks, bool use_pf,
+    std::unordered_set<std::uint32_t>* skipped, std::exception_ptr* fatal,
+    std::function<void(std::size_t)> on_unit_ready) {
+  auto ready = [&on_unit_ready](std::size_t slot) {
+    if (on_unit_ready) on_unit_ready(slot);
+  };
+  // Recovery runs once per slot per call; later picks of a slot already
+  // handled this batch fall straight through to ready().
+  std::unordered_set<std::size_t> degraded;
+
+  if (use_pf) {
+    // The daemon keeps a window of units in flight between bread calls;
+    // here we only make sure every unit this batch needs has been issued
+    // (the window may be shallower than the batch), then consume them in
+    // slot order. ready() fires the moment a unit settles, while later
+    // units are still in flight.
+    prefetcher_->ensure_issued_through(picks.back().unit_slot);
+    dlsim::CountdownLatch inj_done(node_->simulator(), 1);
+    spawn_injected(&inj_done);
+    for (const auto& pk : picks) {
+      const std::size_t slot = pk.unit_slot;
+      if (degraded.contains(slot)) {
+        ready(slot);
+        continue;
+      }
+      auto fit = fetched_.find(slot);
+      if (fit != fetched_.end() && fit->second.buffers.empty()) {
+        // Degraded in an earlier batch: recover this batch's picks too.
+        co_await recover_chunk_slot(slot, picks, use_pf, skipped, fatal);
+        degraded.insert(slot);
+        ready(slot);
+        continue;
+      }
+      if (fit == fetched_.end()) {
+        bool recover = false;
+        if (!node_up(pk.unit->nid)) {
+          recover = true;
+        } else {
+          AcquiredUnit au = co_await prefetcher_->acquire(slot, *io_core_);
+          if (std::exception_ptr err = au.first_error()) {
+            // Read-ahead faults surface here, on the bread that owns the
+            // unit: media errors stay fatal (the slot settles empty so
+            // the caller's latch still drains before the rethrow);
+            // node-level faults degrade to per-sample replica recovery.
+            if (!is_node_fault(err)) {
+              if (!*fatal) *fatal = err;
+              fetched_[slot].buffers.clear();
+              degraded.insert(slot);
+              ready(slot);
+              continue;
+            }
+            recover = true;
+          } else if (au.extents.empty()) {  // cannot happen for chunk units
+            recover = true;
+          } else {
+            fetched_[slot].buffers = std::move(au.extents.front().buffers);
+          }
+        }
+        if (recover) {
+          co_await recover_chunk_slot(slot, picks, use_pf, skipped, fatal);
+          degraded.insert(slot);
+          ready(slot);
+          continue;
+        }
+      }
+      ready(slot);
+    }
+    co_await inj_done.wait();
+    co_return;
+  }
+
+  // Legacy synchronous path: one extent per unit this batch needs plus
+  // initial_units of read-ahead, all overlapped; picked units fire
+  // ready() from on_buffers_ready so copies start while later chunks
+  // are still in flight.
+  std::vector<ReadExtent> extents;
+  std::vector<std::size_t> extent_slots;  // parallel to extents
+  std::unordered_set<std::size_t> slots_fetching;
+  auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
+    if (fetched_.contains(slot)) return false;
+    if (!slots_fetching.insert(slot).second) return false;
+    auto& fu = fetched_[slot];  // stable address (node-based map)
+    extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len, nullptr,
+                                 std::nullopt, &fu.buffers, {}});
+    extent_slots.push_back(slot);
+    return true;
+  };
+  for (const auto& pk : picks) {
+    const std::size_t slot = pk.unit_slot;
+    if (degraded.contains(slot)) continue;
+    auto fit = fetched_.find(slot);
+    if (fit != fetched_.end() && fit->second.buffers.empty() &&
+        !slots_fetching.contains(slot)) {
+      // Degraded in an earlier batch: recover this batch's picks too.
+      co_await recover_chunk_slot(slot, picks, use_pf, skipped, fatal);
+      degraded.insert(slot);
+      ready(slot);
+      continue;
+    }
+    if (fit == fetched_.end() && !node_up(pk.unit->nid)) {
+      co_await recover_chunk_slot(slot, picks, use_pf, skipped, fatal);
+      degraded.insert(slot);
+      ready(slot);
+      continue;
+    }
+    if (add_fetch(slot, pk.unit)) {
+      // `on_unit_ready` lives in this coroutine's frame until every
+      // extent has been awaited below, so the pointer capture is safe.
+      extents.back().on_buffers_ready = [cb = &on_unit_ready, slot] {
+        if (*cb) (*cb)(slot);
+      };
+    } else if (fetched_.contains(slot) && !fetched_.at(slot).buffers.empty()) {
+      // Already resident from earlier read-ahead: settled right away.
+      ready(slot);
+    }
+  }
+  // Synchronous read-ahead: fetch the next initial_units units along
+  // with this batch so the device pipeline stays full across bread
+  // calls (legacy mode; the async prefetcher replaces this).
+  const std::size_t ra_end =
+      std::min(seq_->num_units(),
+               seq_->cursor_unit() + fleet_->config_.prefetch.initial_units);
+  for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
+    const ReadUnit* u = seq_->unit_at(slot);
+    if (!node_up(u->nid)) continue;  // no point read-ahead to a dead node
+    (void)add_fetch(slot, u);
+  }
+  if (extents.empty()) co_return;
+  auto ops = engine_->start_extents(std::move(extents));
+  dlsim::SimDuration inj = injected_;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    co_await engine_->await_op(*io_core_, ops[i], inj);
+    inj = 0;
+    if (!ops[i]->error()) continue;
+    bool needs_recovery = false;
+    bool settled_fatal = false;
+    try {
+      std::rethrow_exception(ops[i]->error());
+    } catch (const IoError& e) {
+      if (e.kind == IoErrorKind::kMedia) {
+        if (!*fatal) *fatal = ops[i]->error();
+        settled_fatal = true;
+      } else {
+        needs_recovery = true;  // co_await is illegal in a handler
+      }
+    } catch (...) {
+      if (!*fatal) *fatal = ops[i]->error();
+      settled_fatal = true;
+    }
+    const std::size_t slot = extent_slots[i];
+    if (needs_recovery) {
+      co_await recover_chunk_slot(slot, picks, use_pf, skipped, fatal);
+      degraded.insert(slot);
+      ready(slot);
+    } else if (settled_fatal) {
+      // The slot settles empty (possibly partially-filled buffers are
+      // dropped) so the caller's latch drains before the rethrow.
+      fetched_[slot].buffers.clear();
+      degraded.insert(slot);
+      ready(slot);
+    }
+  }
 }
 
 dlsim::Task<SampleHandle> DlfsInstance::open(std::string_view name) {
@@ -634,17 +882,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
   // Frontend: directory lookups for every sample in the mini-batch.
   std::size_t total = 0;
   for (const auto& pk : picks) total += pk.count;
-  for (const auto& pk : picks) {
-    for (std::uint32_t i = 0; i < pk.count; ++i) {
-      const auto& us = pk.unit->samples[pk.first_sample + i];
-      (void)fleet_->directory_.lookup_id(us.sample_id);  // the real tree walk
-    }
-  }
-  lookup_time_total_ +=
-      total * fleet_->config_.calibration.dlfs.dir_lookup;
-  co_await io_core_->compute(
-      total * (fleet_->config_.calibration.dlfs.dir_lookup +
-               fleet_->config_.calibration.dlfs.bread_per_sample));
+  co_await charge_frontend(picks);
 
   // Arena layout: samples packed in pick order.
   std::uint64_t arena_pos = 0;
@@ -660,11 +898,6 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
     return off;
   };
 
-  auto node_up = [this](std::uint16_t nid) {
-    return engine_->node_available(nid) &&
-           fleet_->directory_.node_available(nid);
-  };
-
   if (mode == BatchingMode::kSampleLevel && use_pf) {
     // Route the batch through the prefetch daemon: misses come out of the
     // acquired read units (fused groups of per-sample extents, issued
@@ -677,16 +910,7 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
     // Injected poll-loop compute (Fig. 7b) runs concurrently with the
     // acquires — the daemon keeps pumping I/O meanwhile.
     dlsim::CountdownLatch inj_done(node_->simulator(), 1);
-    if (injected_ > 0) {
-      node_->simulator().spawn(
-          [](dlsim::CpuCore* core, dlsim::SimDuration d,
-             dlsim::CountdownLatch* done) -> dlsim::Task<void> {
-            co_await core->compute(d);
-            done->count_down();
-          }(io_core_, injected_, &inj_done));
-    } else {
-      inj_done.count_down();
-    }
+    spawn_injected(&inj_done);
     std::exception_ptr fatal;
     for (const auto& pk : picks) {
       for (std::uint32_t i = 0; i < pk.count; ++i) {
@@ -861,57 +1085,27 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
       }
     }
 
-    // Degraded-unit protocol: a unit whose chunk read cannot be served
-    // (storage node gone) no longer drops every one of its samples —
-    // each pending sample is re-read individually from its replicas (or
-    // the recovered primary) straight into its preplaced arena offset,
-    // so a replicated batch stays byte-identical to a no-fault run.
-    // Only samples with no reachable copy are skipped; the latch
-    // accounts for every sample either way (no hang) and the prefetcher
-    // forgets the slot.
-    std::unordered_set<std::size_t> degraded_slots;
-    std::exception_ptr recover_fatal;
-    auto recover_slot = [&](std::size_t slot) -> dlsim::Task<void> {
-      if (!degraded_slots.insert(slot).second) co_return;
-      auto it = copies_by_slot.find(slot);
-      if (it != copies_by_slot.end()) {
-        for (const auto& pc : it->second) {
-          const std::uint32_t id = pc.us->sample_id;
-          const SampleLocation& loc = fleet_->layout_[id];
-          bool served = false;
-          if (sample_reachable(id)) {
-            try {
-              co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
-                                         loc.len,
-                                         arena.data() + pc.arena_off,
-                                         std::nullopt, sample_routes(id));
-              served = true;
-            } catch (const IoError& e) {
-              if (e.kind == IoErrorKind::kMedia && !recover_fatal) {
-                recover_fatal = std::current_exception();
-              }
-            }
-          }
-          if (!served) skipped.insert(id);
-          latch.count_down();
-        }
-        copies_by_slot.erase(it);
-      }
-      fetched_.erase(slot);
-      if (use_pf) prefetcher_->discard(slot);
-    };
-
-    // With a copy pool, a resident unit's copies are scheduled as a
+    // With a copy pool, a settled unit's copies are scheduled as a
     // detached process (channel pushes never stall the I/O loop) and run
     // on the copy threads while later chunks are still in flight. Without
     // a pool the frontend core itself copies — serially, after the fetch
-    // (it cannot poll and memcpy at once).
+    // (it cannot poll and memcpy at once). Degraded units copy out of
+    // their per-sample replica buffers; samples with nothing recovered
+    // (unreachable, or fatal faults pending rethrow) settle their latch
+    // slots here so the wait below always drains.
     std::vector<std::pair<std::size_t, std::vector<PendingCopy>>> inline_work;
     auto schedule_copies = [this, &arena, &latch, &inline_work](
                                std::size_t slot,
                                std::vector<PendingCopy> list) {
       FetchedUnit& fu = fetched_.at(slot);
       fu.delivered += static_cast<std::uint32_t>(list.size());
+      std::erase_if(list, [&](const PendingCopy& pc) {
+        const bool gone = fu.buffers.empty() &&
+                          !fu.per_sample.contains(pc.us->sample_id);
+        if (gone) latch.count_down();
+        return gone;
+      });
+      if (list.empty()) return;
       if (fleet_->config_.copy_threads == 0) {
         inline_work.emplace_back(slot, std::move(list));
         return;
@@ -920,163 +1114,54 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           [](DlfsInstance* self, FetchedUnit* fu,
              std::vector<PendingCopy> list, std::span<std::byte> arena,
              dlsim::CountdownLatch* latch) -> dlsim::Task<void> {
+            const std::uint64_t chunk = self->fleet_->config_.chunk_bytes;
             for (const auto& pc : list) {
               CopyJob job;
               job.views =
-                  window_views(fu->buffers, self->fleet_->config_.chunk_bytes,
-                               pc.us->offset_in_unit, pc.us->len);
+                  fu->buffers.empty()
+                      ? window_views(fu->per_sample.at(pc.us->sample_id),
+                                     chunk, 0, pc.us->len)
+                      : window_views(fu->buffers, chunk,
+                                     pc.us->offset_in_unit, pc.us->len);
               job.dst = arena.data() + pc.arena_off;
               job.latch = latch;
+              job.origin = self->io_core_;
               co_await self->engine_->enqueue_copy(std::move(job));
             }
           }(this, &fu, std::move(list), arena, &latch),
           "bread-copies");
     };
 
-    if (use_pf) {
-      // The daemon keeps a window of units in flight between bread calls;
-      // here we only make sure every unit this batch needs has been issued
-      // (the window may be shallower than the batch), then consume them in
-      // slot order. Each unit's copies start the moment it is acquired,
-      // while later units are still in flight.
-      prefetcher_->ensure_issued_through(picks.back().unit_slot);
-      // Injected poll-loop compute (Fig. 7b) runs concurrently with the
-      // acquires — the daemon keeps pumping I/O meanwhile, so the compute
-      // hides under this batch's stalls exactly as it hid under the
-      // synchronous pump's poll loop.
-      dlsim::CountdownLatch inj_done(node_->simulator(), 1);
-      if (injected_ > 0) {
-        node_->simulator().spawn(
-            [](dlsim::CpuCore* core, dlsim::SimDuration d,
-               dlsim::CountdownLatch* done) -> dlsim::Task<void> {
-              co_await core->compute(d);
-              done->count_down();
-            }(io_core_, injected_, &inj_done));
-      } else {
-        inj_done.count_down();
-      }
-      for (const auto& pk : picks) {
-        const std::size_t slot = pk.unit_slot;
-        if (degraded_slots.contains(slot)) continue;
-        if (!fetched_.contains(slot)) {
-          if (!node_up(pk.unit->nid)) {
-            co_await recover_slot(slot);
-            continue;
-          }
-          AcquiredUnit au = co_await prefetcher_->acquire(slot, *io_core_);
-          if (std::exception_ptr err = au.first_error()) {
-            // Read-ahead faults surface here, on the bread that owns the
-            // unit: media errors stay fatal; node-level faults degrade
-            // to per-sample replica recovery.
-            if (!is_node_fault(err)) std::rethrow_exception(err);
-            co_await recover_slot(slot);
-            continue;
-          }
-          if (au.extents.empty()) {  // cannot happen for chunk units
-            co_await recover_slot(slot);
-            continue;
-          }
-          fetched_[slot].buffers = std::move(au.extents.front().buffers);
-        }
-        auto it = copies_by_slot.find(slot);
-        if (it != copies_by_slot.end() && !it->second.empty()) {
-          auto list = std::move(it->second);
-          it->second.clear();
-          schedule_copies(slot, std::move(list));
-        }
-      }
-      co_await inj_done.wait();
-    } else {
-      std::vector<ReadExtent> extents;
-      std::vector<std::size_t> extent_slots;  // parallel to extents
-      std::unordered_set<std::size_t> slots_fetching;
-      auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
-        if (fetched_.contains(slot)) return false;
-        if (!slots_fetching.insert(slot).second) return false;
-        auto& fu = fetched_[slot];  // stable address (node-based map)
-        extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
-                                     nullptr, std::nullopt, &fu.buffers,
-                                     {}});
-        extent_slots.push_back(slot);
-        return true;
-      };
-
-      for (const auto& pk : picks) {
-        if (degraded_slots.contains(pk.unit_slot)) continue;
-        if (!fetched_.contains(pk.unit_slot) && !node_up(pk.unit->nid)) {
-          co_await recover_slot(pk.unit_slot);
-          continue;
-        }
-        if (add_fetch(pk.unit_slot, pk.unit)) {
-          // Copies start the moment this unit's buffers arrive.
-          auto it = copies_by_slot.find(pk.unit_slot);
-          if (it != copies_by_slot.end() && !it->second.empty()) {
-            auto list = std::move(it->second);
-            it->second.clear();
-            extents.back().on_buffers_ready =
-                [this, slot = pk.unit_slot, list = std::move(list),
-                 &schedule_copies]() mutable {
-                  schedule_copies(slot, std::move(list));
-                };
-          }
-        }
-      }
-      // Units already resident from earlier read-ahead: copy right away.
-      for (auto& [slot, list] : copies_by_slot) {
-        if (!list.empty() && fetched_.contains(slot)) {
-          schedule_copies(slot, std::move(list));
-          list.clear();
-        }
-      }
-      // Synchronous read-ahead: fetch the next initial_units units along
-      // with this batch so the device pipeline stays full across bread
-      // calls (legacy mode; the async prefetcher replaces this).
-      const std::size_t ra_end =
-          std::min(seq_->num_units(),
-                   seq_->cursor_unit() + fleet_->config_.prefetch.initial_units);
-      for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
-        const ReadUnit* u = seq_->unit_at(slot);
-        if (!node_up(u->nid)) continue;  // no point read-ahead to a dead node
-        (void)add_fetch(slot, u);
-      }
-      if (!extents.empty()) {
-        auto ops = engine_->start_extents(std::move(extents));
-        dlsim::SimDuration inj = injected_;
-        std::exception_ptr fatal;
-        for (std::size_t i = 0; i < ops.size(); ++i) {
-          co_await engine_->await_op(*io_core_, ops[i], inj);
-          inj = 0;
-          if (!ops[i]->error()) continue;
-          bool needs_recovery = false;
-          try {
-            std::rethrow_exception(ops[i]->error());
-          } catch (const IoError& e) {
-            if (e.kind == IoErrorKind::kMedia) {
-              if (!fatal) fatal = ops[i]->error();
-            } else {
-              needs_recovery = true;  // co_await is illegal in a handler
-            }
-          } catch (...) {
-            if (!fatal) fatal = ops[i]->error();
-          }
-          if (needs_recovery) co_await recover_slot(extent_slots[i]);
-        }
-        if (fatal) std::rethrow_exception(fatal);
-      }
-    }
+    // Shared batch assembly (also backs bread_views): every picked unit
+    // settles — chunk buffers resident, or degraded with surviving
+    // samples recovered into per-sample replica buffers — and fires its
+    // copies the moment it does.
+    std::exception_ptr fatal;
+    auto on_ready = [&](std::size_t slot) {
+      auto it = copies_by_slot.find(slot);
+      if (it == copies_by_slot.end() || it->second.empty()) return;
+      auto list = std::move(it->second);
+      it->second.clear();
+      schedule_copies(slot, std::move(list));
+    };
+    co_await fetch_chunk_units(picks, use_pf, &skipped, &fatal, on_ready);
     for (auto& [slot, list] : inline_work) {
       FetchedUnit& fu = fetched_.at(slot);
       for (const auto& pc : list) {
         CopyJob job;
-        job.views = window_views(fu.buffers, fleet_->config_.chunk_bytes,
-                                 pc.us->offset_in_unit, pc.us->len);
+        job.views =
+            fu.buffers.empty()
+                ? window_views(fu.per_sample.at(pc.us->sample_id),
+                               fleet_->config_.chunk_bytes, 0, pc.us->len)
+                : window_views(fu.buffers, fleet_->config_.chunk_bytes,
+                               pc.us->offset_in_unit, pc.us->len);
         job.dst = arena.data() + pc.arena_off;
         job.latch = &latch;
         co_await engine_->run_copy_inline(*io_core_, std::move(job));
       }
     }
     co_await latch.wait();
-    if (recover_fatal) std::rethrow_exception(recover_fatal);
+    if (fatal) std::rethrow_exception(fatal);
     // Release fully-consumed units.
     for (const auto& pk : picks) maybe_release_unit(pk.unit_slot);
     if (!skipped.empty()) {
@@ -1127,177 +1212,47 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
   if (picks.empty()) co_return batch;
   const bool use_pf = prefetcher_ != nullptr && !file_seq_active_;
 
-  std::size_t total = 0;
-  for (const auto& pk : picks) total += pk.count;
-  for (const auto& pk : picks) {
-    for (std::uint32_t i = 0; i < pk.count; ++i) {
-      (void)fleet_->directory_.lookup_id(
-          pk.unit->samples[pk.first_sample + i].sample_id);
-    }
-  }
-  lookup_time_total_ +=
-      total * fleet_->config_.calibration.dlfs.dir_lookup;
-  co_await io_core_->compute(
-      total * (fleet_->config_.calibration.dlfs.dir_lookup +
-               fleet_->config_.calibration.dlfs.bread_per_sample));
+  co_await charge_frontend(picks);
 
-  auto node_up = [this](std::uint16_t nid) {
-    return engine_->node_available(nid) &&
-           fleet_->directory_.node_available(nid);
-  };
   // One entry per unreachable sample (never double-counted between the
   // unit-level and per-sample paths).
   std::unordered_set<std::uint32_t> skipped;
-  // Degraded units: the chunk read cannot be served, so each picked
-  // sample is re-read individually from its replicas into fresh buffers
-  // (FetchedUnit::per_sample); the view handout below branches on the
-  // unit's chunk buffers being absent. Samples with no reachable copy
-  // are recorded in `skipped`.
-  std::unordered_set<std::size_t> degraded_slots;
-  auto recover_slot = [&](std::size_t slot) -> dlsim::Task<void> {
-    if (!degraded_slots.insert(slot).second) co_return;
-    if (use_pf) prefetcher_->discard(slot);
-    // The degraded entry persists across breads (a unit can span batch
-    // boundaries); re-entry fills the newly-picked samples only.
-    FetchedUnit& fu = fetched_[slot];
-    fu.buffers.clear();
-    for (const auto& pk : picks) {
-      if (pk.unit_slot != slot) continue;
-      for (std::uint32_t i = 0; i < pk.count; ++i) {
-        const auto& us = pk.unit->samples[pk.first_sample + i];
-        const std::uint32_t id = us.sample_id;
-        if (fu.per_sample.contains(id)) continue;
-        if (!sample_reachable(id)) {
-          skipped.insert(id);
-          continue;
-        }
-        const SampleLocation& loc = fleet_->layout_[id];
-        std::vector<mem::DmaBuffer> pieces;
-        auto op = engine_->start_extent(
-            ReadExtent{loc.nid, loc.offset, loc.len, nullptr, std::nullopt,
-                       &pieces, {}, sample_routes(id)});
-        bool served = true;
-        co_await engine_->await_op(*io_core_, op, 0);
-        if (op->error()) {
-          if (!is_node_fault(op->error())) {
-            std::rethrow_exception(op->error());
-          }
-          skipped.insert(id);
-          served = false;
-        }
-        if (served) fu.per_sample.emplace(id, std::move(pieces));
-      }
-    }
-  };
+  // Shared batch assembly (also backs bread): every picked unit settles —
+  // chunk buffers resident, or degraded with surviving samples recovered
+  // into per-sample replica buffers. No per-unit callback: views are
+  // handed out after everything settles (handing out a span costs no
+  // CPU, so there is nothing to overlap).
+  std::exception_ptr fatal;
+  co_await fetch_chunk_units(picks, use_pf, &skipped, &fatal, {});
+  // Fatal (media/unknown) read-ahead faults abort the batch before any
+  // unit is pinned, exactly like the copy path's post-latch rethrow.
+  if (fatal) std::rethrow_exception(fatal);
 
-  // Fetch the units backing this batch (plus read-ahead), then hand out
-  // views — no copy stage at all.
-  if (use_pf) {
-    prefetcher_->ensure_issued_through(picks.back().unit_slot);
-    dlsim::CountdownLatch inj_done(node_->simulator(), 1);
-    if (injected_ > 0) {
-      node_->simulator().spawn(
-          [](dlsim::CpuCore* core, dlsim::SimDuration d,
-             dlsim::CountdownLatch* done) -> dlsim::Task<void> {
-            co_await core->compute(d);
-            done->count_down();
-          }(io_core_, injected_, &inj_done));
-    } else {
-      inj_done.count_down();
-    }
-    for (const auto& pk : picks) {
-      if (degraded_slots.contains(pk.unit_slot)) continue;
-      auto fit = fetched_.find(pk.unit_slot);
-      if (fit != fetched_.end() && fit->second.buffers.empty()) {
-        // Degraded in an earlier batch: recover this batch's picks too.
-        co_await recover_slot(pk.unit_slot);
-        continue;
-      }
-      if (fit == fetched_.end()) {
-        if (!node_up(pk.unit->nid)) {
-          co_await recover_slot(pk.unit_slot);
-          continue;
-        }
-        AcquiredUnit au = co_await prefetcher_->acquire(pk.unit_slot,
-                                                        *io_core_);
-        if (std::exception_ptr err = au.first_error()) {
-          if (!is_node_fault(err)) std::rethrow_exception(err);
-          co_await recover_slot(pk.unit_slot);
-          continue;
-        }
-        if (au.extents.empty()) {
-          co_await recover_slot(pk.unit_slot);
-          continue;
-        }
-        fetched_[pk.unit_slot].buffers =
-            std::move(au.extents.front().buffers);
-      }
-    }
-    co_await inj_done.wait();
-  } else {
-    std::vector<ReadExtent> extents;
-    std::vector<std::size_t> extent_slots;  // parallel to extents
-    std::unordered_set<std::size_t> slots_fetching;
-    auto add_fetch = [&](std::size_t slot, const ReadUnit* unit) {
-      if (fetched_.contains(slot)) return;
-      if (!slots_fetching.insert(slot).second) return;
-      auto& fu = fetched_[slot];
-      extents.push_back(ReadExtent{unit->nid, unit->offset, unit->len,
-                                   nullptr, std::nullopt, &fu.buffers, {}});
-      extent_slots.push_back(slot);
-    };
-    for (const auto& pk : picks) {
-      if (degraded_slots.contains(pk.unit_slot)) continue;
-      auto fit = fetched_.find(pk.unit_slot);
-      if (fit != fetched_.end() && fit->second.buffers.empty() &&
-          !slots_fetching.contains(pk.unit_slot)) {
-        // Degraded in an earlier batch: recover this batch's picks too.
-        co_await recover_slot(pk.unit_slot);
-        continue;
-      }
-      if (fit == fetched_.end() && !node_up(pk.unit->nid)) {
-        co_await recover_slot(pk.unit_slot);
-        continue;
-      }
-      add_fetch(pk.unit_slot, pk.unit);
-    }
-    const std::size_t ra_end = std::min(
-        seq_->num_units(),
-        seq_->cursor_unit() + fleet_->config_.prefetch.initial_units);
-    for (std::size_t slot = seq_->cursor_unit(); slot < ra_end; ++slot) {
-      const ReadUnit* u = seq_->unit_at(slot);
-      if (!node_up(u->nid)) continue;
-      add_fetch(slot, u);
-    }
-    if (!extents.empty()) {
-      auto ops = engine_->start_extents(std::move(extents));
-      dlsim::SimDuration inj = injected_;
-      std::exception_ptr fatal;
-      for (std::size_t i = 0; i < ops.size(); ++i) {
-        co_await engine_->await_op(*io_core_, ops[i], inj);
-        inj = 0;
-        if (!ops[i]->error()) continue;
-        bool needs_recovery = false;
-        try {
-          std::rethrow_exception(ops[i]->error());
-        } catch (const IoError& e) {
-          if (e.kind == IoErrorKind::kMedia) {
-            if (!fatal) fatal = ops[i]->error();
-          } else {
-            needs_recovery = true;  // co_await is illegal in a handler
-          }
-        } catch (...) {
-          if (!fatal) fatal = ops[i]->error();
-        }
-        if (needs_recovery) co_await recover_slot(extent_slots[i]);
-      }
-      if (fatal) std::rethrow_exception(fatal);
+  // Degraded samples are the only ones that copy on the views path:
+  // their replica bytes move into one batch-owned buffer so the handed-
+  // out spans survive release of the DMA buffers. Pre-size it before
+  // the first span is taken — growth would invalidate earlier views.
+  std::size_t fallback_bytes = 0;
+  for (const auto& pk : picks) {
+    const FetchedUnit& fu = fetched_.at(pk.unit_slot);
+    if (!fu.buffers.empty()) continue;
+    for (std::uint32_t i = 0; i < pk.count; ++i) {
+      const auto& us = pk.unit->samples[pk.first_sample + i];
+      if (fu.per_sample.contains(us.sample_id)) fallback_bytes += us.len;
     }
   }
+  batch.fallback_storage.resize(fallback_bytes);
+  std::size_t fallback_pos = 0;
 
   for (const auto& pk : picks) {
     FetchedUnit& fu = fetched_.at(pk.unit_slot);
     ++fu.view_pins;
+    if (fu.view_pins == 1 && prefetcher_) {
+      // First pin: the unit's chunks now sit outside the prefetcher's
+      // window but still occupy the pool; tell the arbiter.
+      prefetcher_->note_view_pins(
+          static_cast<std::int64_t>(fu.buffers.size()));
+    }
     batch.pinned_slots.push_back(pk.unit_slot);
     fu.delivered += pk.count;
     for (std::uint32_t i = 0; i < pk.count; ++i) {
@@ -1309,13 +1264,22 @@ dlsim::Task<ViewBatch> DlfsInstance::bread_views(std::size_t max_samples) {
       if (!fu.buffers.empty()) {
         vs.pieces = window_views(fu.buffers, fleet_->config_.chunk_bytes,
                                  us.offset_in_unit, us.len);
+        bytes_zero_copy_ += us.len;
       } else {
-        // Degraded unit: views come out of the per-sample replica
-        // buffers; samples with no reachable copy were already counted.
+        // Degraded unit: samples with no reachable copy were already
+        // counted; recovered ones copy into the batch-owned fallback
+        // (charged like any inline copy) and free their DMA buffers.
         auto rec = fu.per_sample.find(us.sample_id);
         if (rec == fu.per_sample.end()) continue;
-        vs.pieces = window_views(rec->second, fleet_->config_.chunk_bytes,
-                                 0, us.len);
+        CopyJob job;
+        job.owned_pieces = std::move(rec->second);
+        job.piece_lens = piece_lens_of(us.len, fleet_->config_.chunk_bytes);
+        job.dst = batch.fallback_storage.data() + fallback_pos;
+        co_await engine_->run_copy_inline(*io_core_, std::move(job));
+        fu.per_sample.erase(rec);
+        vs.pieces = {std::span<const std::byte>(
+            batch.fallback_storage.data() + fallback_pos, us.len)};
+        fallback_pos += us.len;
       }
       batch.bytes += us.len;
       batch.samples.push_back(std::move(vs));
@@ -1344,11 +1308,18 @@ void DlfsInstance::release_views(ViewBatch& batch) {
     if (it->second.view_pins == 0) {
       throw std::logic_error("release_views: pin underflow");
     }
-    --it->second.view_pins;
+    if (--it->second.view_pins == 0 && prefetcher_) {
+      // Last pin gone: the chunks leave the view-pinned pool share
+      // (whether or not the unit itself is released below).
+      prefetcher_->note_view_pins(
+          -static_cast<std::int64_t>(it->second.buffers.size()));
+    }
     maybe_release_unit(slot);
   }
   batch.pinned_slots.clear();
   batch.samples.clear();
+  batch.fallback_storage.clear();
+  batch.fallback_storage.shrink_to_fit();
 }
 
 dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,

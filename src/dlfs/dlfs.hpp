@@ -23,11 +23,14 @@
 //                        with the configured batching optimizations
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -88,6 +91,12 @@ struct DlfsConfig {
   // Engine-level re-post backoff for transient completion errors
   // (media/timeout); doubles per attempt.
   dlsim::SimDuration io_retry_backoff = 10'000;
+  // Debug aid for the zero-copy contract: scribble recycled huge-page
+  // chunks (0xDD) — and poison them under AddressSanitizer — so a view
+  // read after release_views() faults loudly instead of silently seeing
+  // stale or recycled bytes. Off in production runs (costs a memset per
+  // recycled chunk).
+  bool scribble_on_free = false;
   Calibration calibration{};
 };
 
@@ -136,6 +145,10 @@ struct ViewBatch {
   bool end_of_epoch = false;              // see Batch::end_of_epoch
   std::vector<std::size_t> pinned_slots;  // internal: units held
   std::uint64_t token = 0;                // internal: release bookkeeping
+  // Internal: batch-owned bytes backing the views of degraded samples
+  // (replica-failover demand reads — the only copy on the views path).
+  // Sized once before any span is taken; freed by release_views().
+  std::vector<std::byte> fallback_storage;
 };
 
 /// One snapshot of a DlfsInstance's delivery/telemetry counters (the
@@ -147,6 +160,17 @@ struct InstanceStats {
   std::uint64_t samples_skipped = 0;
   std::uint64_t bytes_delivered = 0;
   dlsim::SimDuration lookup_time_total = 0;
+  // Delivery-path byte accounting: bytes that went through a memcpy
+  // (copy threads + inline copies) vs bytes handed out as zero-copy
+  // views into the huge-page chunks. A warm bread_views epoch shows
+  // bytes_copied == 0.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_zero_copy = 0;
+  // Read units currently pinned by live (unreleased) ViewBatches.
+  std::uint64_t view_pins_active = 0;
+  // Copy jobs executed on a different core than the one that produced
+  // them (each paid DlfsCosts::cross_core_handoff).
+  std::uint64_t cross_core_handoffs = 0;
   // Asynchronous-prefetcher counters (zero-initialized when the
   // prefetcher is off): resident-at-pick / stall / window telemetry.
   PrefetchStats prefetch{};
@@ -228,6 +252,10 @@ class DlfsInstance {
     s.samples_skipped = samples_skipped_;
     s.bytes_delivered = bytes_delivered_;
     s.lookup_time_total = lookup_time_total_;
+    s.bytes_copied = engine_->bytes_copied();
+    s.bytes_zero_copy = bytes_zero_copy_;
+    for (const auto& [slot, fu] : fetched_) s.view_pins_active += fu.view_pins;
+    s.cross_core_handoffs = engine_->cross_core_handoffs();
     if (prefetcher_) s.prefetch = prefetcher_->stats();
     return s;
   }
@@ -252,6 +280,36 @@ class DlfsInstance {
   dlsim::Task<void> charge_lookup();
   dlsim::Task<Batch> bread_unbatched(std::size_t max_samples,
                                      std::span<std::byte> arena);
+  /// Frontend charge for one batched call: the real directory tree walks
+  /// plus per-sample accounting CPU (shared by bread and bread_views).
+  dlsim::Task<void> charge_frontend(
+      std::span<const EpochSequence::UnitPicks> picks);
+  /// Chunk-mode batch assembly, shared by bread and bread_views: brings
+  /// every unit this batch picks to a settled state — chunk buffers
+  /// resident, or degraded with surviving samples recovered into
+  /// FetchedUnit::per_sample (unreachable ones recorded in `skipped`,
+  /// media/unknown faults in `*fatal`) — and fires `on_unit_ready(slot)`
+  /// per pick once its unit settles (idempotent callbacks; empty
+  /// std::function when the caller consumes units after the co_await).
+  /// Also drives read-ahead (daemon window or legacy synchronous).
+  dlsim::Task<void> fetch_chunk_units(
+      std::span<const EpochSequence::UnitPicks> picks, bool use_pf,
+      std::unordered_set<std::uint32_t>* skipped, std::exception_ptr* fatal,
+      std::function<void(std::size_t)> on_unit_ready);
+  /// Degraded-unit recovery: re-reads this batch's picked samples of
+  /// `slot` individually from their replicas (or the recovered primary)
+  /// into FetchedUnit::per_sample. Non-picked read-ahead slots are
+  /// simply forgotten so a later bread can re-fetch the whole chunk.
+  dlsim::Task<void> recover_chunk_slot(
+      std::size_t slot, std::span<const EpochSequence::UnitPicks> picks,
+      bool use_pf, std::unordered_set<std::uint32_t>* skipped,
+      std::exception_ptr* fatal);
+  /// Injected poll-loop compute (Fig. 7b) as a concurrent task; counts
+  /// `done` down when finished (immediately when nothing is injected).
+  void spawn_injected(dlsim::CountdownLatch* done);
+  /// Node health as every read path sees it: engine transport state AND
+  /// the directory's wholesale V bit.
+  [[nodiscard]] bool node_up(std::uint16_t nid) const;
   /// Epoch-boundary reprobe, shared by bread and bread_views: after
   /// sequence(), the first batch of the epoch revalidates down nodes
   /// once and retries read-ahead that failed while they were down.
@@ -297,10 +355,51 @@ class DlfsInstance {
   std::uint64_t samples_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t samples_skipped_ = 0;
+  // Bytes handed out as views into resident chunks (no copy stage ran).
+  std::uint64_t bytes_zero_copy_ = 0;
   // Set by sequence(); the next bread revalidates down nodes once, so a
   // recovered storage node rejoins at the epoch boundary.
   bool reprobe_pending_ = false;
   dlsim::SimDuration lookup_time_total_ = 0;
+};
+
+/// RAII holder for a zero-copy batch: releases the pinned units when the
+/// lease leaves scope, so every exit path (including exceptions between
+/// bread_views and the explicit release) unpins. Move-only; release()
+/// is idempotent through the batch token.
+class ViewLease {
+ public:
+  ViewLease() = default;
+  ViewLease(DlfsInstance& inst, ViewBatch batch)
+      : inst_(&inst), batch_(std::move(batch)) {}
+  ViewLease(ViewLease&& o) noexcept
+      : inst_(std::exchange(o.inst_, nullptr)), batch_(std::move(o.batch_)) {}
+  ViewLease& operator=(ViewLease&& o) noexcept {
+    if (this != &o) {
+      release();
+      inst_ = std::exchange(o.inst_, nullptr);
+      batch_ = std::move(o.batch_);
+    }
+    return *this;
+  }
+  ViewLease(const ViewLease&) = delete;
+  ViewLease& operator=(const ViewLease&) = delete;
+  ~ViewLease() { release(); }
+
+  void release() {
+    if (inst_ != nullptr && batch_.token == 1) inst_->release_views(batch_);
+    inst_ = nullptr;
+  }
+  /// True while the batch's views are still safe to read.
+  [[nodiscard]] bool held() const {
+    return inst_ != nullptr && batch_.token == 1;
+  }
+  [[nodiscard]] ViewBatch& batch() { return batch_; }
+  [[nodiscard]] const ViewBatch& batch() const { return batch_; }
+
+ private:
+  DlfsInstance* inst_ = nullptr;
+  ViewBatch batch_;
 };
 
 class DlfsFleet {

@@ -175,6 +175,11 @@ struct CopyJob {
   std::byte* dst = nullptr;
   std::optional<std::size_t> cache_sample_id{};
   dlsim::CountdownLatch* latch = nullptr;
+  // Core that produced the job. A copy thread running on a different
+  // core pays the cross-core handoff cost (cache-line transfer of the
+  // job + first-touch misses on the data) and counts the event, so
+  // locality shows up in CPU results instead of being free.
+  const dlsim::CpuCore* origin = nullptr;
   ExtentOpPtr op{};  // engine-internal: completes the op after the memcpy
 };
 
@@ -271,6 +276,9 @@ class IoEngine {
   [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
   /// Aggregate busy time of the copy-thread pool.
   [[nodiscard]] dlsim::SimDuration copy_busy_ns() const;
+  /// Copy jobs executed on a different core than the one that produced
+  /// them (aggregated over the copy-thread pool).
+  [[nodiscard]] std::uint64_t cross_core_handoffs() const;
 
  private:
   struct Piece {

@@ -36,6 +36,14 @@ std::uint64_t PrefetchArbiter::chunk_allowance(const Prefetcher& p) const {
   // are per-instance; a neighbour's free chunks are not allocatable
   // here), and never starves below one unit's worth.
   share = std::min(share, p.readahead_chunks() + p.pool_headroom_chunks());
+  // Chunks of acquired units still pinned by live ViewBatches are
+  // read-ahead output the consumer has not returned: they occupy p's
+  // pool but are no longer in ra_chunks_, so without this deduction the
+  // same huge pages would be counted once as "held by p" and once as
+  // window headroom — and a co-located daemon's share computed against a
+  // budget p cannot actually honour.
+  const std::uint64_t pinned = p.view_pinned_chunks();
+  share = share > pinned ? share - pinned : 0;
   return std::max<std::uint64_t>(share, 1);
 }
 
@@ -76,12 +84,18 @@ std::uint64_t Prefetcher::pool_headroom_chunks() const {
   return free > cfg_.reserve_chunks ? free - cfg_.reserve_chunks : 0;
 }
 
+std::size_t Prefetcher::window_size() const {
+  std::size_t n = 0;
+  for (const WindowShard& s : window_shards_) n += s.read()->size();
+  return n;
+}
+
 void Prefetcher::start_epoch(const ReadUnitProvider* provider) {
   // Extents cannot be cancelled: unfinished read-ahead from the previous
   // epoch keeps draining on the daemon and its buffers drop on arrival.
   // Finished entries release their chunks right here, with the ops.
-  {
-    auto w = window_.write();
+  for (WindowShard& s : window_shards_) {
+    auto w = s.write();
     for (auto& e : *w) {
       for (auto& x : e.extents) {
         if (!x.op->finished()) draining_.push_back(x.op);
@@ -104,8 +118,8 @@ std::uint64_t Prefetcher::extents_chunks(const std::vector<UnitExtent>& xs,
   return n;
 }
 
-void Prefetcher::issue_entry(std::deque<Entry>& window, std::size_t slot,
-                             std::vector<UnitExtent> xs, bool front) {
+void Prefetcher::issue_entry(std::size_t slot, std::vector<UnitExtent> xs,
+                             bool front) {
   Entry e;
   e.slot = slot;
   e.chunks = extents_chunks(xs, chunk_bytes_);
@@ -119,28 +133,25 @@ void Prefetcher::issue_entry(std::deque<Entry>& window, std::size_t slot,
     e.extents.push_back(std::move(ex));
   }
   ra_chunks_ += e.chunks;
-  if (front) {
-    window.push_front(std::move(e));
-  } else {
-    window.push_back(std::move(e));
+  {
+    auto w = shard_for(slot).write();
+    if (front) {
+      w->push_front(std::move(e));
+    } else {
+      w->push_back(std::move(e));
+    }
   }
   ++stats_.units_issued;
   stats_.in_flight_hwm = std::max(
-      stats_.in_flight_hwm, static_cast<std::uint32_t>(window.size()));
+      stats_.in_flight_hwm, static_cast<std::uint32_t>(window_size()));
   wake_.set();
 }
 
 void Prefetcher::ensure_issued_through(std::size_t slot) {
-  auto w = window_.write();
-  ensure_issued_through_locked(*w, slot);
-}
-
-void Prefetcher::ensure_issued_through_locked(std::deque<Entry>& window,
-                                              std::size_t slot) {
   if (provider_ == nullptr) return;
   demand_floor_ = std::max(demand_floor_, slot + 1);
   while (next_issue_ <= slot && next_issue_ < total_units_) {
-    issue_entry(window, next_issue_, provider_->unit_extents(next_issue_),
+    issue_entry(next_issue_, provider_->unit_extents(next_issue_),
                 /*front=*/false);
     ++next_issue_;
   }
@@ -148,7 +159,6 @@ void Prefetcher::ensure_issued_through_locked(std::deque<Entry>& window,
 
 void Prefetcher::top_up() {
   if (provider_ == nullptr) return;
-  auto w = window_.write();
   // The target is read-ahead depth beyond the demanded batch: demand
   // issues never count against it, so the device keeps working on future
   // units even while the consumer drains the current batch.
@@ -161,7 +171,8 @@ void Prefetcher::top_up() {
         pool_->free_chunks() < need + cfg_.reserve_chunks;
     const bool arbiter_blocked =
         arbiter_ != nullptr && need > 0 &&
-        ra_chunks_ + need > arbiter_->chunk_allowance(*this);
+        ra_chunks_ + view_pinned_chunks_ + need >
+            arbiter_->chunk_allowance(*this);
     if (pool_blocked || arbiter_blocked) {
       // No headroom for more read-ahead — locally (pool) or node-wide
       // (arbiter share): adapt the target down to the depth actually
@@ -178,7 +189,7 @@ void Prefetcher::top_up() {
       }
       return;
     }
-    issue_entry(*w, next_issue_, std::move(xs), /*front=*/false);
+    issue_entry(next_issue_, std::move(xs), /*front=*/false);
     ++next_issue_;
   }
 }
@@ -187,41 +198,75 @@ ExtentOpPtr Prefetcher::oldest_unfinished() {
   for (const auto& op : draining_) {
     if (!op->finished()) return op;
   }
-  for (const auto& e : *window_.read()) {
-    for (const auto& x : e.extents) {
-      if (!x.op->finished()) return x.op;
+  // Shards are individually slot-ordered; the globally oldest entry with
+  // an unfinished op is the slot-minimum of the per-shard firsts.
+  ExtentOpPtr best;
+  std::size_t best_slot = 0;
+  for (const WindowShard& s : window_shards_) {
+    auto w = s.read();
+    for (const auto& e : *w) {
+      ExtentOpPtr found;
+      for (const auto& x : e.extents) {
+        if (!x.op->finished()) {
+          found = x.op;
+          break;
+        }
+      }
+      if (!found) continue;
+      if (!best || e.slot < best_slot) {
+        best = std::move(found);
+        best_slot = e.slot;
+      }
+      break;
     }
   }
-  return nullptr;
+  return best;
 }
 
 bool Prefetcher::relieve_pressure() {
   // Shed the farthest resident, unconsumed unit: its chunks unblock
   // demand I/O now, and the consumer demand-fetches it again when the
   // cursor gets there. Entries being awaited (pinned) and unfinished ones
-  // (chunks still in flight) cannot yield memory.
-  auto w = window_.write();
-  for (auto it = w->rbegin(); it != w->rend(); ++it) {
-    if (it->pinned) continue;
-    const bool resident_clean = std::all_of(
-        it->extents.begin(), it->extents.end(), [](const Extent& x) {
-          return x.op->finished() && !x.op->error();
-        });
-    if (!resident_clean || it->chunks == 0) continue;
-    for (auto& x : it->extents) {
-      (void)x.op->take_buffers();  // DmaBuffers drop -> chunks freed
+  // (chunks still in flight) cannot yield memory. Per shard, the first
+  // candidate from the back is that shard's farthest; the global farthest
+  // is the slot-maximum across shards.
+  auto is_candidate = [](const Entry& e) {
+    if (e.pinned || e.chunks == 0) return false;
+    return std::all_of(e.extents.begin(), e.extents.end(),
+                       [](const Extent& x) {
+                         return x.op->finished() && !x.op->error();
+                       });
+  };
+  bool found = false;
+  std::size_t victim_slot = 0;
+  for (const WindowShard& s : window_shards_) {
+    auto w = s.read();
+    for (auto it = w->rbegin(); it != w->rend(); ++it) {
+      if (!is_candidate(*it)) continue;
+      if (!found || it->slot > victim_slot) {
+        found = true;
+        victim_slot = it->slot;
+      }
+      break;
     }
-    ++stats_.units_dropped;
-    if (window_target_ > cfg_.min_units) {
-      --window_target_;
-      ++stats_.window_shrinks;
-      stats_.window_target = window_target_;
-    }
-    ra_chunks_ -= it->chunks;
-    w->erase(std::next(it).base());
-    return true;
   }
-  return false;
+  if (!found) return false;
+  auto w = shard_for(victim_slot).write();
+  auto it = std::find_if(
+      w->begin(), w->end(),
+      [victim_slot](const Entry& e) { return e.slot == victim_slot; });
+  for (auto& x : it->extents) {
+    (void)x.op->take_buffers();  // DmaBuffers drop -> chunks freed
+  }
+  ++stats_.units_dropped;
+  if (window_target_ > cfg_.min_units) {
+    --window_target_;
+    ++stats_.window_shrinks;
+    stats_.window_target = window_target_;
+  }
+  ra_chunks_ -= it->chunks;
+  w->erase(it);
+  return true;
 }
 
 void Prefetcher::discard(std::size_t slot) {
@@ -233,7 +278,7 @@ void Prefetcher::discard(std::size_t slot) {
     wake_.set();
     return;
   }
-  auto w = window_.write();
+  auto w = shard_for(slot).write();
   auto it = std::find_if(w->begin(), w->end(),
                          [slot](const Entry& e) { return e.slot == slot; });
   if (it == w->end() || it->pinned) return;
@@ -252,24 +297,26 @@ void Prefetcher::discard(std::size_t slot) {
 std::uint32_t Prefetcher::reissue_failed() {
   if (provider_ == nullptr) return 0;
   std::uint32_t n = 0;
-  auto w = window_.write();
-  for (auto& e : *w) {
-    if (e.pinned) continue;
-    for (auto& x : e.extents) {
-      if (!x.op->error()) continue;
-      // An op can carry an error while pieces still drain; those buffers
-      // cannot be reused, so the old op keeps draining off to the side.
-      if (!x.op->finished()) draining_.push_back(x.op);
-      // The failed op's extent already consumed the routes it tried, so
-      // rx.routes holds exactly the untried alternates: the reissue
-      // resumes the failover walk instead of restarting it. A reissue
-      // after the node *recovered* simply succeeds on rx.nid directly.
-      const ReadExtent& rx = x.op->extent;
-      x.op = engine_->start_extent(ReadExtent{rx.nid, rx.offset, rx.len,
-                                              nullptr, std::nullopt, nullptr,
-                                              {}, rx.routes});
-      ++stats_.units_reissued;
-      ++n;
+  for (WindowShard& s : window_shards_) {
+    auto w = s.write();
+    for (auto& e : *w) {
+      if (e.pinned) continue;
+      for (auto& x : e.extents) {
+        if (!x.op->error()) continue;
+        // An op can carry an error while pieces still drain; those buffers
+        // cannot be reused, so the old op keeps draining off to the side.
+        if (!x.op->finished()) draining_.push_back(x.op);
+        // The failed op's extent already consumed the routes it tried, so
+        // rx.routes holds exactly the untried alternates: the reissue
+        // resumes the failover walk instead of restarting it. A reissue
+        // after the node *recovered* simply succeeds on rx.nid directly.
+        const ReadExtent& rx = x.op->extent;
+        x.op = engine_->start_extent(ReadExtent{rx.nid, rx.offset, rx.len,
+                                                nullptr, std::nullopt, nullptr,
+                                                {}, rx.routes});
+        ++stats_.units_reissued;
+        ++n;
+      }
     }
   }
   if (n > 0) wake_.set();
@@ -285,20 +332,22 @@ dlsim::Task<AcquiredUnit> Prefetcher::acquire(
                         [slot](const Entry& e) { return e.slot == slot; });
   };
   // First slice: locate (or demand-issue) the unit and decide whether we
-  // must stall. The window guard is scoped to end *before* the awaits —
-  // the daemon legitimately tops the window up while we are parked.
+  // must stall. The shard guard is scoped to end *before* the awaits —
+  // the daemon legitimately tops the window up while we are parked. Only
+  // slot's own shard is touched, so a concurrent top-up of another shard
+  // never even shares this slice's ledger.
   std::vector<ExtentOpPtr> ops;  // non-empty => the stall path was taken
   {
-    auto w = window_.write();
+    auto w = shard_for(slot).write();
     auto it = find_entry(*w);
     if (it == w->end()) {
       if (slot >= next_issue_) {
-        ensure_issued_through_locked(*w, slot);
+        ensure_issued_through(slot);
       } else {
         // The unit was shed under pool pressure; demand re-fetch it. With
-        // in-order consumption every windowed slot is larger, so it goes
-        // back to the front.
-        issue_entry(*w, slot, provider_->unit_extents(slot), /*front=*/true);
+        // in-order consumption every windowed slot in this shard is
+        // larger, so it goes back to the front.
+        issue_entry(slot, provider_->unit_extents(slot), /*front=*/true);
       }
       it = find_entry(*w);
     }
@@ -334,7 +383,7 @@ dlsim::Task<AcquiredUnit> Prefetcher::acquire(
   // Second slice: hand the unit over and release its window entry.
   AcquiredUnit unit;
   {
-    auto w = window_.write();
+    auto w = shard_for(slot).write();
     auto it = find_entry(*w);
     unit.extents.reserve(it->extents.size());
     for (auto& x : it->extents) {

@@ -45,6 +45,7 @@
 // it would a synchronous fetch failure (media fatal, node faults skip
 // just the affected samples).
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -198,14 +199,25 @@ class Prefetcher {
 
   [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
   [[nodiscard]] dlsim::CpuCore& core() { return *core_; }
-  [[nodiscard]] std::size_t window_size() const {
-    return window_.read()->size();
-  }
+  [[nodiscard]] std::size_t window_size() const;
   [[nodiscard]] std::uint32_t window_target() const { return window_target_; }
   // Arbiter inputs: chunks currently held by the window as read-ahead,
   // and this instance's pool headroom beyond its configured reserve.
   [[nodiscard]] std::uint64_t readahead_chunks() const { return ra_chunks_; }
   [[nodiscard]] std::uint64_t pool_headroom_chunks() const;
+
+  /// Zero-copy consumers: pool chunks of already-acquired units that live
+  /// ViewBatches still pin. They are read-ahead *output* the instance has
+  /// not given back, so they count against its arbiter share — otherwise
+  /// a co-located daemon would size its window as if those huge pages
+  /// were reclaimable by consumption.
+  void note_view_pins(std::int64_t delta_chunks) {
+    view_pinned_chunks_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(view_pinned_chunks_) + delta_chunks);
+  }
+  [[nodiscard]] std::uint64_t view_pinned_chunks() const {
+    return view_pinned_chunks_;
+  }
 
  private:
   struct Extent {
@@ -219,12 +231,25 @@ class Prefetcher {
     bool pinned = false;  // a consumer is awaiting it; reliever must skip
   };
 
+  // The in-flight window, sharded by slot. Each shard is its own Checked
+  // deque (slot order within a shard; shard front = next to consume), so
+  // the daemon's top-up touching slot s and a consumer acquiring slot t
+  // form disjoint critical slices whenever s % kWindowShards !=
+  // t % kWindowShards — only same-shard overlap would trip the ledger.
+  // Operations that need a cross-window view (farthest entry, oldest
+  // unfinished, total size) visit the shards one guard at a time.
+  static constexpr std::size_t kWindowShards = 4;
+  using WindowShard = dlsim::Checked<std::deque<Entry>>;
+
+  [[nodiscard]] WindowShard& shard_for(std::size_t slot) {
+    return window_shards_[slot % kWindowShards];
+  }
+
   [[nodiscard]] static std::uint64_t extents_chunks(
       const std::vector<UnitExtent>& xs, std::uint64_t chunk_bytes);
-  void issue_entry(std::deque<Entry>& window, std::size_t slot,
-                   std::vector<UnitExtent> xs, bool front);
-  void ensure_issued_through_locked(std::deque<Entry>& window,
-                                    std::size_t slot);
+  /// Issues unit `slot` into its shard (self-guarded; reentrant from a
+  /// caller already holding that shard's guard — same-task slices nest).
+  void issue_entry(std::size_t slot, std::vector<UnitExtent> xs, bool front);
   void top_up();
   [[nodiscard]] ExtentOpPtr oldest_unfinished();
   dlsim::Task<void> daemon_loop();
@@ -238,17 +263,15 @@ class Prefetcher {
   dlsim::Event wake_;
   const ReadUnitProvider* provider_ = nullptr;
   std::shared_ptr<PrefetchArbiter> arbiter_;
-  // Checked: the window is the structure both the daemon (top_up) and the
-  // consumer (acquire/discard/reissue) mutate; every access below scopes
-  // its guard to a suspension-free slice, so a future co_await slipped
-  // inside one of those slices trips DataRaceError in the tests.
-  // Slot order; front = next to be consumed.
-  dlsim::Checked<std::deque<Entry>> window_{"prefetch-window"};
+  std::array<WindowShard, kWindowShards> window_shards_{
+      WindowShard{"prefetch-window-0"}, WindowShard{"prefetch-window-1"},
+      WindowShard{"prefetch-window-2"}, WindowShard{"prefetch-window-3"}};
   std::vector<ExtentOpPtr> draining_;  // abandoned epochs' unfinished ops
   std::size_t next_issue_ = 0;
   std::size_t demand_floor_ = 0;  // one past the highest demanded slot
   std::size_t total_units_ = 0;
-  std::uint64_t ra_chunks_ = 0;  // sum of window_[i].chunks
+  std::uint64_t ra_chunks_ = 0;  // sum of window entries' chunks
+  std::uint64_t view_pinned_chunks_ = 0;  // held by live ViewBatches
   std::uint32_t window_target_;
   PrefetchStats stats_;
   std::exception_ptr daemon_error_{};

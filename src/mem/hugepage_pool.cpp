@@ -1,10 +1,45 @@
 #include "mem/hugepage_pool.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/units.hpp"
 
+// ASan hooks for the scribble-on-free debug mode: poisoned freed chunks
+// turn a stale zero-copy view into a hard ASan report instead of a
+// silent read of 0xDD bytes.
+#if defined(__SANITIZE_ADDRESS__)
+#define DLFS_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DLFS_POOL_ASAN 1
+#endif
+#endif
+#if defined(DLFS_POOL_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace dlfs::mem {
+
+namespace {
+inline void poison_chunk(const std::byte* p, std::size_t n) {
+#if defined(DLFS_POOL_ASAN)
+  __asan_poison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void unpoison_chunk(const std::byte* p, std::size_t n) {
+#if defined(DLFS_POOL_ASAN)
+  __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+}  // namespace
 
 DmaBuffer& DmaBuffer::operator=(DmaBuffer&& o) noexcept {
   if (this != &o) {
@@ -48,14 +83,20 @@ HugePagePool::HugePagePool(std::size_t total_bytes, std::size_t chunk_size)
   for (std::size_t i = total_chunks_; i > 0; --i) free_list_.push_back(i - 1);
 }
 
+HugePagePool::~HugePagePool() {
+  // The arena's heap pages go back to the allocator; make sure no stale
+  // poisoning outlives the pool (the allocator may recycle the range).
+  if (scribble_on_free_) unpoison_chunk(arena_.get(), arena_bytes_);
+}
+
 DmaBuffer HugePagePool::allocate() {
   if (free_list_.empty()) throw PoolExhausted{};
   const std::size_t idx = free_list_.back();
   free_list_.pop_back();
   peak_used_ = std::max(peak_used_, used_chunks());
-  return DmaBuffer(this, idx,
-                   std::span<std::byte>(arena_.get() + idx * chunk_size_,
-                                        chunk_size_));
+  std::byte* base = arena_.get() + idx * chunk_size_;
+  if (scribble_on_free_) unpoison_chunk(base, chunk_size_);
+  return DmaBuffer(this, idx, std::span<std::byte>(base, chunk_size_));
 }
 
 std::vector<DmaBuffer> HugePagePool::allocate_many(std::size_t n) {
@@ -66,6 +107,13 @@ std::vector<DmaBuffer> HugePagePool::allocate_many(std::size_t n) {
   return out;
 }
 
-void HugePagePool::free_chunk(std::size_t idx) { free_list_.push_back(idx); }
+void HugePagePool::free_chunk(std::size_t idx) {
+  if (scribble_on_free_) {
+    std::byte* base = arena_.get() + idx * chunk_size_;
+    std::memset(base, 0xDD, chunk_size_);
+    poison_chunk(base, chunk_size_);
+  }
+  free_list_.push_back(idx);
+}
 
 }  // namespace dlfs::mem

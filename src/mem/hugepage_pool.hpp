@@ -63,9 +63,17 @@ class HugePagePool {
  public:
   /// `total_bytes` is rounded up to a whole number of chunks.
   HugePagePool(std::size_t total_bytes, std::size_t chunk_size);
+  ~HugePagePool();
 
   HugePagePool(const HugePagePool&) = delete;
   HugePagePool& operator=(const HugePagePool&) = delete;
+
+  /// Debug aid for zero-copy lifetime bugs: when on, recycled chunks are
+  /// scribbled with 0xDD on free — and poisoned under AddressSanitizer —
+  /// so a stale view (read after release) sees garbage / faults instead
+  /// of silently reading recycled bytes. Off by default (memset cost).
+  void set_scribble_on_free(bool on) { scribble_on_free_ = on; }
+  [[nodiscard]] bool scribble_on_free() const { return scribble_on_free_; }
 
   /// Allocates one chunk; throws PoolExhausted when empty.
   [[nodiscard]] DmaBuffer allocate();
@@ -98,6 +106,7 @@ class HugePagePool {
   std::unique_ptr<std::byte[]> arena_;
   std::vector<std::size_t> free_list_;
   std::size_t peak_used_ = 0;
+  bool scribble_on_free_ = false;
 };
 
 }  // namespace dlfs::mem

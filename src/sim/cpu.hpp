@@ -35,6 +35,15 @@ class CpuCore {
   /// waited on a completion event and charges the elapsed time as busy).
   void charge(SimDuration d) { busy_ns_ += d; }
 
+  /// Core-locality accounting: records that a unit of work produced on
+  /// another core was executed here (the caller charges the handoff
+  /// *cost* from its calibration; the core just counts the events so
+  /// cross-core traffic is visible in results).
+  void note_cross_core_handoff() { ++cross_core_handoffs_; }
+  [[nodiscard]] std::uint64_t cross_core_handoffs() const {
+    return cross_core_handoffs_;
+  }
+
   [[nodiscard]] SimDuration busy_ns() const { return busy_ns_; }
   [[nodiscard]] SimDuration elapsed_ns() const {
     return sim_->now() - created_at_;
@@ -48,6 +57,7 @@ class CpuCore {
 
   void reset_accounting() {
     busy_ns_ = 0;
+    cross_core_handoffs_ = 0;
     created_at_ = sim_->now();
   }
 
@@ -55,6 +65,7 @@ class CpuCore {
   Simulator* sim_;
   std::string name_;
   SimDuration busy_ns_ = 0;
+  std::uint64_t cross_core_handoffs_ = 0;
   SimTime created_at_;
 };
 
