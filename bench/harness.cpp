@@ -146,6 +146,10 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.transport.replays += ts.replays;
     r.samples_skipped += st.samples_skipped;
     r.nodes_down = std::max(r.nodes_down, eng.nodes_down());
+    r.nodes_declared_dead += st.nodes_declared_dead;
+    r.samples_rereplicated += st.samples_rereplicated;
+    r.repair_bytes += st.repair_bytes;
+    r.repair_throttles += st.repair_throttles;
   }
   r.client_cpu_util = util / n_clients;
   r.lookup_us_avg =
@@ -441,7 +445,11 @@ std::string JsonReport::write() const {
         << ", \"reconnects\": " << r.transport.reconnects
         << ", \"replays\": " << r.transport.replays
         << ", \"samples_skipped\": " << r.samples_skipped
-        << ", \"nodes_down\": " << r.nodes_down << "}"
+        << ", \"nodes_down\": " << r.nodes_down
+        << ", \"nodes_declared_dead\": " << r.nodes_declared_dead
+        << ", \"samples_rereplicated\": " << r.samples_rereplicated
+        << ", \"repair_bytes\": " << r.repair_bytes
+        << ", \"repair_throttles\": " << r.repair_throttles << "}"
         << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
   out << "]\n";

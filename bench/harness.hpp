@@ -82,6 +82,14 @@ struct RunResult {
   spdk::IoQueueStats transport{};
   std::uint64_t samples_skipped = 0;
   std::uint32_t nodes_down = 0;
+  // Self-healing counters, summed over clients: permanent-loss
+  // declarations observed, samples re-replicated by the repair engine,
+  // bytes of repair traffic, and repair submissions delayed by the
+  // repair-bandwidth budget.
+  std::uint64_t nodes_declared_dead = 0;
+  std::uint64_t samples_rereplicated = 0;
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t repair_throttles = 0;
 };
 
 /// One epoch of dlfs_bread across all clients. A FaultPlan crashes one

@@ -48,6 +48,27 @@
 
 namespace dlfs::core {
 
+/// Self-healing replication: the copy count plus the permanent-loss
+/// lifecycle around it. Implicitly convertible from the copy count so
+/// `cfg.replication = 2` keeps meaning "two copies, detector off".
+struct ReplicationConfig {
+  ReplicationConfig() = default;
+  // Intentionally implicit: the struct grew out of a plain copy count
+  // and every existing call site assigns an integer.
+  ReplicationConfig(std::uint32_t copies) : k(copies) {}
+  /// Copies per sample (1 = no replication).
+  std::uint32_t k = 1;
+  // > 0: a storage node whose reconnect budget stays exhausted for this
+  // long is *declared dead* — distinct from a transient link fault: its
+  // replica routes drop and the repair engine restores k elsewhere.
+  // 0 = never auto-declare (explicit DlfsFleet::declare_dead only).
+  dlsim::SimDuration declare_dead_after = 0;
+  // Repair-traffic budget per instance (bytes/sec). Re-replication
+  // paces itself to this rate so repairs never starve demand reads.
+  // 0 = unthrottled.
+  std::uint64_t repair_bytes_per_sec = 0;
+};
+
 struct DlfsConfig {
   std::uint64_t chunk_bytes = 256 * 1024;  // sample-cache chunk (paper default)
   std::uint32_t queue_depth = 128;         // SPDK I/O qpair depth
@@ -77,12 +98,14 @@ struct DlfsConfig {
   // them to exercise the fault paths quickly.
   spdk::NvmfFaultParams nvmf_fault{};
   // k-way deterministic replica placement: every sample keeps its primary
-  // at hash(name) % S and additionally lives on replication-1 other
+  // at hash(name) % S and additionally lives on replication.k-1 other
   // storage nodes (hash(name ‖ r) % S, duplicates skipped), appended
   // after each shard's primary region. Read paths fail over to the first
-  // live copy, so a single-node failure costs routing, not samples. 1 =
-  // no replication (byte- and layout-identical to previous behavior).
-  std::uint32_t replication = 1;
+  // live copy, so a single-node failure costs routing, not samples. k = 1
+  // means no replication (byte- and layout-identical to previous
+  // behavior). The struct also carries the permanent-loss policy: the
+  // suspect → declared-dead deadline and the repair-traffic budget.
+  ReplicationConfig replication{};
   // Mid-epoch reprobe cadence (IoEngineConfig::reprobe_interval): > 0
   // runs a background probe daemon per instance so nodes that heal
   // mid-epoch rejoin within one interval; 0 = epoch-boundary reprobe
@@ -174,6 +197,14 @@ struct InstanceStats {
   // Asynchronous-prefetcher counters (zero-initialized when the
   // prefetcher is off): resident-at-pick / stall / window telemetry.
   PrefetchStats prefetch{};
+  // Self-healing replication telemetry (zero without replication):
+  // permanent-loss declarations observed by this instance, samples this
+  // instance re-replicated, repaired bytes moved, and how often the
+  // repair daemon stalled against its traffic budget.
+  std::uint64_t nodes_declared_dead = 0;
+  std::uint64_t samples_rereplicated = 0;
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t repair_throttles = 0;
 };
 
 class DlfsFleet;
@@ -257,6 +288,10 @@ class DlfsInstance {
     for (const auto& [slot, fu] : fetched_) s.view_pins_active += fu.view_pins;
     s.cross_core_handoffs = engine_->cross_core_handoffs();
     if (prefetcher_) s.prefetch = prefetcher_->stats();
+    s.nodes_declared_dead = nodes_declared_dead_;
+    s.samples_rereplicated = samples_rereplicated_;
+    s.repair_bytes = repair_bytes_;
+    s.repair_throttles = repair_throttles_;
     return s;
   }
 
@@ -320,6 +355,28 @@ class DlfsInstance {
   /// True when the sample's primary or any replica node is reachable.
   [[nodiscard]] bool sample_reachable(std::uint32_t sample_id) const;
 
+  // --- self-healing replication (failure detector + repair daemon) --------
+  /// Availability-transition tap (runs inside the engine's node handler):
+  /// a down transition arms the suspect → declared-dead timer; an up
+  /// transition of a declared-dead node is the late-rejoin path.
+  void on_node_transition(std::uint16_t nid, bool up);
+  /// One-shot suspect timer: fires declare_dead_after later and promotes
+  /// the node iff it is still down and no transition happened meanwhile.
+  dlsim::Task<void> death_timer(std::uint16_t nid, std::uint64_t epoch,
+                                std::shared_ptr<bool> alive);
+  /// Background re-replication daemon: parks on repair_wake_, walks the
+  /// fleet backlog when membership changes, repairs one sample at a time
+  /// under the traffic budget.
+  dlsim::Task<void> repair_loop(std::shared_ptr<bool> alive);
+  /// Repairs one under-replicated sample: stream from a surviving copy,
+  /// write to the deterministic replacement, publish the new hop. True
+  /// on success.
+  dlsim::Task<bool> repair_one(std::uint32_t sample_id,
+                               std::shared_ptr<bool> alive);
+  /// Fleet-side notifications (declare/undeclare fan-out).
+  void note_declared_dead();
+  void note_rejoined();
+
   DlfsFleet* fleet_;
   std::uint32_t client_idx_;
   cluster::Node* node_;
@@ -361,6 +418,26 @@ class DlfsInstance {
   // recovered storage node rejoins at the epoch boundary.
   bool reprobe_pending_ = false;
   dlsim::SimDuration lookup_time_total_ = 0;
+  // --- self-healing replication state --------------------------------------
+  // The repair daemon runs on its own core (repairs never steal frontend
+  // cycles) and parks on repair_wake_ when the backlog is empty, so the
+  // simulator can quiesce once the fleet is healthy. The destructor must
+  // NOT set the event: a parked frame would resume into a destroyed
+  // member — it clears the alive token instead (checked after every
+  // suspension, per the repo's coroutine-lifetime convention).
+  std::unique_ptr<dlsim::CpuCore> repair_core_;
+  std::unique_ptr<dlsim::Event> repair_wake_;
+  std::shared_ptr<bool> repair_alive_ = std::make_shared<bool>(true);
+  // Per-node transition epoch: bumped on every up/down flip so a pending
+  // death timer can tell "still the same outage" from "bounced meanwhile".
+  std::vector<std::uint64_t> down_epoch_;
+  // Budget pacing: simulated time before which the next repair may not
+  // start (advanced by bytes/budget per repaired sample).
+  dlsim::SimTime repair_next_allowed_ = 0;
+  std::uint64_t nodes_declared_dead_ = 0;
+  std::uint64_t samples_rereplicated_ = 0;
+  std::uint64_t repair_bytes_ = 0;
+  std::uint64_t repair_throttles_ = 0;
 };
 
 /// RAII holder for a zero-copy batch: releases the pinned units when the
@@ -472,10 +549,61 @@ class DlfsFleet {
     return it == arbiters_.end() ? nullptr : it->second.get();
   }
 
+  // --- self-healing replication --------------------------------------------
+  // Permanent-loss lifecycle. A storage slot is *suspect* while its
+  // transport is down; the per-instance failure detector promotes it to
+  // *declared dead* after replication.declare_dead_after (or a test calls
+  // declare_dead directly). Declaration atomically drops the slot's
+  // replica routes — snapshots already issued are unaffected, new issues
+  // stop seeing the slot at once — and wakes every repair daemon. A
+  // declared-dead slot that heals is treated as a fresh rejoin:
+  // undeclare() clears the flag, the slot's primary shard serves again
+  // (dataset bytes are immutable, so its on-device shard is still valid)
+  // and it becomes eligible as a repair target; hops dropped at
+  // declaration are not resurrected — repair re-converges instead.
+
+  /// Marks storage slot dead (idempotent). Drops its replica routes and
+  /// wakes the repair daemons.
+  void declare_dead(std::uint16_t slot);
+  /// Clears a declaration (idempotent): the late-rejoin path, also the
+  /// explicit test hook.
+  void undeclare(std::uint16_t slot);
+  [[nodiscard]] bool declared_dead(std::uint16_t slot) const {
+    return slot < declared_dead_.size() && declared_dead_[slot] != 0;
+  }
+  [[nodiscard]] std::uint32_t num_declared_dead() const {
+    std::uint32_t n = 0;
+    for (const std::uint8_t d : declared_dead_) n += d;
+    return n;
+  }
+  /// Copies of a sample on non-declared-dead slots (transiently-down
+  /// nodes still count — they come back; only permanent loss triggers
+  /// repair).
+  [[nodiscard]] std::uint32_t live_copies(std::uint32_t sample_id) const;
+  /// Sample ids whose live-copy count is below the effective replication
+  /// target. Walked by the repair daemons; empty once repair has drained.
+  [[nodiscard]] std::vector<std::uint32_t> repair_backlog() const;
+
  private:
   friend class DlfsInstance;
 
   [[nodiscard]] std::shared_ptr<PrefetchArbiter> arbiter_for(hw::NodeId nid);
+
+  /// Picks the deterministic replacement for a new copy of `sample_id` —
+  /// the same hash(name ‖ r) probe chain as mount-time placement, skipping
+  /// declared-dead slots, slots already holding a copy, slots the caller's
+  /// `usable` predicate rejects, and slots out of device capacity — and
+  /// allocates its device extent (advances repair_next_offset_). nullopt
+  /// when no slot qualifies. The extent allocation is not rolled back if
+  /// the repair write later fails — the next attempt claims a fresh
+  /// extent; the hole is wasted device space, never corruption.
+  [[nodiscard]] std::optional<RouteHop> claim_repair_target(
+      std::uint32_t sample_id,
+      const std::function<bool(std::uint16_t)>& usable);
+  /// Atomically publishes a repaired copy: one directory add_replica call
+  /// (no suspension), so advance_route / RouteResolver / failover see the
+  /// new hop on their next issue.
+  void publish_repair(std::uint32_t sample_id, RouteHop hop);
 
   cluster::Cluster* cluster_;
   cluster::Pfs* pfs_;
@@ -509,6 +637,16 @@ class DlfsFleet {
   cluster::Barrier allgather_barrier_;
   cluster::Barrier ready_barrier_;
   bool mounted_ = false;
+  // --- self-healing replication state --------------------------------------
+  std::vector<std::uint8_t> declared_dead_;  // index = storage slot
+  // Next free device offset per slot, carried over from mount-time layout
+  // so repair extents land after the primary + replica regions.
+  std::vector<std::uint64_t> repair_next_offset_;
+  // Samples currently being repaired by some instance's daemon (claims
+  // prevent two daemons from duplicating the same copy).
+  std::unordered_set<std::uint32_t> repair_claims_;
+  // Effective copy count (replication.k clamped to the fleet size).
+  std::uint32_t effective_reps_ = 1;
 };
 
 }  // namespace dlfs::core

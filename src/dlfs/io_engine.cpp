@@ -323,6 +323,45 @@ ExtentOpPtr IoEngine::start_extent(ReadExtent extent) {
   return start_extents(std::move(one)).front();
 }
 
+ExtentOpPtr IoEngine::start_write(std::uint16_t nid, std::uint64_t offset,
+                                  std::vector<mem::DmaBuffer> pieces,
+                                  std::vector<std::uint32_t> lens) {
+  if (pieces.size() != lens.size()) {
+    throw std::logic_error("start_write: pieces/lens size mismatch");
+  }
+  if (nid >= targets_.size() || targets_[nid] == nullptr) {
+    throw std::logic_error("start_write: no queue for storage node " +
+                           std::to_string(nid));
+  }
+  ReadExtent x;
+  x.nid = nid;
+  x.offset = offset;
+  x.write = true;
+  for (const std::uint32_t l : lens) x.len += l;
+  dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
+  auto op = std::make_shared<ExtentOp>(*sim_, std::move(x));
+  if (!node_available(nid)) {
+    // Writes do not fail over: the placement was chosen against live
+    // membership, so a down target means the plan is stale — surface it.
+    fail_op(*op, std::make_exception_ptr(
+                     IoError(nid, offset, IoErrorKind::kNodeDown)));
+    return op;
+  }
+  op->pieces_total_ = static_cast<std::uint32_t>(pieces.size());
+  op->buffers_.resize(pieces.size());
+  op->lens_ = lens;
+  std::uint64_t off = offset;
+  for (std::uint32_t i = 0; i < pieces.size(); ++i) {
+    to_post_.push_back(Piece{op, i, off, lens[i], std::move(pieces[i])});
+    off += lens[i];
+  }
+  if (pieces.empty()) {
+    op->finished_ = true;
+    op->done.set();
+  }
+  return op;
+}
+
 dlsim::Task<void> IoEngine::finish_extent(dlsim::CpuCore& core,
                                           ExtentOpPtr op) {
   ReadExtent& x = op->extent;
@@ -431,16 +470,20 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         // Bind the piece to the extent's *current* route at post time (it
         // may have been re-routed since the piece was queued). Pieces are
         // chunk-aligned splits, so piece k starts at offset + k * chunk.
+        // Write extents never re-route, so their queued offsets stand.
         p.nid = nid;
-        p.offset = p.op->extent.offset +
-                   static_cast<std::uint64_t>(p.idx) * config_.chunk_bytes;
+        if (!p.op->extent.write) {
+          p.offset = p.op->extent.offset +
+                     static_cast<std::uint64_t>(p.idx) * config_.chunk_bytes;
+        }
       }
       if (!p.buffer.valid()) p.buffer = pool_->allocate();  // retry keeps its
       ++p.attempts;
       co_await core.compute(cal_->dlfs.prep_request + cal_->dlfs.sq_post);
       const std::uint64_t tag = next_tag_++;
-      const auto st = q->submit(spdk::IoOp::kRead, p.offset,
-                                p.buffer.span().subspan(0, p.len), tag);
+      const auto st = q->submit(
+          p.op->extent.write ? spdk::IoOp::kWrite : spdk::IoOp::kRead,
+          p.offset, p.buffer.span().subspan(0, p.len), tag);
       if (st == spdk::IoStatus::kQueueFull) {
         dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
         if (q->connected()) {

@@ -127,6 +127,11 @@ struct ReadExtent {
   // stops being reachable the extent is re-pointed at the first hop whose
   // node is up and the read restarts there instead of failing kNodeDown.
   std::vector<RouteHop> routes{};
+  // Direction. Write extents (start_write) carry their payload in the
+  // piece buffers instead of allocating them at post time; they have no
+  // failover routes — a write targets one specific placement, and a dead
+  // target fails the op with kNodeDown for the caller to re-plan.
+  bool write = false;
 };
 
 /// Shared state of one in-flight extent read. Created by start_extents();
@@ -203,6 +208,17 @@ class IoEngine {
   [[nodiscard]] std::vector<ExtentOpPtr> start_extents(
       std::vector<ReadExtent> extents);
   [[nodiscard]] ExtentOpPtr start_extent(ReadExtent extent);
+
+  /// Queues a write of `pieces` (pool-owned buffers, `lens[i]` bytes each,
+  /// chunk-aligned splits of one device extent) to node `nid` starting at
+  /// `offset`. Rides the same posting/poll pump, queue-depth budget and
+  /// fault machinery as reads — the re-replication engine uses this to
+  /// stream repaired bytes to a replacement node without a second I/O
+  /// path. The buffers stay owned by the op until it completes.
+  [[nodiscard]] ExtentOpPtr start_write(std::uint16_t nid,
+                                        std::uint64_t offset,
+                                        std::vector<mem::DmaBuffer> pieces,
+                                        std::vector<std::uint32_t> lens);
 
   /// Drives the shared pump on `core` until `op` completes (data
   /// delivered or failed). Extent failures are recorded on the op, not

@@ -107,6 +107,21 @@ void SampleDirectory::add_replica(std::size_t sample_id, std::uint16_t nid,
   ++replica_rows_;
 }
 
+std::size_t SampleDirectory::drop_replicas_on(std::uint16_t nid) {
+  if (nid >= trees_.size()) {
+    throw std::invalid_argument("drop_replicas_on: nid out of range");
+  }
+  std::size_t dropped = 0;
+  for (auto& hops : replica_index_) {
+    const auto removed = std::erase_if(
+        hops, [nid](const RouteHop& h) { return h.nid == nid; });
+    dropped += removed;
+  }
+  replica_counts_.at(nid) -= dropped;
+  replica_rows_ -= dropped;
+  return dropped;
+}
+
 const std::vector<RouteHop>& SampleDirectory::replicas(
     std::size_t sample_id) const {
   static const std::vector<RouteHop> kNone;

@@ -89,6 +89,15 @@ class SampleDirectory {
   [[nodiscard]] const std::vector<RouteHop>& replicas(
       std::size_t sample_id) const;
 
+  /// Drops every replica hop hosted on `nid` (all samples). Called when a
+  /// node is declared permanently dead: its routes are stale the moment the
+  /// declaration lands, and the repair engine restores the replication
+  /// factor elsewhere. Reads holding an already-issued route snapshot are
+  /// unaffected (snapshots copy); new issues stop seeing the node at once —
+  /// this is the "atomic publication" half of hop mutation. Returns the
+  /// number of hops dropped.
+  std::size_t drop_replicas_on(std::uint16_t nid);
+
   [[nodiscard]] std::size_t num_replicas() const { return replica_rows_; }
 
   [[nodiscard]] std::size_t num_samples() const { return id_index_.size(); }

@@ -208,6 +208,24 @@ class Simulator {
   /// Names of the live (spawned, unfinished, non-daemon) processes.
   [[nodiscard]] std::vector<std::string> blocked_process_names() const;
 
+  /// Re-seeds the simulation-wide RNG stream. Every consumer of simulated
+  /// randomness (reconnect jitter, chaos schedules) must draw from this
+  /// stream rather than keep private ad-hoc state, so that one seed
+  /// reproduces the entire run — draws happen in event order, and event
+  /// order is deterministic.
+  void seed_rng(std::uint64_t seed) { rng_state_ = seed; }
+
+  /// Next value of the simulation RNG stream (splitmix64: full 64-bit
+  /// period, passes BigCrush, two arithmetic lines — enough for jitter
+  /// and fault schedules, not for cryptography).
+  [[nodiscard]] std::uint64_t rand64() {
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
   /// After run(), rethrows the first process failure encountered (processes
   /// that fail also rethrow at join()).
   void rethrow_failures() const;
@@ -236,6 +254,7 @@ class Simulator {
   LockOrderGraph lock_graph_;
   detail::ProcessState* current_ = nullptr;
   SimTime now_ = 0;
+  std::uint64_t rng_state_ = 0x6a09e667f3bcc909ull;  // default stream seed
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;

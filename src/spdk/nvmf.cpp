@@ -7,7 +7,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/hash.hpp"
 #include "sim/check.hpp"
 
 namespace dlfs::spdk {
@@ -70,7 +69,6 @@ class RemoteIoQueue final : public IoQueue {
         pool_(&client_pool),
         depth_(depth),
         fault_(fault),
-        jitter_state_(dlfs::mix64(fault.jitter_seed | 1)),
         alive_(std::make_shared<bool>(true)),
         ready_waiters_(sim) {}
 
@@ -229,10 +227,10 @@ class RemoteIoQueue final : public IoQueue {
           fault_.reconnect_backoff << std::min<std::uint32_t>(attempt, 16);
       backoff = std::min(backoff, fault_.reconnect_backoff_max);
       // Jitter (up to +25%) decorrelates clients reconnecting to the same
-      // rebooted target.
-      jitter_state_ = dlfs::mix64(jitter_state_);
+      // rebooted target. Drawn from the simulation-wide RNG stream so a
+      // fixed Simulator::seed_rng() seed replays the whole schedule.
       backoff += static_cast<dlsim::SimDuration>(
-          jitter_state_ % (static_cast<std::uint64_t>(backoff) / 4 + 1));
+          sim_->rand64() % (static_cast<std::uint64_t>(backoff) / 4 + 1));
       co_await sim_->delay(backoff);
       if (!*alive) co_return;
       const bool ok = co_await probe(alive);
@@ -340,10 +338,16 @@ class RemoteIoQueue final : public IoQueue {
   dlsim::Task<void> send_command(std::shared_ptr<bool> alive, RemoteCmd cmd) {
     if (!*alive) co_return;
     // Command capsule over the wire, then into the target's inbound queue.
+    // Writes are in-capsule-data: the payload rides the outbound leg
+    // (client -> target), so repair/checkpoint writes contend with reads
+    // on the correct fabric direction.
     // Hoisted await (not `if (!co_await ...)`): GCC 12 miscompiles the
     // negated await-in-condition shape — same hazard probe() documents.
-    const bool sent = co_await fabric_->send(client_node_, target_->node(),
-                                             hw::kControlMessageBytes);
+    const std::uint64_t capsule =
+        hw::kControlMessageBytes +
+        (cmd.op == IoOp::kWrite ? cmd.buf.size() : 0);
+    const bool sent =
+        co_await fabric_->send(client_node_, target_->node(), capsule);
     if (!sent) {
       co_return;  // capsule lost in the fabric; the deadline notices
     }
@@ -366,7 +370,6 @@ class RemoteIoQueue final : public IoQueue {
   NvmfTarget::Connection* conn_ = nullptr;
   std::uint32_t depth_;
   NvmfFaultParams fault_;
-  std::uint64_t jitter_state_;
   // Invalidated by the destructor; detached coroutines (sends, timers, the
   // reconnect loop) check it after every suspension before touching *this.
   std::shared_ptr<bool> alive_;
@@ -550,9 +553,12 @@ dlsim::Task<void> NvmfTarget::harvester_loop(Connection& conn) {
     // Pipeline the RDMA write back to the client: the NIC pipe model
     // serializes bandwidth; spawning keeps the harvester free to process
     // the next completion.
+    // Reads RDMA-write the data back; writes return only the completion
+    // capsule (their payload already travelled on the submission leg).
+    const std::uint64_t ret_bytes =
+        exp->op == IoOp::kWrite ? 0 : exp->buf.size();
     ++conn.pending_returns;
-    sim_->spawn(return_data(conn, completion, exp->buf.size()),
-                "nvmf-return");
+    sim_->spawn(return_data(conn, completion, ret_bytes), "nvmf-return");
   }
   --conn.active_daemons;
   maybe_reap(&conn);
@@ -564,7 +570,9 @@ dlsim::Task<void> NvmfTarget::return_data(Connection& conn,
   bool delivered = false;
   if (!crashed_) {
     if (completion.status == IoStatus::kOk) {
-      delivered = co_await fabric_->send(node_, conn.client_node, bytes);
+      delivered = co_await fabric_->send(
+          node_, conn.client_node,
+          bytes > 0 ? bytes : hw::kControlMessageBytes);
     } else {
       // Errors carry no payload: just the completion capsule.
       delivered = co_await fabric_->send(node_, conn.client_node,

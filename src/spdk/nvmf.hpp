@@ -45,7 +45,10 @@ struct NvmfFaultParams {
   dlsim::SimDuration reconnect_backoff = 500'000;      // first retry: 500 us
   dlsim::SimDuration reconnect_backoff_max = 8'000'000;
   std::uint32_t reconnect_attempts = 6;
-  std::uint64_t jitter_seed = 0x6a09e667f3bcc909ull;   // decorrelates clients
+  // Backoff jitter is drawn from the owning Simulator's RNG stream
+  // (Simulator::rand64), not from per-queue state: one seed_rng() call
+  // reproduces every reconnect schedule in the run, which is what lets
+  // chaos-soak failures replay deterministically.
   /// Client-side admission control: while the connection is reconnecting,
   /// cap the number of in-flight commands (parked for replay) at this
   /// value; further submits see kQueueFull. 0 = no cap (full queue depth).

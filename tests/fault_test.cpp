@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <memory>
 
@@ -396,7 +397,8 @@ struct DeliveryLog {
   bool content_ok = true;
 };
 
-Task<void> run_epoch_logged(ReplicaRig& rig, dlfs::core::DlfsInstance& inst,
+Task<void> run_epoch_logged(const dlfs::dataset::Dataset& ds,
+                            dlfs::core::DlfsInstance& inst,
                             DeliveryLog& log) {
   std::vector<std::byte> arena(64_KiB);
   std::vector<std::byte> want;
@@ -408,7 +410,7 @@ Task<void> run_epoch_logged(ReplicaRig& rig, dlfs::core::DlfsInstance& inst,
       log.order.push_back(s.sample_id);
       log.offsets.push_back(s.offset_in_arena);
       want.resize(s.len);
-      rig.ds.fill_content(s.sample_id, 0, want);
+      ds.fill_content(s.sample_id, 0, want);
       if (std::memcmp(arena.data() + s.offset_in_arena, want.data(), s.len) !=
           0) {
         log.content_ok = false;
@@ -428,7 +430,7 @@ TEST(FaultInjection, ReplicatedChunkEpochSurvivesCrashByteIdentical) {
         ReplicaRig::cfg(2, dlfs::core::BatchingMode::kChunkLevel));
     auto& inst = healthy.fleet.instance(0);
     inst.sequence(1);
-    healthy.sim.spawn(run_epoch_logged(healthy, inst, good), "healthy-epoch");
+    healthy.sim.spawn(run_epoch_logged(healthy.ds, inst, good), "healthy-epoch");
     healthy.sim.run();
     healthy.sim.rethrow_failures();
     EXPECT_EQ(good.order.size(), ReplicaRig::kSamples);
@@ -441,7 +443,7 @@ TEST(FaultInjection, ReplicatedChunkEpochSurvivesCrashByteIdentical) {
   rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
   inst.sequence(1);
   DeliveryLog log;
-  rig.sim.spawn(run_epoch_logged(rig, inst, log), "replicated-epoch");
+  rig.sim.spawn(run_epoch_logged(rig.ds, inst, log), "replicated-epoch");
   rig.sim.run_watchdog(rig.sim.now() + 2_sec);
   rig.sim.rethrow_failures();
   EXPECT_EQ(log.skipped, 0u);
@@ -460,7 +462,7 @@ TEST(FaultInjection, ReplicatedSampleLevelCrashServesFullEpoch) {
   rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
   inst.sequence(1);
   DeliveryLog log;
-  rig.sim.spawn(run_epoch_logged(rig, inst, log), "sample-level-epoch");
+  rig.sim.spawn(run_epoch_logged(rig.ds, inst, log), "sample-level-epoch");
   rig.sim.run_watchdog(rig.sim.now() + 2_sec);
   rig.sim.rethrow_failures();
   EXPECT_EQ(log.order.size(), ReplicaRig::kSamples);
@@ -475,7 +477,7 @@ TEST(FaultInjection, ReplicatedUnbatchedCrashServesFullEpoch) {
   rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
   inst.sequence(1);
   DeliveryLog log;
-  rig.sim.spawn(run_epoch_logged(rig, inst, log), "unbatched-epoch");
+  rig.sim.spawn(run_epoch_logged(rig.ds, inst, log), "unbatched-epoch");
   rig.sim.run_watchdog(rig.sim.now() + 2_sec);
   rig.sim.rethrow_failures();
   EXPECT_EQ(log.order.size(), ReplicaRig::kSamples);
@@ -526,6 +528,331 @@ TEST(FaultInjection, ReplicatedViewsCrashServesFullEpoch) {
   EXPECT_EQ(skipped, 0u);
   EXPECT_TRUE(content_ok);
   EXPECT_EQ(inst.engine().nodes_down(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing replication: permanent-loss detection, background
+// re-replication, late rejoin, and the zero-copy pin guard.
+
+// Four storage nodes and one pure client: enough spare slots for the
+// repair engine to restore k = 2 after a permanent loss (a replacement
+// target must exist besides the dead node and the surviving copy).
+struct SelfHealRig {
+  static constexpr std::size_t kSamples = 2048;
+
+  Simulator sim;
+  dlfs::cluster::Cluster cluster;
+  dlfs::dataset::Dataset ds;
+  dlfs::cluster::Pfs pfs;
+  dlfs::core::DlfsFleet fleet;
+
+  explicit SelfHealRig(const dlfs::core::DlfsConfig& c)
+      : cluster(sim, 5, FleetRig::cfg()),
+        ds(dlfs::dataset::make_fixed_size_dataset(kSamples, 4096)),
+        pfs(sim, ds),
+        fleet(cluster, pfs, ds, c, /*client_nodes=*/{4},
+              /*storage_nodes=*/{0, 1, 2, 3}) {
+    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
+      sim.spawn(fleet.mount_participant(p));
+    }
+    sim.run();
+    sim.rethrow_failures();
+  }
+
+  static dlfs::core::DlfsConfig cfg(dlfs::core::ReplicationConfig repl,
+                                    dlfs::core::BatchingMode mode,
+                                    dlsim::SimDuration reprobe = 0) {
+    dlfs::core::DlfsConfig c = RemoteFleetRig::cfg();
+    c.replication = repl;
+    c.batching = mode;
+    c.reprobe_interval = reprobe;
+    return c;
+  }
+};
+
+TEST(SelfHealing, SequentialPermanentLossesRereplicateByteIdentical) {
+  // The issue's acceptance bar: with k = 2 and two sequential permanent
+  // losses — the second only after the first loss's repair backlog fully
+  // drained — a three-epoch run stays byte-identical to the healthy run
+  // (same ids, same arena offsets, same contents, zero skips) and the
+  // repair engine demonstrably re-replicated data.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.declare_dead_after = 10_ms;
+  std::array<DeliveryLog, 3> good;
+  {
+    SelfHealRig healthy(
+        SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel, 2_ms));
+    auto& inst = healthy.fleet.instance(0);
+    healthy.sim.spawn(
+        [](SelfHealRig& r, dlfs::core::DlfsInstance& inst,
+           std::array<DeliveryLog, 3>& logs) -> Task<void> {
+          for (std::uint64_t e = 0; e < 3; ++e) {
+            inst.sequence(e + 1);
+            co_await run_epoch_logged(r.ds, inst, logs[e]);
+          }
+        }(healthy, inst, good),
+        "healthy-epochs");
+    healthy.sim.run();
+    healthy.sim.rethrow_failures();
+    for (const auto& g : good) {
+      ASSERT_EQ(g.order.size(), SelfHealRig::kSamples);
+      ASSERT_EQ(g.skipped, 0u);
+      ASSERT_TRUE(g.content_ok);
+    }
+  }
+
+  SelfHealRig rig(
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel, 2_ms));
+  auto& inst = rig.fleet.instance(0);
+  ASSERT_NE(rig.fleet.target(0), nullptr);
+  rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
+  std::array<DeliveryLog, 3> log;
+  std::uint32_t dead_at_end = 0;
+  bool backlog_drained = false;
+  rig.sim.spawn(
+      [](SelfHealRig& r, dlfs::core::DlfsInstance& inst,
+         std::array<DeliveryLog, 3>& logs, std::uint32_t& dead_at_end,
+         bool& backlog_drained) -> Task<void> {
+        inst.sequence(1);
+        co_await run_epoch_logged(r.ds, inst, logs[0]);
+        // Wait for the first loss's repairs to drain before losing the
+        // second node: sequential losses spaced past the repair-drain
+        // time keep at least one live copy of everything.
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        r.fleet.target(1)->crash();
+        inst.sequence(2);
+        co_await run_epoch_logged(r.ds, inst, logs[1]);
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        inst.sequence(3);
+        co_await run_epoch_logged(r.ds, inst, logs[2]);
+        dead_at_end = r.fleet.num_declared_dead();
+        backlog_drained = r.fleet.repair_backlog().empty();
+        // Heal the crashed targets so the reprobe daemon can park and the
+        // simulator quiesce: a permanently-down node keeps the probe
+        // timer armed forever.
+        r.fleet.target(0)->recover();
+        r.fleet.target(1)->recover();
+      }(rig, inst, log, dead_at_end, backlog_drained),
+      "lossy-epochs");
+  rig.sim.run_watchdog(rig.sim.now() + 30_sec);
+  rig.sim.rethrow_failures();
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(log[e].skipped, 0u) << "epoch " << e;
+    EXPECT_TRUE(log[e].content_ok) << "epoch " << e;
+    EXPECT_EQ(log[e].order, good[e].order) << "epoch " << e;
+    EXPECT_EQ(log[e].offsets, good[e].offsets) << "epoch " << e;
+  }
+  const auto stats = inst.stats();
+  EXPECT_EQ(stats.samples_skipped, 0u);
+  EXPECT_EQ(stats.nodes_declared_dead, 2u);
+  EXPECT_GT(stats.samples_rereplicated, 0u);
+  EXPECT_GT(stats.repair_bytes, 0u);
+  EXPECT_EQ(dead_at_end, 2u);
+  EXPECT_TRUE(backlog_drained);
+  // After the end-of-test heal, both nodes rejoined as fresh.
+  EXPECT_EQ(rig.fleet.num_declared_dead(), 0u);
+  EXPECT_TRUE(rig.fleet.repair_backlog().empty());
+}
+
+TEST(SelfHealing, TransientOutageBelowDeadlineIsNotDeclaredDead) {
+  // A node that bounces — down past the reconnect budget but healed and
+  // reprobed before declare_dead_after — is a transient link fault: no
+  // declaration, no re-replication.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.declare_dead_after = 50_ms;
+  SelfHealRig rig(
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel, 2_ms));
+  auto& inst = rig.fleet.instance(0);
+  rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
+  rig.fleet.target(0)->recover_at(rig.sim.now() + 20_ms);
+  inst.sequence(1);
+  DeliveryLog log;
+  rig.sim.spawn(run_epoch_logged(rig.ds, inst, log), "blip-epoch");
+  rig.sim.run_watchdog(rig.sim.now() + 10_sec);
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(log.skipped, 0u);
+  EXPECT_TRUE(log.content_ok);
+  // The outage was real (commands timed out) and healed (no node down at
+  // the end) — yet never promoted to a declaration.
+  EXPECT_GT(inst.engine().transport_stats().timeouts, 0u);
+  EXPECT_EQ(inst.engine().nodes_down(), 0u);
+  const auto stats = inst.stats();
+  EXPECT_EQ(stats.nodes_declared_dead, 0u);
+  EXPECT_EQ(stats.samples_rereplicated, 0u);
+  EXPECT_EQ(rig.fleet.num_declared_dead(), 0u);
+}
+
+TEST(SelfHealing, DeclaredDeadNodeHealsAndRejoinsFresh) {
+  // Late rejoin: a node declared dead heals; the probe daemon rediscovers
+  // it, the fleet reconciles it as a fresh node (declaration cleared, its
+  // primary shard serves again), and the next epoch is full and clean.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.declare_dead_after = 5_ms;
+  SelfHealRig rig(
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel, 2_ms));
+  auto& inst = rig.fleet.instance(0);
+  rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
+  bool was_declared = false;
+  DeliveryLog log2;
+  rig.sim.spawn(
+      [](SelfHealRig& r, dlfs::core::DlfsInstance& inst, bool& was_declared,
+         DeliveryLog& log2) -> Task<void> {
+        inst.sequence(1);
+        DeliveryLog log1;
+        co_await run_epoch_logged(r.ds, inst, log1);
+        EXPECT_EQ(log1.skipped, 0u);
+        while (!r.fleet.declared_dead(0)) co_await r.sim.delay(1_ms);
+        was_declared = true;
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        r.fleet.target(0)->recover();
+        while (r.fleet.declared_dead(0)) co_await r.sim.delay(1_ms);
+        inst.sequence(2);
+        co_await run_epoch_logged(r.ds, inst, log2);
+      }(rig, inst, was_declared, log2),
+      "rejoin-epochs");
+  rig.sim.run_watchdog(rig.sim.now() + 30_sec);
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(was_declared);
+  EXPECT_EQ(rig.fleet.num_declared_dead(), 0u);
+  EXPECT_EQ(inst.engine().nodes_down(), 0u);
+  EXPECT_EQ(log2.order.size(), SelfHealRig::kSamples);
+  EXPECT_EQ(log2.skipped, 0u);
+  EXPECT_TRUE(log2.content_ok);
+  EXPECT_GT(inst.stats().samples_rereplicated, 0u);
+}
+
+TEST(SelfHealing, ExplicitDeclareTriggersBudgetedRepair) {
+  // The explicit lifecycle hooks, with a tight repair-traffic budget: a
+  // healthy slot is declared dead by fiat, the repair engine restores
+  // k = 2 from surviving copies while pacing itself to the budget, and
+  // undeclare() brings the slot back.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.repair_bytes_per_sec = 16ull * 1024 * 1024;  // 16 MiB/s
+  SelfHealRig rig(
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel));
+  auto& inst = rig.fleet.instance(0);
+  dlsim::SimTime t0 = 0, t1 = 0;
+  rig.sim.spawn(
+      [](SelfHealRig& r, dlsim::SimTime& t0, dlsim::SimTime& t1)
+          -> Task<void> {
+        t0 = r.sim.now();
+        r.fleet.declare_dead(0);
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        t1 = r.sim.now();
+      }(rig, t0, t1),
+      "declare-and-drain");
+  rig.sim.run_watchdog(rig.sim.now() + 60_sec);
+  rig.sim.rethrow_failures();
+  const auto stats = inst.stats();
+  EXPECT_GT(stats.samples_rereplicated, 0u);
+  EXPECT_EQ(stats.repair_bytes, stats.samples_rereplicated * 4096ull);
+  EXPECT_GT(stats.repair_throttles, 0u);
+  // Repair throughput stays bounded by the budget (25% slack for the
+  // unpaced first sample).
+  ASSERT_GT(t1, t0);
+  const double rate =
+      static_cast<double>(stats.repair_bytes) * 1e9 /
+      static_cast<double>(t1 - t0);
+  EXPECT_LT(rate, 16.0 * 1024 * 1024 * 1.25);
+  // Rejoin by fiat: the slot serves its primary shard again.
+  rig.fleet.undeclare(0);
+  EXPECT_EQ(rig.fleet.num_declared_dead(), 0u);
+  inst.sequence(1);
+  DeliveryLog log;
+  rig.sim.spawn(run_epoch_logged(rig.ds, inst, log), "after-rejoin");
+  rig.sim.run_watchdog(rig.sim.now() + 10_sec);
+  rig.sim.rethrow_failures();
+  EXPECT_EQ(log.order.size(), SelfHealRig::kSamples);
+  EXPECT_EQ(log.skipped, 0u);
+  EXPECT_TRUE(log.content_ok);
+}
+
+TEST(SelfHealing, ViewPinnedChunksSurviveCrashAndRepair) {
+  // Zero-copy regression: a node crashes (and is declared dead, and
+  // repaired around) while a ViewBatch still pins chunks. Neither unit
+  // recycling nor repair traffic may touch the pinned memory —
+  // scribble_on_free turns any violation into a content mismatch.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.declare_dead_after = 5_ms;
+  auto c =
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kChunkLevel, 2_ms);
+  c.scribble_on_free = true;
+  SelfHealRig rig(c);
+  auto& inst = rig.fleet.instance(0);
+  bool held_ok = true;
+  bool content_ok = true;
+  std::size_t served = 0;
+  std::uint64_t skipped = 0;
+  rig.sim.spawn(
+      [](SelfHealRig& r, dlfs::core::DlfsInstance& inst, bool& held_ok,
+         bool& content_ok, std::size_t& served,
+         std::uint64_t& skipped) -> Task<void> {
+        inst.sequence(1);
+        // Pin the first zero-copy batch and snapshot its expected bytes.
+        auto first = co_await inst.bread_views(16);
+        dlfs::core::ViewLease lease(inst, std::move(first));
+        std::vector<std::vector<std::byte>> want;
+        for (const auto& s : lease.batch().samples) {
+          std::vector<std::byte> w(s.len);
+          r.ds.fill_content(s.sample_id, 0, w);
+          want.push_back(std::move(w));
+        }
+        served += lease.batch().samples.size();
+        skipped += lease.batch().samples_skipped;
+        // Crash a storage node mid-hold; run the rest of the epoch (the
+        // traffic drives crash detection and failover) with the first
+        // batch still pinned.
+        r.fleet.target(0)->crash();
+        std::vector<std::byte> got, w2;
+        for (;;) {
+          auto b = co_await inst.bread_views(16);
+          if (b.end_of_epoch) break;
+          for (const auto& s : b.samples) {
+            got.clear();
+            for (const auto piece : s.pieces) {
+              got.insert(got.end(), piece.begin(), piece.end());
+            }
+            w2.resize(s.len);
+            r.ds.fill_content(s.sample_id, 0, w2);
+            if (got.size() != s.len ||
+                std::memcmp(got.data(), w2.data(), s.len) != 0) {
+              content_ok = false;
+            }
+          }
+          served += b.samples.size();
+          skipped += b.samples_skipped;
+          inst.release_views(b);
+        }
+        // Let the declaration land and the repair backlog drain, lease
+        // still held.
+        while (!r.fleet.declared_dead(0)) co_await r.sim.delay(1_ms);
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        // The pinned views must still read the original bytes.
+        for (std::size_t i = 0; i < lease.batch().samples.size(); ++i) {
+          const auto& s = lease.batch().samples[i];
+          got.clear();
+          for (const auto piece : s.pieces) {
+            got.insert(got.end(), piece.begin(), piece.end());
+          }
+          if (got.size() != want[i].size() ||
+              std::memcmp(got.data(), want[i].data(), got.size()) != 0) {
+            held_ok = false;
+          }
+        }
+        lease.release();
+        // Heal the crashed target so the reprobe daemon parks and the
+        // simulator quiesces.
+        r.fleet.target(0)->recover();
+      }(rig, inst, held_ok, content_ok, served, skipped),
+      "pinned-crash-epoch");
+  rig.sim.run_watchdog(rig.sim.now() + 30_sec);
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(held_ok);
+  EXPECT_TRUE(content_ok);
+  EXPECT_EQ(served, SelfHealRig::kSamples);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_GT(inst.stats().samples_rereplicated, 0u);
+  EXPECT_EQ(inst.stats().view_pins_active, 0u);
 }
 
 TEST(FaultInjection, MidEpochReprobeRejoinsNodeWithoutEpochBoundary) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <memory>
 
 #include "common/units.hpp"
@@ -435,6 +436,78 @@ TEST(Nvmf, AdmissionCapLimitsInflightDuringReconnect) {
     EXPECT_TRUE(q.connected());
     EXPECT_EQ(q.transport_stats().replays, 2u);
     EXPECT_EQ(q.admission_depth(), 16u);
+  }(rig, *q, dma.span()));
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+}
+
+TEST(Nvmf, ParkedCommandsReplayOnceAndCompleteOnce) {
+  // The exact admission boundary, and the replay invariant behind it:
+  // exactly max_inflight_during_reconnect commands park, the next submit
+  // is kQueueFull, and — even when several reconnect attempts fail before
+  // one succeeds — each parked command is replayed exactly once and
+  // completes exactly once.
+  FabricRig rig;
+  dlfs::spdk::NvmfFaultParams fp;
+  // Long command timeout relative to the reconnect dance: the parked
+  // commands' deadlines must not expire while the link is down, or the
+  // parked set drains through timeouts instead of replays.
+  fp.command_timeout = 10_ms;
+  fp.reconnect_backoff = 500_us;
+  fp.reconnect_backoff_max = 1_ms;
+  fp.reconnect_attempts = 6;
+  fp.max_inflight_during_reconnect = 2;
+  auto q = rig.target->connect(0, rig.client_pool, /*depth=*/16, fp);
+  auto dma = rig.client_pool.allocate();
+  rig.target->crash();
+  // Heal only after the first couple of reconnect attempts (at roughly
+  // timeout + 0.5 ms, + 1.5 ms, ...) have already failed.
+  rig.target->recover_at(13_ms);
+  rig.sim.spawn([](FabricRig& r, IoQueue& q,
+                   std::span<std::byte> b) -> Task<void> {
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 512), 1), IoStatus::kOk);
+    co_await q.wait_for_completion();  // timeout kicks off the reconnect
+    auto done = q.poll();
+    EXPECT_EQ(done.size(), 1u);
+    if (!done.empty()) {
+      EXPECT_EQ(done[0].status, IoStatus::kTimeout);
+    }
+    EXPECT_FALSE(q.connected());
+    // Boundary: the cap admits exactly two, the third is rejected.
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 512), 2), IoStatus::kOk);
+    EXPECT_EQ(q.submit(IoOp::kRead, 4096, b.subspan(512, 512), 3),
+              IoStatus::kOk);
+    EXPECT_EQ(q.submit(IoOp::kRead, 8192, b.subspan(1024, 512), 4),
+              IoStatus::kQueueFull);
+    std::map<std::uint64_t, int> completions;
+    std::size_t got = 0;
+    while (got < 2) {
+      co_await q.wait_for_completion();
+      for (const auto& c : q.poll()) {
+        EXPECT_EQ(c.status, IoStatus::kOk);
+        ++completions[c.user_tag];
+        ++got;
+      }
+    }
+    EXPECT_TRUE(q.connected());
+    // One replay per parked command per successful reconnect — the failed
+    // attempts in between must not multiply the replays.
+    EXPECT_EQ(q.transport_stats().replays, 2u);
+    EXPECT_GE(q.transport_stats().reconnects, 1u);
+    EXPECT_EQ(completions[2], 1);
+    EXPECT_EQ(completions[3], 1);
+    // A healthy follow-up completes exactly once too — no stragglers from
+    // the reconnect window surface later as duplicates.
+    EXPECT_EQ(q.admission_depth(), 16u);
+    EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 512), 5), IoStatus::kOk);
+    co_await q.wait_for_completion();
+    auto last = q.poll();
+    EXPECT_EQ(last.size(), 1u);
+    if (!last.empty()) {
+      EXPECT_EQ(last[0].user_tag, 5u);
+      EXPECT_EQ(last[0].status, IoStatus::kOk);
+    }
+    EXPECT_TRUE(q.poll().empty());
   }(rig, *q, dma.span()));
   rig.sim.run();
   rig.sim.rethrow_failures();
