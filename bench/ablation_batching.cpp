@@ -124,9 +124,7 @@ int main() {
       dlfs::core::DlfsConfig cfg;
       cfg.batching = BatchingMode::kChunkLevel;
       dlfs::core::DlfsFleet fleet(cluster, pfs, ds, cfg);
-      sim.spawn(fleet.mount_participant(0));
-      sim.run();
-      sim.rethrow_failures();
+      fleet.mount();
       auto& inst = fleet.instance(0);
       inst.sequence(1);
       inst.io_core().reset_accounting();
@@ -178,9 +176,7 @@ int main() {
     // cache plus in-flight I/O.
     cfg.pool_bytes = 512ull * 1024 * 1024;
     dlfs::core::DlfsFleet fleet(cluster, pfs, ds, cfg);
-    sim.spawn(fleet.mount_participant(0));
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
     auto& inst = fleet.instance(0);
     for (int epoch = 0; epoch < 2; ++epoch) {
       inst.sequence(100 + static_cast<std::uint64_t>(epoch));

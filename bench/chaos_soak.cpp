@@ -106,11 +106,7 @@ struct SoakRig {
         pfs(sim, ds),
         fleet(cluster, pfs, ds, cfg, /*client_nodes=*/{4},
               /*storage_nodes=*/{0, 1, 2, 3}) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::cluster::NodeConfig node_config() {

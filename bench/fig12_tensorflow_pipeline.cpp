@@ -84,11 +84,7 @@ TfResult run_dlfs_tf(std::uint32_t nodes, std::uint32_t sample_bytes,
   dlfs::core::DlfsConfig cfg;
   cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
   dlfs::core::DlfsFleet fleet(cluster, pfs, ds, cfg);
-  for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-    sim.spawn(fleet.mount_participant(p));
-  }
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
   std::vector<dlsim::CpuCore*> cores;
   for (std::uint32_t c = 0; c < nodes; ++c) {
     cores.push_back(&fleet.instance(c).io_core());

@@ -52,11 +52,7 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
   }
   for (std::uint32_t i = 0; i < n_storage; ++i) storage_nodes.push_back(i);
   core::DlfsFleet fleet(cluster, pfs, ds, cfg, client_nodes, storage_nodes);
-  for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-    sim.spawn(fleet.mount_participant(p));
-  }
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
 
   const SimTime start = sim.now();
   if (faults.crash_slot >= 0) {
@@ -311,11 +307,7 @@ LookupTimes measure_lookup_times(std::uint32_t num_nodes,
                                                sample_bytes, 1);
     cluster::Pfs pfs(sim, ds);
     core::DlfsFleet fleet(cluster, pfs, ds, core::DlfsConfig{});
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
     auto& inst = fleet.instance(0);
     const SimTime t0 = sim.now();
     sim.spawn([](core::DlfsInstance& inst, const dataset::Dataset& ds,

@@ -37,11 +37,7 @@ int main() {
   dlfs::core::DlfsConfig config;
   config.batching = dlfs::core::BatchingMode::kChunkLevel;
   dlfs::core::DlfsFleet fleet(cluster, pfs, dataset, config);
-  for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-    sim.spawn(fleet.mount_participant(p), "mount-" + std::to_string(p));
-  }
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();  // the collective: every participant spawned internally
   std::printf("mount done at %.1f ms; directory: %zu samples over %u trees "
               "(chunk units %zu, edge samples %zu)\n",
               dlsim::to_millis(sim.now()), fleet.directory().num_samples(),

@@ -35,13 +35,11 @@ int main() {
   auto dataset = dlfs::dataset::make_fixed_size_dataset(2000, 4_KiB);
   dlfs::cluster::Pfs pfs(sim, dataset);
 
-  // dlfs_mount: a collective call — spawn one participant per node.
+  // dlfs_mount: a collective call — mount() runs every participant.
   dlfs::core::DlfsConfig config;
   config.batching = dlfs::core::BatchingMode::kChunkLevel;
   dlfs::core::DlfsFleet fleet(cluster, pfs, dataset, config);
-  sim.spawn(fleet.mount_participant(0), "mount");
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
   std::printf("mounted %zu samples in %.2f ms of simulated time\n",
               fleet.directory().num_samples(),
               dlsim::to_millis(sim.now()));

@@ -63,9 +63,7 @@ int main() {
   dlfs::core::DlfsConfig config;
   config.batching = dlfs::core::BatchingMode::kChunkLevel;
   dlfs::core::DlfsFleet fleet(cluster, pfs, dataset, config);
-  sim.spawn(fleet.mount_participant(0), "mount");
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
 
   // Train two identical models: one visiting samples in dlfs_bread order,
   // one with per-epoch full shuffles.

@@ -20,4 +20,12 @@ dlsim::Task<void> ring_allgather(dlsim::Simulator& sim, hw::Fabric& fabric,
   co_await barrier.arrive();
 }
 
+dlsim::Task<void> ring_allgather_rows(dlsim::Simulator& sim,
+                                      hw::Fabric& fabric, Barrier& barrier,
+                                      hw::NodeId me, std::uint32_t n,
+                                      std::uint64_t row_bytes) {
+  const std::vector<std::uint64_t> rows(n, row_bytes);
+  co_await ring_allgather(sim, fabric, barrier, me, rows);
+}
+
 }  // namespace dlfs::cluster

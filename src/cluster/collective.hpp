@@ -50,4 +50,12 @@ class Barrier {
     dlsim::Simulator& sim, hw::Fabric& fabric, Barrier& barrier,
     hw::NodeId me, const std::vector<std::uint64_t>& shard_bytes);
 
+/// Ring allgather where every node contributes one fixed-size row — the
+/// sharded mount's partition-map exchange. Same ring, same barriers,
+/// but the wire carries `row_bytes` per node instead of a whole shard,
+/// which is what makes the sharded mount O(S) on the fabric.
+[[nodiscard]] dlsim::Task<void> ring_allgather_rows(
+    dlsim::Simulator& sim, hw::Fabric& fabric, Barrier& barrier,
+    hw::NodeId me, std::uint32_t n, std::uint64_t row_bytes);
+
 }  // namespace dlfs::cluster

@@ -1,0 +1,118 @@
+#include "dlfs/directory_view.hpp"
+
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace dlfs::core {
+
+DirectoryView::DirectoryView(const SampleDirectory& dir, DirectoryConfig cfg,
+                             std::vector<std::uint8_t> resident)
+    : dir_(&dir), cfg_(cfg), resident_(std::move(resident)) {
+  resident_.resize(dir.num_nodes(), 0);
+  if (cfg_.lookup_cache_entries == 0) {
+    throw std::invalid_argument(
+        "DirectoryConfig::lookup_cache_entries must be >= 1");
+  }
+}
+
+const SampleEntry* DirectoryView::cache_find(std::uint64_t key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+  return it->second.entry;
+}
+
+void DirectoryView::cache_insert(std::uint64_t key, const SampleEntry* entry) {
+  if (cache_find(key) != nullptr) return;  // raced duplicate: already fresh
+  while (cache_.size() >= cfg_.lookup_cache_entries) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheRow{entry, lru_.begin()});
+}
+
+void DirectoryView::negative_insert(std::uint64_t key) {
+  if (cfg_.negative_cache_entries == 0) return;
+  if (neg_.contains(key)) return;
+  while (neg_.size() >= cfg_.negative_cache_entries) {
+    neg_.erase(neg_fifo_.back());
+    neg_fifo_.pop_back();
+  }
+  neg_fifo_.push_front(key);
+  neg_.emplace(key, neg_fifo_.begin());
+}
+
+DirectoryView::Resolution DirectoryView::resolve_id(std::size_t sample_id) {
+  Resolution r;
+  r.cache_key = id_key(sample_id);
+  r.owner_slot = dir_->owner_slot_of(sample_id);
+  if (resident(r.owner_slot)) {
+    ++stats_.local_hits;
+    r.entry = dir_->lookup_id(sample_id);
+    r.served = Served::kLocal;
+    return r;
+  }
+  if (const SampleEntry* e = cache_find(r.cache_key)) {
+    ++stats_.cache_hits;
+    r.entry = e;
+    r.served = Served::kCached;
+    return r;
+  }
+  ++stats_.remote_lookups;
+  r.served = Served::kRemote;
+  return r;
+}
+
+DirectoryView::Resolution DirectoryView::resolve_name(std::string_view name) {
+  Resolution r;
+  const std::uint64_t h = hash64(name);
+  r.cache_key = name_key(h);
+  r.owner_slot = dir_->owner_of(name);
+  if (resident(r.owner_slot)) {
+    ++stats_.local_hits;
+    r.entry = dir_->lookup(name);
+    r.served = Served::kLocal;
+    return r;
+  }
+  if (const SampleEntry* e = cache_find(r.cache_key)) {
+    ++stats_.cache_hits;
+    r.entry = e;
+    r.served = Served::kCached;
+    return r;
+  }
+  if (neg_.contains(r.cache_key)) {
+    ++stats_.negative_hits;
+    r.entry = nullptr;
+    r.served = Served::kNegative;
+    return r;
+  }
+  ++stats_.remote_lookups;
+  r.served = Served::kRemote;
+  return r;
+}
+
+void DirectoryView::complete_remote(const Resolution& r,
+                                    const SampleEntry* entry) {
+  if (entry != nullptr) {
+    cache_insert(r.cache_key, entry);
+  } else {
+    negative_insert(r.cache_key);
+  }
+}
+
+std::uint64_t DirectoryView::resident_bytes() const {
+  std::uint64_t bytes =
+      kPartitionRowBytes * static_cast<std::uint64_t>(dir_->num_nodes());
+  for (std::uint16_t s = 0; s < dir_->num_nodes(); ++s) {
+    if (resident_[s] != 0) bytes += dir_->shard_bytes(s);
+  }
+  bytes += static_cast<std::uint64_t>(cache_.size()) *
+           (SampleDirectory::kEntryBytes + SampleDirectory::kIdRowBytes);
+  bytes += static_cast<std::uint64_t>(neg_.size()) * kNegativeRowBytes;
+  return bytes;
+}
+
+}  // namespace dlfs::core

@@ -1,0 +1,153 @@
+// DirectoryView: a client's *partial* view of the sample directory.
+//
+// The classic DLFS mount (§III-B) all-gathers every shard to every
+// client, so per-client directory memory is O(dataset). At FalconFS
+// scale (tens of millions of tiny samples, dozens of jobs) that is the
+// limit that breaks first. The sharded mount keeps each AVL shard
+// resident only where it was built — on its storage node — and gives
+// every client this view instead:
+//
+//   * a partition map (one fixed-size row per storage slot: owner node,
+//     entry count) gathered by the same ring collective that used to
+//     move whole shards;
+//   * the shards co-located with the client's own node, resident at the
+//     usual entry + id-row rates;
+//   * a bounded positive lookup cache (LRU over resolved entries) and a
+//     bounded negative cache (name hashes known to be absent), both
+//     filled by NVMe-oF-style metadata RPCs to the owning node.
+//
+// So per-client memory is O(dataset / S) + O(cache), proven with the
+// same byte accounting `SampleDirectory::shard_bytes` uses for the full
+// allgather.
+//
+// Deviation from a real deployment, consistent with the rest of the
+// repo: the fully-built `SampleDirectory` object is shared in-process,
+// so a "remote" resolution returns a pointer into the same trees the
+// full mount would have copied — results are byte-identical by
+// construction, and what the sharded mount changes is *time* (the RPC
+// round trip, charged by the caller) and *accounted memory* (this
+// class). The view itself is cost-free bookkeeping: it decides how a
+// lookup would have been served and maintains the caches; the caller
+// charges fabric/CPU accordingly.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dlfs/sample_directory.hpp"
+
+namespace dlfs::core {
+
+/// How a client holds the directory after mount.
+enum class DirectoryMode : std::uint8_t {
+  kFull,     // classic §III-B: all-gather every shard to every client
+  kSharded,  // partition map + co-located shards + lazy remote lookup
+};
+
+struct DirectoryConfig {
+  DirectoryMode mode = DirectoryMode::kFull;
+  /// Capacity of the positive lookup cache (entries resolved remotely),
+  /// LRU-evicted. Each cached entry is accounted at the same
+  /// entry + id-row rate as a resident shard entry.
+  std::size_t lookup_cache_entries = 4096;
+  /// Capacity of the negative cache (name hashes proven absent), so
+  /// repeated opens of a missing name cost one RPC, not one per open.
+  std::size_t negative_cache_entries = 1024;
+};
+
+struct DirectoryViewStats {
+  std::uint64_t local_hits = 0;       // served by a resident shard
+  std::uint64_t cache_hits = 0;       // served by the positive cache
+  std::uint64_t negative_hits = 0;    // absent, answered by negative cache
+  std::uint64_t remote_lookups = 0;   // resolutions that need an RPC
+  std::uint64_t cache_evictions = 0;  // positive-cache LRU evictions
+};
+
+class DirectoryView {
+ public:
+  /// Accounted size of one partition-map row (slot -> owner node id +
+  /// entry count); also the per-node slice the sharded mount's ring
+  /// exchange moves instead of the whole shard.
+  static constexpr std::uint64_t kPartitionRowBytes = 8;
+  /// Accounted size of one negative-cache row (the 64-bit name hash).
+  static constexpr std::uint64_t kNegativeRowBytes = 8;
+
+  /// How one resolution was (or must be) served. kRemote means the
+  /// caller owes an RPC round trip to the owner before calling
+  /// complete_remote() with the result.
+  enum class Served : std::uint8_t { kLocal, kCached, kNegative, kRemote };
+
+  struct Resolution {
+    const SampleEntry* entry = nullptr;  // null: absent, or kRemote pending
+    Served served = Served::kLocal;
+    std::uint16_t owner_slot = 0;
+    std::uint64_t cache_key = 0;  // pass through to complete_remote()
+  };
+
+  /// `resident[slot]` marks the shards this client holds (its co-located
+  /// storage slots; empty client nodes hold none).
+  DirectoryView(const SampleDirectory& dir, DirectoryConfig cfg,
+                std::vector<std::uint8_t> resident);
+
+  /// Resolution by sample id (the dlfs_sequence / bread hot path). The
+  /// id -> owner-slot step reads the partition metadata, not the shard.
+  [[nodiscard]] Resolution resolve_id(std::size_t sample_id);
+
+  /// Resolution by name (the dlfs_open path). Unknown names consult the
+  /// negative cache before going remote.
+  [[nodiscard]] Resolution resolve_name(std::string_view name);
+
+  /// Deliver the owner's answer for a resolution that returned kRemote:
+  /// installs the entry in the positive cache (evicting LRU), or the key
+  /// in the negative cache when the owner reported the name absent.
+  void complete_remote(const Resolution& r, const SampleEntry* entry);
+
+  [[nodiscard]] bool resident(std::uint16_t slot) const {
+    return slot < resident_.size() && resident_[slot] != 0;
+  }
+  [[nodiscard]] const DirectoryViewStats& stats() const { return stats_; }
+
+  /// Directory memory this client actually holds: partition map +
+  /// resident shards (at shard_bytes rates) + both caches. The full
+  /// allgather equivalent is sum(shard_bytes) over every slot.
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+
+ private:
+  // Positive-cache keys live in one uint64 space: ids tagged with a low
+  // 1-bit, name hashes shifted in with a low 0-bit, so the two access
+  // paths can never collide.
+  static std::uint64_t id_key(std::size_t sample_id) {
+    return (static_cast<std::uint64_t>(sample_id) << 1) | 1u;
+  }
+  static std::uint64_t name_key(std::uint64_t name_hash) {
+    return name_hash << 1;
+  }
+
+  [[nodiscard]] const SampleEntry* cache_find(std::uint64_t key);
+  void cache_insert(std::uint64_t key, const SampleEntry* entry);
+  void negative_insert(std::uint64_t key);
+
+  const SampleDirectory* dir_;
+  DirectoryConfig cfg_;
+  std::vector<std::uint8_t> resident_;  // index = storage slot
+
+  // Positive cache: key -> entry, LRU order front = most recent.
+  struct CacheRow {
+    const SampleEntry* entry;
+    std::list<std::uint64_t>::iterator lru;
+  };
+  std::unordered_map<std::uint64_t, CacheRow> cache_;
+  std::list<std::uint64_t> lru_;
+
+  // Negative cache: FIFO over name-hash keys.
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> neg_;
+  std::list<std::uint64_t> neg_fifo_;
+
+  DirectoryViewStats stats_;
+};
+
+}  // namespace dlfs::core

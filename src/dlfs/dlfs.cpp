@@ -51,6 +51,12 @@ std::vector<std::uint32_t> piece_lens_of(std::uint32_t len,
   return lens;
 }
 
+/// Metadata-RPC reply payload for the sharded directory: one packed
+/// entry plus its id-index row — what the owning node returns for a
+/// (positive or negative) lookup.
+constexpr std::uint64_t kLookupReplyBytes =
+    SampleDirectory::kEntryBytes + SampleDirectory::kIdRowBytes;
+
 /// True when the stored extent error is a node-level fault (survivable:
 /// skip the samples); false for media and unknown errors (fatal).
 bool is_node_fault(const std::exception_ptr& err) {
@@ -61,6 +67,30 @@ bool is_node_fault(const std::exception_ptr& err) {
   } catch (...) {
     return false;
   }
+}
+
+/// Resolves the deprecated loose fault knobs into the nested FaultConfig
+/// (a legacy value set away from its default wins over the nested field)
+/// and mirrors the result back into the aliases so code that still reads
+/// them stays coherent. dlfs_api_test asserts the equivalence.
+void normalize_fault_config(DlfsConfig& cfg) {
+  const DlfsConfig defaults{};
+  if (!(cfg.nvmf_fault == defaults.nvmf_fault)) {
+    cfg.fault.nvmf = cfg.nvmf_fault;
+  }
+  if (!(cfg.replication == defaults.replication)) {
+    cfg.fault.replication = cfg.replication;
+  }
+  if (cfg.reprobe_interval != defaults.reprobe_interval) {
+    cfg.fault.reprobe_interval = cfg.reprobe_interval;
+  }
+  if (cfg.io_retry_backoff != defaults.io_retry_backoff) {
+    cfg.fault.io_retry_backoff = cfg.io_retry_backoff;
+  }
+  cfg.nvmf_fault = cfg.fault.nvmf;
+  cfg.replication = cfg.fault.replication;
+  cfg.reprobe_interval = cfg.fault.reprobe_interval;
+  cfg.io_retry_backoff = cfg.fault.io_retry_backoff;
 }
 
 }  // namespace
@@ -88,6 +118,12 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
                          storage_nodes_.empty() ? cluster.size()
                                                 : storage_nodes_.size()),
       ready_barrier_(cluster.simulator(), 1) {
+  normalize_fault_config(config_);
+  if (config_.tenant.governor) {
+    tenant_ = config_.tenant.governor->register_tenant(
+        TenantQos{config_.tenant.name, config_.tenant.weight,
+                  config_.tenant.priority, config_.tenant.max_inflight});
+  }
   if (client_nodes_.empty()) {
     for (std::uint32_t i = 0; i < cluster.size(); ++i) {
       client_nodes_.push_back(i);
@@ -117,7 +153,10 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
     shard_samples_[slot].push_back(static_cast<std::uint32_t>(i));
     name_to_id_.emplace(hash64(spec.name), static_cast<std::uint32_t>(i));
   }
-  std::vector<std::uint64_t> next_offset(storage_nodes_.size(), 0);
+  // device_base lets several fleets (tenants) pack disjoint regions on the
+  // same physical devices; each fleet's shards start at its own base.
+  std::vector<std::uint64_t> next_offset(storage_nodes_.size(),
+                                         config_.device_base);
   const std::uint32_t per_file = config_.record_file_samples;
   for (std::uint16_t slot = 0; slot < storage_nodes_.size(); ++slot) {
     auto& files = record_files_[slot];
@@ -156,7 +195,7 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
   // after each slot's primary region, so primary offsets — and therefore
   // every healthy run — stay byte-identical to replication = 1.
   const std::uint32_t reps = std::min<std::uint32_t>(
-      std::max<std::uint32_t>(config_.replication.k, 1),
+      std::max<std::uint32_t>(config_.fault.replication.k, 1),
       static_cast<std::uint32_t>(storage_nodes_.size()));
   effective_reps_ = reps;
   if (reps > 1) {
@@ -322,15 +361,26 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
         300ull * std::max<std::size_t>(ids.size() + record_files_[p].size(),
                                        1));
 
-    // All-gather the directory slices (data is shared in-process; the
-    // ring models the communication time of moving every slice).
     co_await upload_barrier_.arrive();
-    std::vector<std::uint64_t> slice_bytes(storage_nodes_.size());
-    for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
-      slice_bytes[s] = directory_.shard_bytes(s);
+    if (config_.directory.mode == DirectoryMode::kSharded) {
+      // Sharded mount: only the partition map (one fixed-size row per
+      // node) crosses the fabric; shard trees stay on their owners and
+      // foreign samples resolve lazily through the metadata RPC.
+      co_await cluster::ring_allgather_rows(
+          sim, cluster_->fabric(), allgather_barrier_, p,
+          static_cast<std::uint32_t>(storage_nodes_.size()),
+          DirectoryView::kPartitionRowBytes);
+    } else {
+      // Full mount: all-gather every directory slice (data is shared
+      // in-process; the ring models the communication time of moving
+      // every slice to every node).
+      std::vector<std::uint64_t> slice_bytes(storage_nodes_.size());
+      for (std::uint16_t s = 0; s < storage_nodes_.size(); ++s) {
+        slice_bytes[s] = directory_.shard_bytes(s);
+      }
+      co_await cluster::ring_allgather(sim, cluster_->fabric(),
+                                       allgather_barrier_, p, slice_bytes);
     }
-    co_await cluster::ring_allgather(sim, cluster_->fabric(),
-                                     allgather_barrier_, p, slice_bytes);
   }
 
   co_await ready_barrier_.arrive();
@@ -339,7 +389,9 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
   if (p < client_nodes_.size()) {
     cluster::Node& node = cluster_->node(client_nodes_[p]);
     // One I/O thread per client, pinned to the next free core of its node.
-    std::size_t ordinal = 0;
+    // client_core_base shifts the whole range so co-located fleets
+    // (multi-tenant runs) do not time-share a core.
+    std::size_t ordinal = config_.client_core_base;
     for (std::uint32_t q = 0; q < p; ++q) {
       if (client_nodes_[q] == client_nodes_[p]) ++ordinal;
     }
@@ -358,13 +410,28 @@ dlsim::Task<void> DlfsFleet::mount_participant(std::uint32_t p) {
               sim, cluster_->fabric(), storage_nodes_[s], snode.device());
         }
         q = targets_[s]->connect(client_nodes_[p], *inst->pool_,
-                                 config_.queue_depth, config_.nvmf_fault);
+                                 config_.queue_depth, config_.fault.nvmf);
       }
       inst->engine_->attach_target(s, std::move(q));
     }
     instances_[p] = std::move(inst);
   }
   mounted_ = true;
+}
+
+void DlfsFleet::mount(const MountOptions& opts) {
+  dlsim::Simulator& sim = cluster_->simulator();
+  for (std::uint32_t p = 0; p < participants(); ++p) {
+    sim.spawn(mount_participant(p));
+  }
+  if (!opts.run_to_completion) return;
+  sim.run();
+  sim.rethrow_failures();
+  if (!mounted_) {
+    throw std::runtime_error(
+        "DlfsFleet::mount: collective did not complete (a participant "
+        "blocked before the ready barrier)");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -386,10 +453,27 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
   IoEngineConfig ecfg;
   ecfg.chunk_bytes = cfg.chunk_bytes;
   ecfg.copy_threads = cfg.copy_threads;
-  ecfg.retry_backoff = cfg.io_retry_backoff;
-  ecfg.reprobe_interval = cfg.reprobe_interval;
+  ecfg.retry_backoff = cfg.fault.io_retry_backoff;
+  ecfg.reprobe_interval = cfg.fault.reprobe_interval;
   engine_ = std::make_unique<IoEngine>(node.simulator(), *pool_, *cache_,
                                        cfg.calibration, ecfg);
+  // Multi-tenant QoS: every queue this instance owns submits through the
+  // fleet's tenant handle, so one governor arbitrates all of the job's
+  // traffic against co-located jobs.
+  engine_->set_tenant(fleet.tenant_);
+  if (cfg.directory.mode == DirectoryMode::kSharded) {
+    // Resident shards are the slots co-located with this client's node
+    // (their trees are in local memory anyway); everything else resolves
+    // lazily through the owner's metadata RPC.
+    std::vector<std::uint8_t> resident(fleet.storage_nodes_.size(), 0);
+    for (std::size_t s = 0; s < fleet.storage_nodes_.size(); ++s) {
+      if (fleet.storage_nodes_[s] == fleet.client_nodes_[client_idx]) {
+        resident[s] = 1;
+      }
+    }
+    view_ = std::make_unique<DirectoryView>(fleet.directory_, cfg.directory,
+                                            std::move(resident));
+  }
   // Node fault domain: when a storage node's reconnect budget is
   // exhausted the engine reports it down and the shared directory's
   // wholesale V bit clears, so every path fails over (or skips) its
@@ -403,7 +487,7 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
     // transition (suspect timer on down, undeclare on up).
     on_node_transition(nid, up);
   });
-  if (cfg.replication.k > 1) {
+  if (cfg.fault.replication.k > 1) {
     // Background re-replication: one daemon per instance, parked on
     // repair_wake_ until a permanent-loss declaration (or a rejoin)
     // creates work. Its own core — repairs never steal frontend cycles;
@@ -421,6 +505,12 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
         "dlfs-prefetch-" + std::to_string(client_idx));
     engine_->set_pressure_reliever(
         [this] { return prefetcher_->relieve_pressure(); });
+    if (fleet.tenant_) {
+      // The arbiter splits a node's prefetch budget by weight × window
+      // target, so a tenant's read-ahead share follows its QoS weight.
+      prefetcher_->set_share_weight(
+          TenantGovernor::effective_weight(fleet.tenant_->qos()));
+    }
     if (cfg.prefetch.shared_arbiter) {
       arbiter_ = fleet.arbiter_for(fleet.client_nodes_[client_idx]);
       prefetcher_->set_arbiter(arbiter_);
@@ -549,6 +639,43 @@ dlsim::Task<void> DlfsInstance::charge_lookup() {
   co_await io_core_->compute(fleet_->config_.calibration.dlfs.dir_lookup);
 }
 
+dlsim::Task<void> DlfsInstance::charge_remote_lookup(std::uint16_t slot) {
+  const dlsim::SimDuration walk = fleet_->config_.calibration.dlfs.dir_lookup;
+  lookup_time_total_ += walk;
+  spdk::NvmfTarget* t =
+      slot < fleet_->targets_.size() ? fleet_->targets_[slot].get() : nullptr;
+  if (t != nullptr && t->accepting()) {
+    const bool replied = co_await t->metadata_rpc(
+        fleet_->client_nodes_[client_idx_], walk, kLookupReplyBytes);
+    if (replied) co_return;
+  }
+  // No transport path (the owner slot is co-located with another client
+  // and never grew a target, the target is down, or a leg dropped): fall
+  // back to a local-rate walk so lookups never stall on a fault — the
+  // read path's skip/failover semantics decide the sample's fate.
+  co_await io_core_->compute(walk);
+}
+
+dlsim::Task<const SampleEntry*> DlfsInstance::resolve_id_sharded(
+    std::uint32_t sample_id) {
+  DirectoryView::Resolution r = view_->resolve_id(sample_id);
+  if (r.served == DirectoryView::Served::kRemote) {
+    co_await charge_remote_lookup(r.owner_slot);
+    const SampleEntry* e = fleet_->directory_.lookup_id(sample_id);
+    view_->complete_remote(r, e);
+    co_return e;
+  }
+  // Resident shards did the real tree walk inside resolve_id; cache hits
+  // charge the same local rate (the RPC round trip is the saving, not
+  // the probe).
+  co_await charge_lookup();
+  co_return r.entry;
+}
+
+std::uint64_t DlfsInstance::directory_bytes() const {
+  return view_ ? view_->resident_bytes() : fleet_->full_directory_bytes();
+}
+
 dlsim::Task<void> DlfsInstance::maybe_reprobe() {
   if (!reprobe_pending_) co_return;
   reprobe_pending_ = false;
@@ -598,7 +725,7 @@ void DlfsInstance::on_node_transition(std::uint16_t nid, bool up) {
     // Suspect: arm the one-shot promotion timer. A transient fault heals
     // before it fires (the transition bumps the epoch and disarms it).
     const dlsim::SimDuration deadline =
-        fleet_->config_.replication.declare_dead_after;
+        fleet_->config_.fault.replication.declare_dead_after;
     if (deadline > 0 && !fleet_->declared_dead(nid)) {
       node_->simulator().spawn_daemon(
           death_timer(nid, down_epoch_[nid], repair_alive_),
@@ -615,7 +742,7 @@ dlsim::Task<void> DlfsInstance::death_timer(std::uint16_t nid,
                                             std::uint64_t epoch,
                                             std::shared_ptr<bool> alive) {
   co_await node_->simulator().delay(
-      fleet_->config_.replication.declare_dead_after);
+      fleet_->config_.fault.replication.declare_dead_after);
   if (!*alive) co_return;
   // Promote only if this exact outage is still in progress: any
   // transition meanwhile bumped the epoch — the node bounced, which is a
@@ -687,7 +814,7 @@ dlsim::Task<bool> DlfsInstance::repair_one(std::uint32_t sample_id,
   // Traffic budget: pace repairs to repair_bytes_per_sec so they never
   // starve demand reads of fabric/device bandwidth.
   const std::uint64_t budget =
-      fleet_->config_.replication.repair_bytes_per_sec;
+      fleet_->config_.fault.replication.repair_bytes_per_sec;
   if (budget > 0) {
     auto& sim = node_->simulator();
     const dlsim::SimTime now = sim.now();
@@ -752,17 +879,32 @@ void DlfsInstance::spawn_injected(dlsim::CountdownLatch* done) {
 dlsim::Task<void> DlfsInstance::charge_frontend(
     std::span<const EpochSequence::UnitPicks> picks) {
   std::size_t total = 0;
+  std::size_t local = 0;  // resolutions served at the local walk rate
   for (const auto& pk : picks) {
     total += pk.count;
     for (std::uint32_t i = 0; i < pk.count; ++i) {
-      (void)fleet_->directory_.lookup_id(
-          pk.unit->samples[pk.first_sample + i].sample_id);  // real tree walk
+      const std::uint32_t id = pk.unit->samples[pk.first_sample + i].sample_id;
+      if (view_ == nullptr) {
+        (void)fleet_->directory_.lookup_id(id);  // real tree walk
+        ++local;
+        continue;
+      }
+      // Sharded mount: resident/cached ids stay at the local rate;
+      // foreign ids pay one metadata RPC and fill the lookup cache, so
+      // a steady epoch's bread converges to mostly cache hits.
+      DirectoryView::Resolution r = view_->resolve_id(id);
+      if (r.served == DirectoryView::Served::kRemote) {
+        co_await charge_remote_lookup(r.owner_slot);
+        view_->complete_remote(r, fleet_->directory_.lookup_id(id));
+      } else {
+        ++local;
+      }
     }
   }
-  lookup_time_total_ += total * fleet_->config_.calibration.dlfs.dir_lookup;
+  lookup_time_total_ += local * fleet_->config_.calibration.dlfs.dir_lookup;
   co_await io_core_->compute(
-      total * (fleet_->config_.calibration.dlfs.dir_lookup +
-               fleet_->config_.calibration.dlfs.bread_per_sample));
+      local * fleet_->config_.calibration.dlfs.dir_lookup +
+      total * fleet_->config_.calibration.dlfs.bread_per_sample);
 }
 
 dlsim::Task<void> DlfsInstance::recover_chunk_slot(
@@ -992,8 +1134,24 @@ dlsim::Task<void> DlfsInstance::fetch_chunk_units(
 }
 
 dlsim::Task<SampleHandle> DlfsInstance::open(std::string_view name) {
-  co_await charge_lookup();
-  const SampleEntry* e = fleet_->directory_.lookup(name);
+  const SampleEntry* e = nullptr;
+  if (view_) {
+    DirectoryView::Resolution r = view_->resolve_name(name);
+    if (r.served == DirectoryView::Served::kRemote) {
+      co_await charge_remote_lookup(r.owner_slot);
+      e = fleet_->directory_.lookup(name);
+      view_->complete_remote(r, e);
+    } else {
+      // kLocal / kCached / kNegative all answer from client-held state;
+      // a negative hit in particular spares the repeat RPC for a name
+      // the owner already reported absent.
+      co_await charge_lookup();
+      e = r.entry;
+    }
+  } else {
+    co_await charge_lookup();
+    e = fleet_->directory_.lookup(name);
+  }
   if (e == nullptr) {
     throw std::invalid_argument("dlfs_open: no such sample '" +
                                 std::string(name) + "'");
@@ -1004,8 +1162,15 @@ dlsim::Task<SampleHandle> DlfsInstance::open(std::string_view name) {
 }
 
 dlsim::Task<SampleHandle> DlfsInstance::open_id(std::uint32_t sample_id) {
-  co_await charge_lookup();
-  const SampleEntry* e = fleet_->directory_.lookup_id(sample_id);
+  const SampleEntry* e = nullptr;
+  if (view_ && sample_id < fleet_->directory_.num_samples()) {
+    e = co_await resolve_id_sharded(sample_id);
+  } else {
+    // Out-of-range ids keep the classic path (and its error) in both
+    // modes: the partition map cannot route an id it has no row for.
+    co_await charge_lookup();
+    e = fleet_->directory_.lookup_id(sample_id);
+  }
   if (e == nullptr) {
     throw std::invalid_argument("dlfs_open: bad sample id " +
                                 std::to_string(sample_id));
@@ -1106,7 +1271,7 @@ void DlfsInstance::sequence(std::uint64_t seed) {
     // and chunk-mode edge samples) carry their replica failover list so
     // read-ahead re-routes inside the engine instead of failing.
     EpochUnitProvider::RouteResolver routes;
-    if (fleet_->config_.replication.k > 1) {
+    if (fleet_->config_.fault.replication.k > 1) {
       routes = [this](std::uint32_t id) { return sample_routes(id); };
     }
     epoch_provider_ = std::make_unique<EpochUnitProvider>(

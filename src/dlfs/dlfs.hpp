@@ -39,8 +39,10 @@
 #include "common/calibration.hpp"
 #include "dataset/dataset.hpp"
 #include "dlfs/batching.hpp"
+#include "dlfs/directory_view.hpp"
 #include "dlfs/io_engine.hpp"
 #include "dlfs/prefetcher.hpp"
+#include "dlfs/qos.hpp"
 #include "dlfs/sample_cache.hpp"
 #include "dlfs/sample_directory.hpp"
 #include "spdk/nvme_driver.hpp"
@@ -67,6 +69,43 @@ struct ReplicationConfig {
   // paces itself to this rate so repairs never starve demand reads.
   // 0 = unthrottled.
   std::uint64_t repair_bytes_per_sec = 0;
+
+  bool operator==(const ReplicationConfig&) const = default;
+};
+
+/// Everything about surviving faults, consolidated (mirrors the PR 3
+/// PrefetcherConfig consolidation): transport-level handling for every
+/// remote initiator queue, engine-level retry pacing, reprobe cadence,
+/// and the replication/repair policy. The loose top-level knobs on
+/// DlfsConfig remain as deprecated aliases for one release; a legacy
+/// knob set away from its default overrides the nested field.
+struct FaultConfig {
+  // NVMe-oF transport fault handling (command deadline, reconnect
+  // backoff/budget, reconnect admission cap).
+  spdk::NvmfFaultParams nvmf{};
+  // k-way deterministic replica placement + the permanent-loss policy
+  // (declare-dead deadline, repair-traffic budget).
+  ReplicationConfig replication{};
+  // Mid-epoch reprobe cadence (IoEngineConfig::reprobe_interval): > 0
+  // runs a background probe daemon per instance so nodes that heal
+  // mid-epoch rejoin within one interval; 0 = epoch-boundary only.
+  dlsim::SimDuration reprobe_interval = 0;
+  // Engine-level re-post backoff for transient completion errors
+  // (media/timeout); doubles per attempt.
+  dlsim::SimDuration io_retry_backoff = 10'000;
+
+  bool operator==(const FaultConfig&) const = default;
+};
+
+/// Tenant identity of one job (one fleet) under a shared TenantGovernor.
+/// Fleets that share storage register with the same governor; a fleet
+/// with no governor runs ungoverned (standalone behavior, no overhead).
+struct TenantConfig {
+  std::string name;                       ///< telemetry / error messages
+  std::uint32_t weight = 1;               ///< relative bandwidth share
+  QosClass priority = QosClass::kNormal;  ///< kHigh / kNormal / kBackground
+  std::uint32_t max_inflight = 0;         ///< job-wide outstanding cap; 0=off
+  std::shared_ptr<TenantGovernor> governor;  ///< null = no QoS
 };
 
 struct DlfsConfig {
@@ -92,28 +131,35 @@ struct DlfsConfig {
   // open_file().
   std::uint32_t record_file_samples = 0;
   std::uint64_t pool_bytes = 96ull * 1024 * 1024;  // client huge-page pool
-  // NVMe-oF transport fault handling for every remote initiator queue the
-  // fleet connects: command deadline, reconnect backoff and budget. The
-  // defaults keep healthy runs byte-identical; tests and benches shrink
-  // them to exercise the fault paths quickly.
-  spdk::NvmfFaultParams nvmf_fault{};
-  // k-way deterministic replica placement: every sample keeps its primary
-  // at hash(name) % S and additionally lives on replication.k-1 other
-  // storage nodes (hash(name ‖ r) % S, duplicates skipped), appended
-  // after each shard's primary region. Read paths fail over to the first
-  // live copy, so a single-node failure costs routing, not samples. k = 1
-  // means no replication (byte- and layout-identical to previous
-  // behavior). The struct also carries the permanent-loss policy: the
-  // suspect → declared-dead deadline and the repair-traffic budget.
-  ReplicationConfig replication{};
-  // Mid-epoch reprobe cadence (IoEngineConfig::reprobe_interval): > 0
-  // runs a background probe daemon per instance so nodes that heal
-  // mid-epoch rejoin within one interval; 0 = epoch-boundary reprobe
-  // only (the dlfs_sequence contract, and the previous behavior).
-  dlsim::SimDuration reprobe_interval = 0;
-  // Engine-level re-post backoff for transient completion errors
-  // (media/timeout); doubles per attempt.
-  dlsim::SimDuration io_retry_backoff = 10'000;
+  // Consolidated fault handling: transport (nvmf), replication/repair,
+  // reprobe cadence and retry pacing. See FaultConfig.
+  FaultConfig fault{};
+  // How clients hold the sample directory after mount: kFull all-gathers
+  // every shard to every client (§III-B, the default); kSharded keeps
+  // each shard on its storage node and clients resolve foreign samples
+  // lazily over NVMe-oF metadata RPCs through a bounded lookup cache +
+  // negative cache, so per-client directory memory is O(dataset / S).
+  DirectoryConfig directory{};
+  // Tenant identity under a shared TenantGovernor (multi-job QoS). A
+  // default-constructed TenantConfig (null governor) means no QoS.
+  TenantConfig tenant{};
+  // First device byte this fleet's layout may use. Multiple jobs
+  // mounting over the same storage nodes carve disjoint device regions
+  // by giving each fleet its own base (the capacity check still applies
+  // to the sum).
+  std::uint64_t device_base = 0;
+  // First client core ordinal this fleet's instances pin to. Co-located
+  // jobs (two fleets with clients on the same node) offset their I/O
+  // threads so they do not time-share one simulated core by accident.
+  std::uint32_t client_core_base = 0;
+  // --- deprecated aliases (one release) ------------------------------------
+  // The loose fault knobs below moved into `fault`. They keep their old
+  // defaults; a value set away from its default overrides the nested
+  // field at fleet construction (asserted equivalent in dlfs_api_test).
+  spdk::NvmfFaultParams nvmf_fault{};       ///< use fault.nvmf
+  ReplicationConfig replication{};          ///< use fault.replication
+  dlsim::SimDuration reprobe_interval = 0;  ///< use fault.reprobe_interval
+  dlsim::SimDuration io_retry_backoff = 10'000;  ///< use fault.io_retry_backoff
   // Debug aid for the zero-copy contract: scribble recycled huge-page
   // chunks (0xDD) — and poison them under AddressSanitizer — so a view
   // read after release_views() faults loudly instead of silently seeing
@@ -137,9 +183,10 @@ struct BatchSample {
   std::uint32_t len = 0;
 };
 
-struct Batch {
-  std::vector<BatchSample> samples;
-  std::uint64_t bytes = 0;
+/// Epoch-level metadata shared by every batch flavor (copy and
+/// zero-copy deliver it identically; future epoch-level fields land
+/// here once).
+struct BatchMeta {
   // Samples this batch could not serve because their storage node is
   // unavailable (reconnect budget exhausted / partitioned). The epoch
   // continues over the surviving subset.
@@ -148,6 +195,11 @@ struct Batch {
   // delivered until the next dlfs_sequence. This flag is the only
   // epoch-end signal — do not infer it from batch contents.
   bool end_of_epoch = false;
+};
+
+struct Batch : BatchMeta {
+  std::vector<BatchSample> samples;
+  std::uint64_t bytes = 0;
 };
 
 /// Zero-copy batch: samples are views into the huge-page sample cache
@@ -161,11 +213,9 @@ struct ViewSample {
   std::vector<std::span<const std::byte>> pieces;
 };
 
-struct ViewBatch {
+struct ViewBatch : BatchMeta {
   std::vector<ViewSample> samples;
   std::uint64_t bytes = 0;
-  std::uint64_t samples_skipped = 0;      // see Batch::samples_skipped
-  bool end_of_epoch = false;              // see Batch::end_of_epoch
   std::vector<std::size_t> pinned_slots;  // internal: units held
   std::uint64_t token = 0;                // internal: release bookkeeping
   // Internal: batch-owned bytes backing the views of degraded samples
@@ -205,6 +255,15 @@ struct InstanceStats {
   std::uint64_t samples_rereplicated = 0;
   std::uint64_t repair_bytes = 0;
   std::uint64_t repair_throttles = 0;
+  // Tenant QoS (zero without a governor): posting-loop stalls caused by
+  // admission, not by queue depth or the pool.
+  std::uint64_t qos_deferrals = 0;
+  // Sharded-directory telemetry (all zero in kFull mode) plus the
+  // directory memory this client actually holds — full mode reports the
+  // whole all-gathered copy, sharded mode the partition map + resident
+  // shards + caches (the O(dataset/S) claim, in bytes).
+  DirectoryViewStats directory{};
+  std::uint64_t directory_bytes = 0;
 };
 
 class DlfsFleet;
@@ -275,6 +334,15 @@ class DlfsInstance {
   [[nodiscard]] const Prefetcher* prefetcher() const {
     return prefetcher_.get();
   }
+  /// The client's partial directory view (sharded mount only; nullptr
+  /// under the classic full allgather).
+  [[nodiscard]] const DirectoryView* directory_view() const {
+    return view_.get();
+  }
+  /// Directory bytes this client holds — `SampleDirectory::shard_bytes`
+  /// accounting either way: the full all-gathered copy in kFull mode,
+  /// the partition map + resident shards + lookup caches in kSharded.
+  [[nodiscard]] std::uint64_t directory_bytes() const;
 
   /// One consolidated snapshot of the delivery and prefetch counters.
   [[nodiscard]] InstanceStats stats() const {
@@ -292,6 +360,9 @@ class DlfsInstance {
     s.samples_rereplicated = samples_rereplicated_;
     s.repair_bytes = repair_bytes_;
     s.repair_throttles = repair_throttles_;
+    s.qos_deferrals = engine_->qos_deferrals();
+    if (view_) s.directory = view_->stats();
+    s.directory_bytes = directory_bytes();
     return s;
   }
 
@@ -313,6 +384,16 @@ class DlfsInstance {
   void maybe_release_unit(std::size_t slot);
 
   dlsim::Task<void> charge_lookup();
+  /// Sharded-mount resolution of one sample id, costs included: resident
+  /// and cached ids charge the normal tree walk; foreign ids pay one
+  /// metadata RPC to the owning slot and fill the lookup cache. Must
+  /// only be called with view_ set.
+  dlsim::Task<const SampleEntry*> resolve_id_sharded(std::uint32_t sample_id);
+  /// One metadata RPC round trip to `slot`'s owner: request capsule,
+  /// owner-side tree walk on the target's poller core, reply. Falls back
+  /// to a local-rate walk when no transport path is up (the fault paths
+  /// keep their existing skip/failover semantics).
+  dlsim::Task<void> charge_remote_lookup(std::uint16_t slot);
   dlsim::Task<Batch> bread_unbatched(std::size_t max_samples,
                                      std::span<std::byte> arena);
   /// Frontend charge for one batched call: the real directory tree walks
@@ -385,6 +466,9 @@ class DlfsInstance {
   std::unique_ptr<SampleCache> cache_;
   std::unique_ptr<spdk::NvmeDriver> driver_;
   std::unique_ptr<IoEngine> engine_;
+  // Sharded mount only: this client's partial directory view (partition
+  // map + resident shards + lookup caches). Null under kFull.
+  std::unique_ptr<DirectoryView> view_;
   // Providers and the arbiter are declared before prefetcher_ (and the
   // sequence below them): the daemon holds raw pointers into them, so
   // they must outlive it on destruction.
@@ -479,6 +563,16 @@ class ViewLease {
   ViewBatch batch_;
 };
 
+/// Options for the consolidated DlfsFleet::mount() entry point.
+struct MountOptions {
+  /// Drive the simulator to completion inside mount(): spawn every
+  /// participant, run, rethrow the first failure, verify the mount
+  /// finished. false = only spawn the participants — for callers that
+  /// must overlap the mount with other scheduled simulator activity
+  /// (they run the simulator themselves and check mounted() after).
+  bool run_to_completion = true;
+};
+
 class DlfsFleet {
  public:
   /// `client_nodes` / `storage_nodes` default to every cluster node (the
@@ -493,7 +587,15 @@ class DlfsFleet {
   DlfsFleet(const DlfsFleet&) = delete;
   DlfsFleet& operator=(const DlfsFleet&) = delete;
 
-  /// Collective mount: spawn one per participant p in [0, participants()).
+  /// dlfs_mount, consolidated: spawns every mount participant internally
+  /// and (by default) runs the simulator until the collective mount
+  /// completes. Call from outside coroutine context. Throws if the mount
+  /// cannot finish. mount_participant() below stays as the advanced
+  /// escape hatch for callers orchestrating participants themselves.
+  void mount(const MountOptions& opts = {});
+
+  /// Collective mount, manual orchestration: spawn one per participant
+  /// p in [0, participants()).
   [[nodiscard]] dlsim::Task<void> mount_participant(std::uint32_t p);
   [[nodiscard]] std::uint32_t participants() const {
     return static_cast<std::uint32_t>(
@@ -527,6 +629,23 @@ class DlfsFleet {
   }
   [[nodiscard]] std::optional<std::uint32_t> sample_id_of(
       std::string_view name) const;
+
+  /// This job's tenant handle under the shared governor (null without
+  /// one). All instances' engines share it, so the in-flight cap and
+  /// fair-share clock are job-wide.
+  [[nodiscard]] const std::shared_ptr<TenantHandle>& tenant_handle() const {
+    return tenant_;
+  }
+
+  /// What one client's full-allgather directory copy would cost — the
+  /// comparison figure for DirectoryView::resident_bytes().
+  [[nodiscard]] std::uint64_t full_directory_bytes() const {
+    std::uint64_t b = 0;
+    for (std::uint16_t s = 0; s < directory_.num_nodes(); ++s) {
+      b += directory_.shard_bytes(s);
+    }
+    return b;
+  }
 
   /// Batched-file layout (record_file_samples > 0): the record files of
   /// one storage slot, in on-device order.
@@ -637,6 +756,9 @@ class DlfsFleet {
   cluster::Barrier allgather_barrier_;
   cluster::Barrier ready_barrier_;
   bool mounted_ = false;
+  // Tenant QoS: registered once per fleet at construction (when a
+  // governor is configured) and shared by every instance's engine.
+  std::shared_ptr<TenantHandle> tenant_;
   // --- self-healing replication state --------------------------------------
   std::vector<std::uint8_t> declared_dead_;  // index = storage slot
   // Next free device offset per slot, carried over from mount-time layout

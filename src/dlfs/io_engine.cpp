@@ -465,6 +465,14 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
             break;
           }
         }
+        if (tenant_ && !tenant_->try_admit(to_post_.front().len)) {
+          // Tenant QoS deferred us: another job owns this share of the
+          // devices right now. Completions (ours or theirs, seen via the
+          // governor) advance the fairness floor; the poll phase below
+          // keeps time moving until admission reopens.
+          ++qos_deferrals_;
+          break;
+        }
         p = std::move(to_post_.front());
         to_post_.pop_front();
         // Bind the piece to the extent's *current* route at post time (it
@@ -485,6 +493,8 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
           p.op->extent.write ? spdk::IoOp::kWrite : spdk::IoOp::kRead,
           p.offset, p.buffer.span().subspan(0, p.len), tag);
       if (st == spdk::IoStatus::kQueueFull) {
+        // The command never reached the device; hand the QoS grant back.
+        if (tenant_) tenant_->cancel_admit(p.len);
         dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
         if (q->connected()) {
           // A concurrent pumper filled the queue while we were prepping.
@@ -501,6 +511,7 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
         // The queue's reconnect budget is spent (or the local controller
         // died): the whole node is gone, not just this piece. Fail over
         // to a surviving replica in place when the extent has one.
+        if (tenant_) tenant_->cancel_admit(p.len);  // never left the host
         mark_node_down(p.nid);
         {
           dlsim::AccessSlice slice{pieces_ledger_, /*write=*/true};
@@ -556,6 +567,9 @@ dlsim::Task<void> IoEngine::pump(dlsim::CpuCore& core, const ExtentOp& until,
       co_await core.compute(cal_->dlfs.completion_handling * ready.size());
       for (auto& [c, p] : ready) {
         progress = true;
+        // Every harvested completion frees one QoS grant, whatever its
+        // status — a retry re-admits when it is re-posted.
+        if (tenant_) tenant_->on_complete(p.len);
         if (p.op->error_) continue;  // failed extent: buffer just drops
         if (c.status == spdk::IoStatus::kConnectionLost) {
           // Transport gave up on the node. Re-route the piece to a

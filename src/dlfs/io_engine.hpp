@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/calibration.hpp"
+#include "dlfs/qos.hpp"
 #include "dlfs/sample_cache.hpp"
 #include "dlfs/sample_entry.hpp"
 #include "sim/check.hpp"
@@ -264,6 +265,18 @@ class IoEngine {
     pressure_reliever_ = std::move(reliever);
   }
 
+  /// Multi-tenant QoS: when set, every piece must be admitted by the
+  /// tenant's governor before it is posted (and the grant is returned on
+  /// completion). All engines of one job share one handle, so the
+  /// in-flight cap and the fair-share clock are job-wide. Null = no QoS
+  /// (standalone job), zero overhead.
+  void set_tenant(std::shared_ptr<TenantHandle> tenant) {
+    tenant_ = std::move(tenant);
+  }
+  [[nodiscard]] const TenantHandle* tenant() const { return tenant_.get(); }
+  /// Posting-loop stalls caused by QoS admission (not queue depth).
+  [[nodiscard]] std::uint64_t qos_deferrals() const { return qos_deferrals_; }
+
   // --- node fault domain ---------------------------------------------------
   /// Fired on availability transitions of a storage node: (nid, false)
   /// when its reconnect budget is exhausted, (nid, true) when a reprobe
@@ -363,6 +376,8 @@ class IoEngine {
   std::unordered_map<std::uint64_t, Piece> in_flight_;
   std::uint32_t copies_pending_ = 0;  // engine copy jobs not yet executed
   std::function<bool()> pressure_reliever_;
+  std::shared_ptr<TenantHandle> tenant_;  // null = ungoverned
+  std::uint64_t qos_deferrals_ = 0;
   std::vector<std::uint8_t> node_down_;  // index = nid; 1 = unavailable
   std::function<void(std::uint16_t, bool)> node_handler_;
   std::uint64_t posted_ = 0;

@@ -24,14 +24,21 @@ std::uint64_t PrefetchArbiter::chunk_allowance(const Prefetcher& p) const {
   // not counted as vanished budget). Split proportionally to the
   // adaptive window targets — the daemons that stall grow their target
   // and thereby their share.
+  // Each member's claim is weight × target: the tenant QoS weight scales
+  // the adaptive target, so co-located jobs of unequal priority split the
+  // node's read-ahead budget by their bandwidth shares.
   std::uint64_t budget = 0;
-  std::uint64_t total_target = 0;
+  double total_claim = 0;
   for (const Prefetcher* m : *members_.read()) {
     budget += m->readahead_chunks() + m->pool_headroom_chunks();
-    total_target += m->window_target();
+    total_claim += m->share_weight() * m->window_target();
   }
+  const double claim = p.share_weight() * p.window_target();
   std::uint64_t share =
-      total_target > 0 ? budget * p.window_target() / total_target : budget;
+      total_claim > 0
+          ? static_cast<std::uint64_t>(static_cast<double>(budget) * claim /
+                                       total_claim)
+          : budget;
   // The share can never exceed what p's own pool actually holds (pools
   // are per-instance; a neighbour's free chunks are not allocatable
   // here), and never starves below one unit's worth.
@@ -77,6 +84,10 @@ void Prefetcher::set_arbiter(std::shared_ptr<PrefetchArbiter> arbiter) {
   if (arbiter_) arbiter_->unregister_member(*this);
   arbiter_ = std::move(arbiter);
   if (arbiter_) arbiter_->register_member(*this);
+}
+
+void Prefetcher::set_share_weight(double w) {
+  share_weight_ = w > 0 ? w : 1.0;
 }
 
 std::uint64_t Prefetcher::pool_headroom_chunks() const {

@@ -161,6 +161,13 @@ class Prefetcher {
   /// Joins / leaves a shared per-node arbiter (unregisters on destruction).
   void set_arbiter(std::shared_ptr<PrefetchArbiter> arbiter);
 
+  /// Tenant QoS weight applied to this instance's arbiter share: the
+  /// budget splits by weight × window target, so a high-priority job's
+  /// read-ahead window follows its bandwidth share instead of competing
+  /// symmetrically with a background job on the same node.
+  void set_share_weight(double w);
+  [[nodiscard]] double share_weight() const { return share_weight_; }
+
   /// Installs a new read-unit order. Unfinished read-ahead from the
   /// previous order keeps draining in the background (extents cannot be
   /// cancelled) and its buffers are dropped on completion.
@@ -273,6 +280,7 @@ class Prefetcher {
   std::uint64_t ra_chunks_ = 0;  // sum of window entries' chunks
   std::uint64_t view_pinned_chunks_ = 0;  // held by live ViewBatches
   std::uint32_t window_target_;
+  double share_weight_ = 1.0;  // tenant QoS weight for the arbiter split
   PrefetchStats stats_;
   std::exception_ptr daemon_error_{};
   bool shutdown_ = false;

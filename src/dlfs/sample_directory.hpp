@@ -101,16 +101,36 @@ class SampleDirectory {
   [[nodiscard]] std::size_t num_replicas() const { return replica_rows_; }
 
   [[nodiscard]] std::size_t num_samples() const { return id_index_.size(); }
+
+  /// Owner storage slot of a sample id — an O(1) read of the id-index
+  /// row (partition metadata), not a tree walk. The sharded
+  /// DirectoryView routes lazy lookups with it.
+  [[nodiscard]] std::uint16_t owner_slot_of(std::size_t sample_id) const {
+    return id_index_.at(sample_id).nid;
+  }
   [[nodiscard]] const Tree& tree(std::uint16_t nid) const {
     return trees_.at(nid);
   }
+
+  // Serialized row sizes — the single source of truth for directory
+  // memory/transfer accounting. Used by shard_bytes() for the full
+  // allgather figure and by DirectoryView to account resident shards,
+  // partition-map rows and lookup-cache entries in the sharded mount.
+  static constexpr std::uint64_t kEntryBytes = 16;     // packed SampleEntry
+  static constexpr std::uint64_t kIdRowBytes = 12;     // id -> (nid, key)
+  static constexpr std::uint64_t kRouteRowBytes = 12;  // one replica hop
 
   /// Serialized size of node `nid`'s shard — what the mount-time
   /// allgather moves per node (16 B entry + 12 B id-index row, plus a
   /// 12 B route row for every replica hosted on this node).
   [[nodiscard]] std::uint64_t shard_bytes(std::uint16_t nid) const {
-    return shard_counts_.at(nid) * (16ull + 12ull) +
-           replica_counts_.at(nid) * 12ull;
+    return shard_counts_.at(nid) * (kEntryBytes + kIdRowBytes) +
+           replica_counts_.at(nid) * kRouteRowBytes;
+  }
+
+  /// Sample entries in node `nid`'s shard (mount-time insert count).
+  [[nodiscard]] std::uint64_t shard_entries(std::uint16_t nid) const {
+    return shard_counts_.at(nid);
   }
 
   [[nodiscard]] std::size_t collision_count() const {

@@ -411,6 +411,28 @@ bool NvmfTarget::accepting() const {
   return !crashed_ && !device_->crashed();
 }
 
+dlsim::Task<bool> NvmfTarget::metadata_rpc(hw::NodeId client_node,
+                                           dlsim::SimDuration service,
+                                           std::uint64_t reply_bytes) {
+  if (crashed_) co_return false;
+  // Request capsule: client -> target. Same 64 B a command capsule costs.
+  const bool requested =
+      co_await fabric_->send(client_node, node_, hw::kControlMessageBytes);
+  if (!requested) co_return false;
+  if (crashed_) co_return false;  // died while the capsule was in flight
+  {
+    // The owner's directory walk serializes on the poller core, exactly
+    // like data-path capsule handling — a metadata storm is visible as
+    // target CPU, not free.
+    auto guard = co_await poller_mutex_.scoped_lock();
+    co_await poller_core_.compute(fabric_->params().per_message_cpu + service);
+  }
+  if (crashed_) co_return false;
+  const bool replied =
+      co_await fabric_->send(node_, client_node, reply_bytes);
+  co_return replied;
+}
+
 void NvmfTarget::crash() {
   crashed_ = true;
   // In-flight capsules die with the target process: closing the inbound

@@ -55,6 +55,8 @@ struct NvmfFaultParams {
   /// Bounding the parked set bounds the replay burst that hits a freshly
   /// recovered target — and frees the caller to route around the node.
   std::uint32_t max_inflight_during_reconnect = 0;
+
+  bool operator==(const NvmfFaultParams&) const = default;
 };
 
 class NvmfTarget {
@@ -88,6 +90,16 @@ class NvmfTarget {
   void recover_at(dlsim::SimTime when);
   /// Whether a (re)connect attempt would be admitted right now.
   [[nodiscard]] bool accepting() const;
+
+  /// NVMe-oF-style metadata exchange for the sharded sample directory:
+  /// one request capsule from `client_node`, `service` of directory-walk
+  /// CPU serialized on the poller core (metadata storms contend with the
+  /// data path's capsule handling), and a `reply_bytes` response. True
+  /// when the reply was delivered; false when the target is down or a
+  /// link dropped either leg — the caller falls back / fails over.
+  [[nodiscard]] dlsim::Task<bool> metadata_rpc(hw::NodeId client_node,
+                                               dlsim::SimDuration service,
+                                               std::uint64_t reply_bytes);
 
   /// Live server-side connections (reaped connections excluded).
   [[nodiscard]] std::size_t connection_count() const {

@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <set>
+#include <type_traits>
 
 #include "cluster/cluster.hpp"
 #include "cluster/pfs.hpp"
@@ -56,14 +57,16 @@ struct Rig {
   }
 
   void mount() {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p), "mount-" + std::to_string(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
     ASSERT_TRUE(fleet.mounted());
   }
 };
+
+// samples_skipped / end_of_epoch live once, in the shared BatchMeta base
+// both delivery structs derive from.
+static_assert(std::is_base_of_v<dlfs::core::BatchMeta, dlfs::core::Batch>);
+static_assert(
+    std::is_base_of_v<dlfs::core::BatchMeta, dlfs::core::ViewBatch>);
 
 bool sample_matches(const Dataset& ds, std::uint32_t id,
                     std::span<const std::byte> got) {
@@ -104,6 +107,51 @@ TEST(DlfsMount, MountTakesSimulatedTime) {
   rig.mount();
   // PFS streaming at 1 GB/s + device writes: must be visible in sim time.
   EXPECT_GT(rig.sim.now(), 1_ms);
+}
+
+TEST(DlfsMount, ManualParticipantSpawnStillWorks) {
+  // mount_participant stays as the advanced escape hatch: spawning the
+  // collective by hand must end in the same mounted state mount() gives.
+  Rig rig(2, dlfs::dataset::make_fixed_size_dataset(100, 4096));
+  for (std::uint32_t p = 0; p < rig.fleet.participants(); ++p) {
+    rig.sim.spawn(rig.fleet.mount_participant(p));
+  }
+  rig.sim.run();
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(rig.fleet.mounted());
+  EXPECT_EQ(rig.fleet.directory().num_samples(), 100u);
+}
+
+TEST(DlfsMount, DeprecatedFaultAliasesMatchNestedConfig) {
+  // The loose fault knobs are deprecated aliases of DlfsConfig::fault;
+  // for the one-release compatibility window a value set through either
+  // spelling must land in both.
+  DlfsConfig legacy;
+  legacy.nvmf_fault.command_timeout = 123'456'789;
+  legacy.replication.k = 2;
+  legacy.reprobe_interval = 42'000;
+  legacy.io_retry_backoff = 77'000;
+  Rig via_legacy(2, dlfs::dataset::make_fixed_size_dataset(64, 4096), legacy);
+
+  DlfsConfig nested;
+  nested.fault.nvmf.command_timeout = 123'456'789;
+  nested.fault.replication.k = 2;
+  nested.fault.reprobe_interval = 42'000;
+  nested.fault.io_retry_backoff = 77'000;
+  Rig via_nested(2, dlfs::dataset::make_fixed_size_dataset(64, 4096), nested);
+
+  // Both spellings normalize to the same effective configuration...
+  EXPECT_EQ(via_legacy.fleet.config().fault, via_nested.fleet.config().fault);
+  // ...and within each fleet the aliases mirror the nested fields.
+  for (const DlfsFleet* fleet :
+       {&via_legacy.fleet, &via_nested.fleet}) {
+    const DlfsConfig& c = fleet->config();
+    EXPECT_EQ(c.nvmf_fault, c.fault.nvmf);
+    EXPECT_EQ(c.replication, c.fault.replication);
+    EXPECT_EQ(c.reprobe_interval, c.fault.reprobe_interval);
+    EXPECT_EQ(c.io_retry_backoff, c.fault.io_retry_backoff);
+  }
+  EXPECT_EQ(via_legacy.fleet.config().fault.replication.k, 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -60,11 +60,7 @@ struct Rig {
         ds(dlfs::dataset::make_fixed_size_dataset(samples, bytes)),
         pfs(sim, ds),
         fleet(cluster, pfs, ds, c, std::move(client_nodes)) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::cluster::NodeConfig node_cfg() {

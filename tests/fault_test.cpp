@@ -93,11 +93,7 @@ struct FleetRig {
         ds(dlfs::dataset::make_fixed_size_dataset(nodes * 128ull, 4096)),
         pfs(sim, ds),
         fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{}) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::cluster::NodeConfig cfg() {
@@ -215,11 +211,7 @@ struct RemoteFleetRig {
         pfs(sim, ds),
         fleet(cluster, pfs, ds, cfg(), /*client_nodes=*/{2},
               /*storage_nodes=*/{0, 1}) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::core::DlfsConfig cfg() {
@@ -371,11 +363,7 @@ struct ReplicaRig {
         pfs(sim, ds),
         fleet(cluster, pfs, ds, c, /*client_nodes=*/{2},
               /*storage_nodes=*/{0, 1}) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::core::DlfsConfig cfg(std::uint32_t replication,
@@ -552,11 +540,7 @@ struct SelfHealRig {
         pfs(sim, ds),
         fleet(cluster, pfs, ds, c, /*client_nodes=*/{4},
               /*storage_nodes=*/{0, 1, 2, 3}) {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p));
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
   }
 
   static dlfs::core::DlfsConfig cfg(dlfs::core::ReplicationConfig repl,

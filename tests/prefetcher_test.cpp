@@ -62,11 +62,7 @@ struct Rig {
   }
 
   void mount() {
-    for (std::uint32_t p = 0; p < fleet.participants(); ++p) {
-      sim.spawn(fleet.mount_participant(p), "mount");
-    }
-    sim.run();
-    sim.rethrow_failures();
+    fleet.mount();
     ASSERT_TRUE(fleet.mounted());
   }
 };

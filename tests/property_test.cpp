@@ -189,11 +189,7 @@ TEST_P(DlfsStackProperty, EpochIsExactCoverWithExactBytes) {
   cfg.batching = p.mode;
   cfg.chunk_bytes = p.chunk_bytes;
   dlfs::core::DlfsFleet fleet(cluster, pfs, ds, cfg);
-  for (std::uint32_t q = 0; q < fleet.participants(); ++q) {
-    sim.spawn(fleet.mount_participant(q));
-  }
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
 
   for (std::uint32_t c = 0; c < p.nodes; ++c) fleet.instance(c).sequence(9);
   std::set<std::uint32_t> seen;
@@ -249,11 +245,7 @@ TEST(DlfsStackProperty, TwoEpochsDifferentSeedsBothCover) {
   auto ds = dlfs::dataset::make_fixed_size_dataset(2048, 1000);
   dlfs::cluster::Pfs pfs(sim, ds);
   dlfs::core::DlfsFleet fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{});
-  for (std::uint32_t q = 0; q < 2; ++q) {
-    sim.spawn(fleet.mount_participant(q));
-  }
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
 
   std::vector<std::vector<std::uint32_t>> epochs;
   for (std::uint64_t seed : {100ull, 200ull}) {

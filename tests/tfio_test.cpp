@@ -196,9 +196,7 @@ TEST(Sources, DlfsSourceStreamsWholeEpoch) {
   auto ds = dlfs::dataset::make_fixed_size_dataset(200, 2048);
   dlfs::cluster::Pfs pfs(sim, ds);
   dlfs::core::DlfsFleet fleet(cluster, pfs, ds, dlfs::core::DlfsConfig{});
-  sim.spawn(fleet.mount_participant(0));
-  sim.run();
-  sim.rethrow_failures();
+  fleet.mount();
 
   CpuCore core(sim, "train");
   Pipeline p(core,
