@@ -54,10 +54,10 @@ dlfs::core::DlfsConfig fault_config() {
   // The timeout must clear the healthy tail queueing delay at this
   // prefetch depth (a few ms) or the transport false-positives; 20 ms
   // still lets detection + reconnect fit inside one epoch.
-  cfg.nvmf_fault.command_timeout = 20_ms;
-  cfg.nvmf_fault.reconnect_backoff = 200_us;
-  cfg.nvmf_fault.reconnect_backoff_max = 2_ms;
-  cfg.nvmf_fault.reconnect_attempts = 4;
+  cfg.fault.nvmf.command_timeout = 20_ms;
+  cfg.fault.nvmf.reconnect_backoff = 200_us;
+  cfg.fault.nvmf.reconnect_backoff_max = 2_ms;
+  cfg.fault.nvmf.reconnect_attempts = 4;
   return cfg;
 }
 
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   Workload w = remote_pool_workload();
   if (smoke) w.samples_per_node = 128;
   dlfs::core::DlfsConfig cfg = fault_config();
-  cfg.replication = replication;
+  cfg.fault.replication = replication;
   dlfs::bench::JsonReport report(
       replication > 1 ? "availability_sweep_r" + std::to_string(replication)
                       : std::string("availability_sweep"));

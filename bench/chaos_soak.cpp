@@ -79,15 +79,15 @@ struct EpochLog {
 dlfs::core::DlfsConfig soak_config() {
   dlfs::core::DlfsConfig c;
   c.batching = dlfs::core::BatchingMode::kChunkLevel;
-  c.replication = dlfs::core::ReplicationConfig(2);
-  c.replication.declare_dead_after = 6_ms;
-  c.reprobe_interval = 2_ms;
+  c.fault.replication = dlfs::core::ReplicationConfig(2);
+  c.fault.replication.declare_dead_after = 6_ms;
+  c.fault.reprobe_interval = 2_ms;
   // Shrunken transport fault budget (as in the fault tests) so a crash is
   // detected within a few simulated milliseconds.
-  c.nvmf_fault.command_timeout = 5_ms;
-  c.nvmf_fault.reconnect_backoff = 200_us;
-  c.nvmf_fault.reconnect_backoff_max = 1_ms;
-  c.nvmf_fault.reconnect_attempts = 4;
+  c.fault.nvmf.command_timeout = 5_ms;
+  c.fault.nvmf.reconnect_backoff = 200_us;
+  c.fault.nvmf.reconnect_backoff_max = 1_ms;
+  c.fault.nvmf.reconnect_attempts = 4;
   return c;
 }
 
@@ -368,8 +368,8 @@ int run_repair_sweep(bool smoke) {
   for (const std::uint64_t budget : budgets) {
     dlfs::core::DlfsConfig cfg;
     cfg.batching = dlfs::core::BatchingMode::kChunkLevel;
-    cfg.replication = dlfs::core::ReplicationConfig(2);
-    cfg.replication.repair_bytes_per_sec = budget;
+    cfg.fault.replication = dlfs::core::ReplicationConfig(2);
+    cfg.fault.replication.repair_bytes_per_sec = budget;
     SoakRig rig(samples, cfg);
     auto& inst = rig.fleet.instance(0);
     EpochLog log;

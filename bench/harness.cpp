@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,8 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
   r.bytes_per_sec = r.samples_per_sec * w.sample_bytes;
   double util = 0.0;
   double lookup_us = 0.0;
+  std::uint64_t delivered_samples = 0;
+  std::uint64_t delivered_bytes = 0;
   for (std::uint32_t c = 0; c < n_clients; ++c) {
     auto& inst = fleet.instance(c);
     util += inst.io_core().utilization();
@@ -146,6 +149,28 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.samples_rereplicated += st.samples_rereplicated;
     r.repair_bytes += st.repair_bytes;
     r.repair_throttles += st.repair_throttles;
+    r.qos_deferrals += st.qos_deferrals;
+    r.directory.local_hits += st.directory.local_hits;
+    r.directory.cache_hits += st.directory.cache_hits;
+    r.directory.negative_hits += st.directory.negative_hits;
+    r.directory.remote_lookups += st.directory.remote_lookups;
+    r.directory.cache_evictions += st.directory.cache_evictions;
+    r.directory_bytes += st.directory_bytes;
+    delivered_samples += st.samples_delivered;
+    delivered_bytes += st.bytes_delivered;
+  }
+  // Cross-check the instances' own delivery counters against the
+  // reader-side tally: a mismatch means a batch was double-counted or
+  // silently dropped between the instance and the application.
+  if (delivered_samples != total_samples ||
+      delivered_bytes != total_samples * w.sample_bytes) {
+    throw std::logic_error(
+        "run_dlfs: delivery counters disagree with the reader tally: "
+        "instances report " +
+        std::to_string(delivered_samples) + " samples / " +
+        std::to_string(delivered_bytes) + " bytes, readers saw " +
+        std::to_string(total_samples) + " samples / " +
+        std::to_string(total_samples * w.sample_bytes) + " bytes");
   }
   r.client_cpu_util = util / n_clients;
   r.lookup_us_avg =
@@ -441,7 +466,14 @@ std::string JsonReport::write() const {
         << ", \"nodes_declared_dead\": " << r.nodes_declared_dead
         << ", \"samples_rereplicated\": " << r.samples_rereplicated
         << ", \"repair_bytes\": " << r.repair_bytes
-        << ", \"repair_throttles\": " << r.repair_throttles << "}"
+        << ", \"repair_throttles\": " << r.repair_throttles
+        << ", \"qos_deferrals\": " << r.qos_deferrals
+        << ", \"directory_local_hits\": " << r.directory.local_hits
+        << ", \"directory_cache_hits\": " << r.directory.cache_hits
+        << ", \"directory_negative_hits\": " << r.directory.negative_hits
+        << ", \"directory_remote_lookups\": " << r.directory.remote_lookups
+        << ", \"directory_cache_evictions\": " << r.directory.cache_evictions
+        << ", \"directory_bytes\": " << r.directory_bytes << "}"
         << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
   out << "]\n";

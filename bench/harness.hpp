@@ -90,6 +90,14 @@ struct RunResult {
   std::uint64_t samples_rereplicated = 0;
   std::uint64_t repair_bytes = 0;
   std::uint64_t repair_throttles = 0;
+  // Multi-tenant QoS and sharded-directory counters, summed over
+  // clients: batch deliveries deferred by the token-bucket arbiter, the
+  // directory view's hit/miss split, and bytes of directory fill
+  // traffic. (tools/dlfslint/telemetry_check enforces that every
+  // InstanceStats counter reaches this struct and the json report.)
+  std::uint64_t qos_deferrals = 0;
+  core::DirectoryViewStats directory{};
+  std::uint64_t directory_bytes = 0;
 };
 
 /// One epoch of dlfs_bread across all clients. A FaultPlan crashes one

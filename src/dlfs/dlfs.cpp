@@ -69,30 +69,6 @@ bool is_node_fault(const std::exception_ptr& err) {
   }
 }
 
-/// Resolves the deprecated loose fault knobs into the nested FaultConfig
-/// (a legacy value set away from its default wins over the nested field)
-/// and mirrors the result back into the aliases so code that still reads
-/// them stays coherent. dlfs_api_test asserts the equivalence.
-void normalize_fault_config(DlfsConfig& cfg) {
-  const DlfsConfig defaults{};
-  if (!(cfg.nvmf_fault == defaults.nvmf_fault)) {
-    cfg.fault.nvmf = cfg.nvmf_fault;
-  }
-  if (!(cfg.replication == defaults.replication)) {
-    cfg.fault.replication = cfg.replication;
-  }
-  if (cfg.reprobe_interval != defaults.reprobe_interval) {
-    cfg.fault.reprobe_interval = cfg.reprobe_interval;
-  }
-  if (cfg.io_retry_backoff != defaults.io_retry_backoff) {
-    cfg.fault.io_retry_backoff = cfg.io_retry_backoff;
-  }
-  cfg.nvmf_fault = cfg.fault.nvmf;
-  cfg.replication = cfg.fault.replication;
-  cfg.reprobe_interval = cfg.fault.reprobe_interval;
-  cfg.io_retry_backoff = cfg.fault.io_retry_backoff;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -118,7 +94,6 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
                          storage_nodes_.empty() ? cluster.size()
                                                 : storage_nodes_.size()),
       ready_barrier_(cluster.simulator(), 1) {
-  normalize_fault_config(config_);
   if (config_.tenant.governor) {
     tenant_ = config_.tenant.governor->register_tenant(
         TenantQos{config_.tenant.name, config_.tenant.weight,

@@ -52,7 +52,7 @@ namespace dlfs::core {
 
 /// Self-healing replication: the copy count plus the permanent-loss
 /// lifecycle around it. Implicitly convertible from the copy count so
-/// `cfg.replication = 2` keeps meaning "two copies, detector off".
+/// `cfg.fault.replication = 2` keeps meaning "two copies, detector off".
 struct ReplicationConfig {
   ReplicationConfig() = default;
   // Intentionally implicit: the struct grew out of a plain copy count
@@ -152,14 +152,6 @@ struct DlfsConfig {
   // jobs (two fleets with clients on the same node) offset their I/O
   // threads so they do not time-share one simulated core by accident.
   std::uint32_t client_core_base = 0;
-  // --- deprecated aliases (one release) ------------------------------------
-  // The loose fault knobs below moved into `fault`. They keep their old
-  // defaults; a value set away from its default overrides the nested
-  // field at fleet construction (asserted equivalent in dlfs_api_test).
-  spdk::NvmfFaultParams nvmf_fault{};       ///< use fault.nvmf
-  ReplicationConfig replication{};          ///< use fault.replication
-  dlsim::SimDuration reprobe_interval = 0;  ///< use fault.reprobe_interval
-  dlsim::SimDuration io_retry_backoff = 10'000;  ///< use fault.io_retry_backoff
   // Debug aid for the zero-copy contract: scribble recycled huge-page
   // chunks (0xDD) — and poison them under AddressSanitizer — so a view
   // read after release_views() faults loudly instead of silently seeing
@@ -734,7 +726,7 @@ class DlfsFleet {
   SampleDirectory directory_;
   std::vector<SampleLocation> layout_;  // sample id -> location
   std::vector<std::vector<std::uint32_t>> shard_samples_;  // slot -> ids
-  // Replica placement (config_.replication > 1): per-sample failover
+  // Replica placement (config_.fault.replication > 1): per-sample failover
   // hops in priority order, and per-slot rows of (sample id, device
   // offset) hosted as replicas, in on-device order after the slot's
   // primary region. The mount writes replica bytes from shard_replicas_

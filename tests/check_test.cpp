@@ -209,6 +209,41 @@ TEST(CheckedState, SequentialSlicesAreAllowed) {
   EXPECT_EQ(*shared.read(), 6);
 }
 
+TEST(AccessSlice, StaticCl005FindingIsARealRuntimeRace) {
+  // Companion to dlfslint's CL005 (AccessSlice live across co_await):
+  // this coroutine is the exact shape the static scanner flags — the
+  // DLFSLINT-ALLOW marker below suppresses that finding — and the
+  // dynamic ledger proves the hazard is real: a second task touching
+  // the ledger inside the suspended slice raises DataRaceError.
+  Simulator sim;
+  AccessLedger ledger{"cl005-shape"};
+  Process holder = sim.spawn(
+      [](Simulator* s, AccessLedger* l) -> Task<void> {
+        AccessSlice slice{*l, /*write=*/true};
+        co_await s->yield();  // DLFSLINT-ALLOW: CL005
+        co_await s->delay(20);
+      }(&sim, &ledger),
+      "cl005-holder");
+  Process prober = sim.spawn(
+      [](Simulator* s, AccessLedger* l) -> Task<void> {
+        co_await s->delay(10);
+        AccessSlice slice{*l, /*write=*/true};
+      }(&sim, &ledger),
+      "cl005-prober");
+  sim.run();
+  EXPECT_FALSE(holder.failed());
+  ASSERT_TRUE(prober.failed());
+  try {
+    prober.rethrow();
+    FAIL() << "expected DataRaceError";
+  } catch (const DataRaceError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cl005-shape"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cl005-holder"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cl005-prober"), std::string::npos) << msg;
+  }
+}
+
 TEST(AccessSlice, WholeMethodAnnotationConflictsAcrossTasks) {
   // The AccessSlice helper used by SampleCache / RemoteIoQueue /
   // IoEngine: a slice held across a suspension conflicts with any other
@@ -218,7 +253,7 @@ TEST(AccessSlice, WholeMethodAnnotationConflictsAcrossTasks) {
   Process bad = sim.spawn(
       [](Simulator* s, AccessLedger* l) -> Task<void> {
         AccessSlice slice{*l, /*write=*/true};
-        co_await s->delay(10);
+        co_await s->delay(10);  // DLFSLINT-ALLOW: CL005
       }(&sim, &ledger),
       "holder");
   Process victim = sim.spawn(

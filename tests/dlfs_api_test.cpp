@@ -122,38 +122,6 @@ TEST(DlfsMount, ManualParticipantSpawnStillWorks) {
   EXPECT_EQ(rig.fleet.directory().num_samples(), 100u);
 }
 
-TEST(DlfsMount, DeprecatedFaultAliasesMatchNestedConfig) {
-  // The loose fault knobs are deprecated aliases of DlfsConfig::fault;
-  // for the one-release compatibility window a value set through either
-  // spelling must land in both.
-  DlfsConfig legacy;
-  legacy.nvmf_fault.command_timeout = 123'456'789;
-  legacy.replication.k = 2;
-  legacy.reprobe_interval = 42'000;
-  legacy.io_retry_backoff = 77'000;
-  Rig via_legacy(2, dlfs::dataset::make_fixed_size_dataset(64, 4096), legacy);
-
-  DlfsConfig nested;
-  nested.fault.nvmf.command_timeout = 123'456'789;
-  nested.fault.replication.k = 2;
-  nested.fault.reprobe_interval = 42'000;
-  nested.fault.io_retry_backoff = 77'000;
-  Rig via_nested(2, dlfs::dataset::make_fixed_size_dataset(64, 4096), nested);
-
-  // Both spellings normalize to the same effective configuration...
-  EXPECT_EQ(via_legacy.fleet.config().fault, via_nested.fleet.config().fault);
-  // ...and within each fleet the aliases mirror the nested fields.
-  for (const DlfsFleet* fleet :
-       {&via_legacy.fleet, &via_nested.fleet}) {
-    const DlfsConfig& c = fleet->config();
-    EXPECT_EQ(c.nvmf_fault, c.fault.nvmf);
-    EXPECT_EQ(c.replication, c.fault.replication);
-    EXPECT_EQ(c.reprobe_interval, c.fault.reprobe_interval);
-    EXPECT_EQ(c.io_retry_backoff, c.fault.io_retry_backoff);
-  }
-  EXPECT_EQ(via_legacy.fleet.config().fault.replication.k, 2u);
-}
-
 // ---------------------------------------------------------------------------
 // dlfs_open / dlfs_read
 

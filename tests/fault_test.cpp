@@ -216,10 +216,10 @@ struct RemoteFleetRig {
 
   static dlfs::core::DlfsConfig cfg() {
     dlfs::core::DlfsConfig c;
-    c.nvmf_fault.command_timeout = 5_ms;
-    c.nvmf_fault.reconnect_backoff = 200_us;
-    c.nvmf_fault.reconnect_backoff_max = 1_ms;
-    c.nvmf_fault.reconnect_attempts = 4;
+    c.fault.nvmf.command_timeout = 5_ms;
+    c.fault.nvmf.reconnect_backoff = 200_us;
+    c.fault.nvmf.reconnect_backoff_max = 1_ms;
+    c.fault.nvmf.reconnect_attempts = 4;
     return c;
   }
 };
@@ -369,7 +369,7 @@ struct ReplicaRig {
   static dlfs::core::DlfsConfig cfg(std::uint32_t replication,
                                     dlfs::core::BatchingMode mode) {
     dlfs::core::DlfsConfig c = RemoteFleetRig::cfg();
-    c.replication = replication;
+    c.fault.replication = replication;
     c.batching = mode;
     return c;
   }
@@ -547,9 +547,9 @@ struct SelfHealRig {
                                     dlfs::core::BatchingMode mode,
                                     dlsim::SimDuration reprobe = 0) {
     dlfs::core::DlfsConfig c = RemoteFleetRig::cfg();
-    c.replication = repl;
+    c.fault.replication = repl;
     c.batching = mode;
-    c.reprobe_interval = reprobe;
+    c.fault.reprobe_interval = reprobe;
     return c;
   }
 };
@@ -845,7 +845,7 @@ TEST(FaultInjection, MidEpochReprobeRejoinsNodeWithoutEpochBoundary) {
   // reprobe interval, so only the down window's samples are skipped
   // (far fewer than the node's full share) within the SAME epoch.
   auto c = RemoteFleetRig::cfg();
-  c.reprobe_interval = 2_ms;
+  c.fault.reprobe_interval = 2_ms;
   ReplicaRig rig(c);
   auto& inst = rig.fleet.instance(0);
   const dlsim::SimTime t0 = rig.sim.now();

@@ -339,10 +339,10 @@ TEST(Prefetcher, SampleLevelDegradedEpochSkipsThenReissuesAfterRecovery) {
   // errors — the second epoch is served in full.
   DlfsConfig cfg;
   cfg.batching = BatchingMode::kSampleLevel;
-  cfg.nvmf_fault.command_timeout = 5_ms;
-  cfg.nvmf_fault.reconnect_backoff = 200_us;
-  cfg.nvmf_fault.reconnect_backoff_max = 1_ms;
-  cfg.nvmf_fault.reconnect_attempts = 4;
+  cfg.fault.nvmf.command_timeout = 5_ms;
+  cfg.fault.nvmf.reconnect_backoff = 200_us;
+  cfg.fault.nvmf.reconnect_backoff_max = 1_ms;
+  cfg.fault.nvmf.reconnect_attempts = 4;
   constexpr std::size_t kSamples = 2048;
   Rig rig(dlfs::dataset::make_fixed_size_dataset(kSamples, 4096), cfg,
           /*nodes=*/3, /*client_nodes=*/{2}, /*storage_nodes=*/{0, 1});

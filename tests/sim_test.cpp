@@ -278,6 +278,8 @@ TEST(Simulator, WatchdogThrowsWhenProcessOutlivesDeadline) {
   // deadline the loop would spin past the hang indefinitely.
   sim.spawn_daemon(
       [](Simulator& s) -> Task<void> {
+        // Deliberate busy-ticker: this test exists to prove the watchdog
+        // catches exactly this shape. DLFSLINT-ALLOW: CL007
         for (;;) co_await s.delay(1000);
       }(sim),
       "ticker");

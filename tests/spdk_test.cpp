@@ -463,7 +463,7 @@ TEST(Nvmf, ParkedCommandsReplayOnceAndCompleteOnce) {
   // Heal only after the first couple of reconnect attempts (at roughly
   // timeout + 0.5 ms, + 1.5 ms, ...) have already failed.
   rig.target->recover_at(13_ms);
-  rig.sim.spawn([](FabricRig& r, IoQueue& q,
+  rig.sim.spawn([](FabricRig&, IoQueue& q,
                    std::span<std::byte> b) -> Task<void> {
     EXPECT_EQ(q.submit(IoOp::kRead, 0, b.subspan(0, 512), 1), IoStatus::kOk);
     co_await q.wait_for_completion();  // timeout kicks off the reconnect

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Header self-sufficiency check: compile every public header under src/
+# standalone (-fsyntax-only) so no header leans on transitive includes
+# from its usual inclusion order. Usage: check_headers.sh [CXX]
+set -u
+
+cxx="${1:-${CXX:-c++}}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+count=0
+for h in $(find "$root/src" -name '*.hpp' | LC_ALL=C sort); do
+  count=$((count + 1))
+  rel="${h#"$root"/src/}"
+  if ! echo "#include \"$rel\"" |
+    "$cxx" -std=c++20 -Wall -Wextra -Werror -fsyntax-only \
+      -I "$root/src" -x c++ -; then
+    echo "check_headers: NOT self-sufficient: src/$rel" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -eq 0 ]; then
+  echo "check_headers: $count header(s) compile standalone"
+fi
+exit $fail

@@ -1,4 +1,4 @@
-// corolint fixture: CL001 — Task<> coroutines taking reference /
+// dlfslint fixture: CL001 — Task<> coroutines taking reference /
 // string_view / span parameters. These snippets are scanned, never
 // compiled; each marked line must produce exactly the expected finding.
 
@@ -14,33 +14,33 @@ struct Dev {
   int id = 0;
 };
 
-dlsim::Task<void> by_lvalue_ref(Dev& dev) {  // CORO-LINT-EXPECT: CL001
+dlsim::Task<void> by_lvalue_ref(Dev& dev) {  // DLFSLINT-EXPECT: CL001
   co_await do_io(dev.id);
 }
 
-dlsim::Task<int> by_const_ref(const std::string& name) {  // CORO-LINT-EXPECT: CL001
+dlsim::Task<int> by_const_ref(const std::string& name) {  // DLFSLINT-EXPECT: CL001
   co_return static_cast<int>(name.size());
 }
 
-dlsim::Task<void> by_rvalue_ref(std::string&& s) {  // CORO-LINT-EXPECT: CL001
+dlsim::Task<void> by_rvalue_ref(std::string&& s) {  // DLFSLINT-EXPECT: CL001
   co_await consume(std::move(s));
 }
 
-dlsim::Task<void> by_string_view(std::string_view sv) {  // CORO-LINT-EXPECT: CL001
+dlsim::Task<void> by_string_view(std::string_view sv) {  // DLFSLINT-EXPECT: CL001
   co_await log_line(sv);
 }
 
-dlsim::Task<void> by_span(std::span<int> xs) {  // CORO-LINT-EXPECT: CL001
+dlsim::Task<void> by_span(std::span<int> xs) {  // DLFSLINT-EXPECT: CL001
   co_await sum(xs);
 }
 
-// CORO-LINT-EXPECT: CL001
+// DLFSLINT-EXPECT: CL001
 dlsim::Task<void> mixed(int n, const Dev& dev, int m) {
   co_await do_io(dev.id + n + m);
 }
 
 // Trailing-return-type spelling is flagged too.
-// CORO-LINT-EXPECT: CL001
+// DLFSLINT-EXPECT: CL001
 auto trailing_ref(Dev& dev) -> dlsim::Task<void> {
   co_await do_io(dev.id);
 }

@@ -1,4 +1,4 @@
-// corolint fixture: CL002 — lambda coroutines capturing by reference.
+// dlfslint fixture: CL002 — lambda coroutines capturing by reference.
 // The lambda object dies at the end of the full-expression; the frame's
 // captures dangle on the first resume.
 
@@ -8,26 +8,26 @@
 namespace fixture {
 
 void cases(dlsim::Simulator& sim, int counter) {
-  // CORO-LINT-EXPECT: CL002
+  // DLFSLINT-EXPECT: CL002
   auto bad_default = [&]() -> dlsim::Task<void> {
     co_await sim.delay(1);
     ++counter;
   };
 
-  // CORO-LINT-EXPECT: CL002
+  // DLFSLINT-EXPECT: CL002
   auto bad_named = [&counter]() -> dlsim::Task<void> {
     co_await nothing();
     ++counter;
   };
 
-  // CORO-LINT-EXPECT: CL002
+  // DLFSLINT-EXPECT: CL002
   auto bad_mixed = [n = 1, &counter]() -> dlsim::Task<void> {
     co_await nothing();
     counter += n;
   };
 
   // Reference capture AND a reference parameter: both rules fire.
-  // CORO-LINT-EXPECT: CL001, CL002
+  // DLFSLINT-EXPECT: CL001, CL002
   auto doubly_bad = [&counter](int& x) -> dlsim::Task<void> {
     co_await nothing();
     counter += x;

@@ -1,4 +1,4 @@
-// corolint fixture: CL003 — detached coroutines (spawn / spawn_daemon)
+// dlfslint fixture: CL003 — detached coroutines (spawn / spawn_daemon)
 // built from lambdas that capture `this` (directly or via a default
 // capture). The daemon can outlive the object; `this` then dangles.
 
@@ -12,29 +12,31 @@ class Server {
   explicit Server(dlsim::Simulator& sim) : sim_(&sim) {}
 
   void start() {
-    // CORO-LINT-EXPECT: CL003
+    // DLFSLINT-EXPECT: CL003
     sim_->spawn_daemon([this]() -> dlsim::Task<void> {
-      for (;;) co_await sim_->delay(1);
-    }());
+      co_await sim_->delay(1);
+    }(),
+                       "fixture-this");
   }
 
   void start_by_default_ref() {
     // A default ref capture is both a dangling capture (CL002) and an
     // implicit `this` capture on a detached coroutine (CL003).
-    // CORO-LINT-EXPECT: CL002, CL003
+    // DLFSLINT-EXPECT: CL002, CL003
     sim_->spawn([&]() -> dlsim::Task<void> { co_await sim_->delay(1); }());
   }
 
   void start_by_default_copy() {
-    // CORO-LINT-EXPECT: CL003
+    // DLFSLINT-EXPECT: CL003
     sim_->spawn([=]() -> dlsim::Task<void> { co_await sim_->delay(1); }());
   }
 
   void start_deref_this() {
-    // CORO-LINT-EXPECT: CL003
+    // DLFSLINT-EXPECT: CL003
     sim_->spawn_daemon([*this]() -> dlsim::Task<void> {
       co_await sim_->delay(1);
-    }());
+    }(),
+                       "fixture-deref");
   }
 
   // --- negative cases -------------------------------------------------------
@@ -42,7 +44,7 @@ class Server {
   // Member coroutine spawned directly (no lambda): the established repo
   // pattern — lifetime is the owner's responsibility, visible at the
   // call site, and a liveness token guards the detached paths.
-  void start_member() { sim_->spawn_daemon(loop()); }
+  void start_member() { sim_->spawn_daemon(loop(), "fixture-member"); }
 
   // Lambda with explicit value state only: owns what it uses.
   void start_token(int token) {
@@ -53,7 +55,8 @@ class Server {
 
  private:
   dlsim::Task<void> loop() {
-    for (;;) co_await sim_->delay(1);
+    co_await sim_->delay(1);
+    co_return;
   }
 
   dlsim::Simulator* sim_;

@@ -1,4 +1,4 @@
-// corolint fixture: CL004 — `if (!co_await ...)` / `while (!co_await
+// dlfslint fixture: CL004 — `if (!co_await ...)` / `while (!co_await
 // ...)`: the negated await-in-condition shape GCC 12 miscompiles (the
 // coroutine frame is clobbered around the await). The repo convention is
 // hoisting the await into a named local (see spdk/nvmf.cpp probe()).
@@ -10,25 +10,25 @@ namespace fixture {
 dlsim::Task<bool> probe_once();
 
 dlsim::Task<void> bad_if() {
-  if (!co_await probe_once()) {  // CORO-LINT-EXPECT: CL004
+  if (!co_await probe_once()) {  // DLFSLINT-EXPECT: CL004
     co_return;
   }
 }
 
 dlsim::Task<void> bad_if_parenthesized() {
-  if (!(co_await probe_once())) {  // CORO-LINT-EXPECT: CL004
+  if (!(co_await probe_once())) {  // DLFSLINT-EXPECT: CL004
     co_return;
   }
 }
 
 dlsim::Task<void> bad_while() {
-  while (!co_await probe_once()) {  // CORO-LINT-EXPECT: CL004
+  while (!co_await probe_once()) {  // DLFSLINT-EXPECT: CL004
     co_await probe_once();
   }
 }
 
 dlsim::Task<void> bad_if_spread() {
-  if (!co_await  // CORO-LINT-EXPECT: CL004
+  if (!co_await  // DLFSLINT-EXPECT: CL004
           probe_once()) {
     co_return;
   }

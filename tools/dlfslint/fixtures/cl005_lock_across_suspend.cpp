@@ -1,0 +1,108 @@
+// dlfslint fixture: CL005 — lock held across a suspension point.
+//
+// Pass (a): an AccessSlice live in scope at a co_await. Slices assert
+// whole-method suspension-free critical sections (src/sim/check.hpp);
+// awaiting inside one is a DataRaceError waiting for the interleaving
+// the dynamic checker happens not to run.
+//
+// Pass (b): whole-repo lock-order cycles. Two functions that acquire
+// the same pair of sim::Mutexes in opposite orders deadlock under the
+// wrong interleaving; the static edge graph catches the inversion
+// without needing a test to interleave it.
+//
+// Fixtures are scanned, never compiled.
+
+#include "sim/check.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace fixture {
+
+struct Sliced {
+  dlsim::check::AccessLedger ledger{"fixture"};
+  dlsim::Simulator* sim = nullptr;
+
+  dlsim::Task<void> bad_await_inside_slice() {
+    dlsim::check::AccessSlice slice{ledger, /*write=*/true};
+    co_await sim->delay(10);  // DLFSLINT-EXPECT: CL005
+  }
+
+  dlsim::Task<void> bad_await_later_in_scope() {
+    int work = 0;
+    dlsim::check::AccessSlice slice{ledger, /*write=*/false};
+    ++work;
+    co_await sim->delay(work);  // DLFSLINT-EXPECT: CL005
+  }
+
+  // Negative: the slice closes with its own block before the await —
+  // the sanctioned shape.
+  dlsim::Task<void> ok_slice_closed_before_await() {
+    {
+      dlsim::check::AccessSlice slice{ledger, /*write=*/true};
+      // critical section, no suspension
+    }
+    co_await sim->delay(10);
+  }
+
+  // Negative: suppressed deliberate violation — the inline-allow
+  // mechanism itself is under test here.
+  dlsim::Task<void> allowed_await_inside_slice() {
+    dlsim::check::AccessSlice slice{ledger, /*write=*/true};
+    co_await sim->delay(10);  // DLFSLINT-ALLOW: CL005
+  }
+};
+
+struct Inverted {
+  dlsim::Mutex a;
+  dlsim::Mutex b;
+
+  dlsim::Task<void> lock_a_then_b() {
+    auto ga = co_await a.scoped_lock();
+    // DLFSLINT-EXPECT: CL005
+    auto gb = co_await b.scoped_lock();
+    co_return;
+  }
+
+  dlsim::Task<void> lock_b_then_a() {
+    auto gb = co_await b.scoped_lock();
+    // DLFSLINT-EXPECT: CL005
+    auto ga = co_await a.scoped_lock();
+    co_return;
+  }
+};
+
+// Negative: consistent order everywhere — edges c->d from both
+// functions, no cycle.
+struct Consistent {
+  dlsim::Mutex c;
+  dlsim::Mutex d;
+
+  dlsim::Task<void> first_user() {
+    auto gc = co_await c.scoped_lock();
+    auto gd = co_await d.scoped_lock();
+    co_return;
+  }
+
+  dlsim::Task<void> second_user() {
+    co_await c.lock();
+    co_await d.lock();
+    d.unlock();
+    c.unlock();
+    co_return;
+  }
+};
+
+// Negative: a guard held across a non-lock await with no nested
+// acquisition (the ext4 big-kernel-lock pattern) is sanctioned.
+struct BigLock {
+  dlsim::Mutex kernel_lock;
+  dlsim::Simulator* sim = nullptr;
+
+  dlsim::Task<void> ok_guard_across_compute() {
+    auto guard = co_await kernel_lock.scoped_lock();
+    co_await sim->delay(100);
+    co_return;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,73 @@
+// dlfslint fixture: CL007 — detached daemon hygiene.
+//
+// Two obligations for spawn_daemon call sites: (1) pass an explicit
+// name, because the watchdog diagnoses a wedged sim by naming blocked
+// coroutines and an unnamed daemon is a blank line in that report;
+// (2) a daemon's infinite loop must park on an Event / Channel /
+// Semaphore — a loop whose only awaits are delay() timers busy-polls
+// the clock, burns virtual time, and keeps an otherwise idle simulator
+// from quiescing.
+//
+// Fixtures are scanned, never compiled.
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace fixture {
+
+struct Daemons {
+  dlsim::Simulator* sim = nullptr;
+  dlsim::Event wake;
+  bool stop = false;
+
+  dlsim::Task<void> ticker_loop() {
+    for (;;) {  // DLFSLINT-EXPECT: CL007
+      co_await sim->delay(1000);
+    }
+  }
+
+  dlsim::Task<void> parked_loop() {
+    for (;;) {
+      dlsim::Task<void> parked = wake.wait();
+      co_await std::move(parked);
+      if (stop) co_return;
+      wake.reset();
+      co_await sim->delay(10);
+    }
+  }
+
+  dlsim::Task<void> one_shot() {
+    co_await sim->delay(500);
+    stop = true;
+  }
+
+  void bad_unnamed() {
+    // DLFSLINT-EXPECT: CL007
+    sim->spawn_daemon(parked_loop());
+  }
+
+  void bad_busy_ticker() {
+    sim->spawn_daemon(ticker_loop(), "fixture-ticker");
+  }
+
+  void bad_unnamed_lambda_ticker() {
+    // Both violations at once: no name, and the inline body polls.
+    // DLFSLINT-EXPECT: CL007
+    sim->spawn_daemon([](dlsim::Simulator* s) -> dlsim::Task<void> {
+      while (true) {  // DLFSLINT-EXPECT: CL007
+        co_await s->delay(100);
+      }
+    }(sim));
+  }
+
+  void ok_named_parked() {
+    sim->spawn_daemon(parked_loop(), "fixture-parked");
+  }
+
+  void ok_named_one_shot() {
+    sim->spawn_daemon(one_shot(), "fixture-oneshot");
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// dlfslint fixture: stale-allowlist gate.
+//
+// This file produces exactly one finding (CL001 below). allow_clean.txt
+// suppresses it with one matching entry and the scan exits 0;
+// allow_stale.txt adds a second entry that matches nothing, which the
+// gate must report ("stale allowlist entry") with a non-zero exit so
+// suppressions cannot outlive the code they excused.
+//
+// Fixtures are scanned, never compiled.
+
+#include <string>
+
+#include "sim/task.hpp"
+
+namespace fixture {
+
+// DLFSLINT-EXPECT: CL001
+dlsim::Task<void> stale_bait(const std::string& name) {
+  co_await dlsim::Task<void>{};
+  (void)name;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// telemetry_check fixture (clean case): fully threaded — every
+// InstanceStats leaf is read, every RunResult leaf is assigned and has
+// a json key.
+
+#include "result.hpp"
+#include "stats.hpp"
+
+namespace fixture {
+
+void aggregate(const InstanceStats& st, RunResult& r) {
+  r.bytes_copied += st.bytes_copied;
+  r.prefetch.units_issued += st.prefetch.units_issued;
+  r.prefetch.stall_ns += st.prefetch.stall_ns;
+  r.samples_per_sec = static_cast<double>(st.samples_delivered);
+}
+
+const char* json_keys() {
+  return "\"samples_per_sec\" \"bytes_copied\" \"prefetch_units_issued\" "
+         "\"prefetch_stall_us\"";
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// telemetry_check fixture (clean case): aggregate result, every field
+// assigned by impl.cpp and present as a json key.
+#pragma once
+
+#include <cstdint>
+
+#include "stats.hpp"
+
+namespace fixture {
+
+struct RunResult {
+  double samples_per_sec = 0.0;
+  std::uint64_t bytes_copied = 0;
+  PrefetchStats prefetch{};
+};
+
+}  // namespace fixture

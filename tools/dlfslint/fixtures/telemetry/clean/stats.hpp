@@ -1,0 +1,20 @@
+// telemetry_check fixture (clean case): per-instance counters, all of
+// which the paired impl.cpp consumes.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct PrefetchStats {
+  std::uint64_t units_issued = 0;
+  std::uint64_t stall_ns = 0;
+};
+
+struct InstanceStats {
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t bytes_copied = 0;
+  PrefetchStats prefetch{};
+};
+
+}  // namespace fixture

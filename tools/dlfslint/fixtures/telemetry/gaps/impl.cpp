@@ -1,0 +1,16 @@
+// telemetry_check fixture (gaps case): consumes samples_delivered only,
+// assigns samples and half_done only, writes the "samples" key only.
+
+#include "result.hpp"
+#include "stats.hpp"
+
+namespace fixture {
+
+void aggregate(const InstanceStats& st, RunResult& r) {
+  r.samples += st.samples_delivered;
+  r.half_done += st.samples_delivered / 2;
+}
+
+const char* json_keys() { return "\"samples\""; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// telemetry_check fixture (gaps case): half_done is aggregated but
+// never written to json; dropped_total is neither aggregated nor
+// written.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct RunResult {
+  std::uint64_t samples = 0;
+  std::uint64_t half_done = 0;
+  std::uint64_t dropped_total = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// telemetry_check fixture (gaps case): ghost_reads is declared but the
+// paired impl.cpp never reads it — the PR-8 bug shape.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct InstanceStats {
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t ghost_reads = 0;
+};
+
+}  // namespace fixture

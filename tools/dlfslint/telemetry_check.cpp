@@ -1,0 +1,409 @@
+// telemetry_check — telemetry-coverage cross-checker for the bench
+// harness (part of the dlfslint suite; same zero-dependency scanner
+// style, see scan_common.hpp).
+//
+// Every PR that adds an InstanceStats counter must hand-thread it
+// through three layers: the per-instance struct (src/dlfs/dlfs.hpp),
+// the harness aggregation into RunResult (bench/harness.cpp run_dlfs),
+// and the BENCH_*.json writer (JsonReport::write). PR 6/7/8 each did
+// this by hand — and PR 8 demonstrably forgot a layer (qos_deferrals
+// and the sharded-directory counters never reached RunResult or the
+// json). This tool mechanizes the audit:
+//
+//   1. consumed    every InstanceStats leaf must be *read* somewhere in
+//                  the implementation file (`.leaf` / `->leaf`);
+//   2. aggregated  every RunResult leaf must be *assigned* in the
+//                  implementation (`r.path.to.leaf`, result variable
+//                  configurable via --result-var);
+//   3. written     every RunResult leaf must appear as a JSON key in
+//                  the implementation's string literals, under the
+//                  default path-with-underscores name or a built-in
+//                  rename (elapsed -> elapsed_us, prefetch.stall_ns ->
+//                  prefetch_stall_us, transport.* -> the io_* /bare
+//                  transport names).
+//
+// Struct fields of struct type (PrefetchStats, DirectoryViewStats,
+// IoQueueStats, ...) are flattened recursively through every struct
+// definition found in the --source files. The leaf search in (1) is
+// best-effort by design — it matches the member name anywhere in the
+// implementation — but a counter that is declared and threaded nowhere
+// has no `.name` token at all, which is exactly the bug class this
+// catches.
+//
+// Modes:
+//   telemetry_check --stats-struct NAME --result-struct NAME
+//                   --source FILE... --impl FILE [--result-var r]
+//       exit 1 if any leaf fails a check.
+//   telemetry_check --self-test DIR
+//       DIR holds case subdirectories, each with stats.hpp, result.hpp,
+//       impl.cpp and expected.txt (one expected-diagnostic substring
+//       per line; empty = the case must come out clean). Exit 1 on any
+//       mismatch.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "scan_common.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using lintcommon::SourceFile;
+using lintcommon::find_word;
+using lintcommon::ident_char;
+using lintcommon::match_forward;
+using lintcommon::skip_ws;
+
+struct StructDef {
+  std::string name;
+  // Declaration-ordered (type token, field name) pairs.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+const std::set<std::string> kDeclKeywords = {
+    "using",  "static",  "friend",    "public",  "private", "protected",
+    "struct", "class",   "enum",      "typedef", "template", "operator",
+    "virtual", "constexpr", "inline", "explicit"};
+
+// Identifier tokens of `s`, in order.
+std::vector<std::string> ident_tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (ident_char(s[i])) {
+      std::size_t b = i;
+      while (i < s.size() && ident_char(s[i])) ++i;
+      out.push_back(s.substr(b, i - b));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// Parses every `struct Name { ... };` in `code` into defs. Member
+// functions, nested types, using-decls and access specifiers are
+// skipped; only data-member declarations survive.
+void parse_structs(const std::string& code,
+                   std::map<std::string, StructDef>& defs) {
+  std::size_t pos = 0;
+  while ((pos = find_word(code, "struct", pos)) != std::string::npos) {
+    std::size_t p = skip_ws(code, pos + 6);
+    pos += 6;
+    std::size_t nb = p;
+    while (p < code.size() && ident_char(code[p])) ++p;
+    if (p == nb) continue;
+    const std::string name = code.substr(nb, p - nb);
+    // Skip bases / `final` up to the body (or bail at ';' = fwd decl).
+    std::size_t q = p;
+    while (q < code.size() && code[q] != '{' && code[q] != ';') ++q;
+    if (q >= code.size() || code[q] != '{') continue;
+    const std::size_t close = match_forward(code, q, '{', '}');
+    if (close == std::string::npos) continue;
+    StructDef def{name, {}};
+    std::size_t i = q + 1;
+    while (i < close) {
+      // One declaration: up to the ';' at member depth, nested
+      // brackets (default initializers, method bodies) skipped whole.
+      std::size_t stmt_begin = i;
+      int depth = 0;
+      std::size_t j = i;
+      for (; j < close; ++j) {
+        const char c = code[j];
+        if (c == '{' || c == '(' || c == '[') ++depth;
+        if (c == '}' || c == ')' || c == ']') --depth;
+        if (c == ';' && depth == 0) break;
+        if (c == ':' && depth == 0 && j + 1 < close && code[j + 1] != ':' &&
+            (j == 0 || code[j - 1] != ':')) {
+          // Access specifier (`public:`): restart the statement after it.
+          const std::string head =
+              code.substr(stmt_begin, j - stmt_begin);
+          const auto toks = ident_tokens(head);
+          if (toks.size() == 1 && kDeclKeywords.contains(toks[0])) {
+            stmt_begin = j + 1;
+          }
+        }
+      }
+      if (j >= close) break;
+      std::string decl = code.substr(stmt_begin, j - stmt_begin);
+      i = j + 1;
+      // Cut at the initializer / body start so `{}`, `= 0`, `{...}`
+      // don't contribute tokens.
+      std::size_t cut = decl.size();
+      int d = 0;
+      for (std::size_t k = 0; k < decl.size(); ++k) {
+        const char c = decl[k];
+        if (c == '(' || c == '[') ++d;
+        if (c == ')' || c == ']') --d;
+        if (d == 0 && (c == '{' || c == '=')) {
+          cut = k;
+          break;
+        }
+      }
+      const std::string head = decl.substr(0, cut);
+      if (head.find('(') != std::string::npos) continue;  // method decl
+      const auto toks = ident_tokens(head);
+      if (toks.size() < 2) continue;
+      if (kDeclKeywords.contains(toks.front())) continue;
+      def.fields.emplace_back(toks[toks.size() - 2], toks.back());
+    }
+    defs[name] = def;
+  }
+}
+
+// Flattens `root` through `defs` into dotted leaf paths.
+void flatten(const std::map<std::string, StructDef>& defs,
+             const std::string& root, const std::string& prefix,
+             std::vector<std::string>& out) {
+  const auto it = defs.find(root);
+  if (it == defs.end()) return;
+  for (const auto& [type, field] : it->second.fields) {
+    if (defs.contains(type)) {
+      flatten(defs, type, prefix + field + ".", out);
+    } else {
+      out.push_back(prefix + field);
+    }
+  }
+}
+
+std::string leaf_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+// `.leaf` or `->leaf`, word-bounded, anywhere in stripped code.
+bool member_read(const std::string& code, const std::string& leaf) {
+  std::size_t p = 0;
+  while ((p = find_word(code, leaf, p)) != std::string::npos) {
+    const std::size_t at = p;
+    p += leaf.size();
+    if (at == 0) continue;
+    if (code[at - 1] == '.' ||
+        (code[at - 1] == '>' && at >= 2 && code[at - 2] == '-')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// `var.path.to.leaf`, word-bounded on both ends.
+bool assigned_path(const std::string& code, const std::string& var,
+                   const std::string& path) {
+  const std::string needle = var + "." + path;
+  std::size_t p = 0;
+  while ((p = code.find(needle, p)) != std::string::npos) {
+    const bool left_ok = p == 0 || !ident_char(code[p - 1]);
+    const std::size_t after = p + needle.size();
+    const bool right_ok = after >= code.size() || !ident_char(code[after]);
+    p += needle.size();
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+// Built-in JSON key renames (path -> key); everything else maps dots to
+// underscores.
+std::string json_key(const std::string& path) {
+  static const std::map<std::string, std::string> kRenames = {
+      {"elapsed", "elapsed_us"},
+      {"prefetch.stall_ns", "prefetch_stall_us"},
+      {"transport.timeouts", "io_timeouts"},
+      {"transport.connections_lost", "connections_lost"},
+      {"transport.reconnects", "reconnects"},
+      {"transport.replays", "replays"},
+  };
+  const auto it = kRenames.find(path);
+  if (it != kRenames.end()) return it->second;
+  std::string key = path;
+  for (char& c : key) {
+    if (c == '.') c = '_';
+  }
+  return key;
+}
+
+struct CheckInput {
+  std::vector<std::string> source_files;  // struct definitions
+  std::string impl_file;                  // aggregation + json writer
+  std::string stats_struct;
+  std::string result_struct;
+  std::string result_var = "r";
+};
+
+std::vector<std::string> run_checks(const CheckInput& in) {
+  std::vector<std::string> diags;
+  std::map<std::string, StructDef> defs;
+  for (const std::string& path : in.source_files) {
+    SourceFile f;
+    if (!lintcommon::load(path, f)) {
+      diags.push_back("cannot read source file: " + path);
+      return diags;
+    }
+    parse_structs(f.code, defs);
+  }
+  SourceFile impl;
+  if (!lintcommon::load(in.impl_file, impl)) {
+    diags.push_back("cannot read impl file: " + in.impl_file);
+    return diags;
+  }
+  if (!defs.contains(in.stats_struct)) {
+    diags.push_back("struct not found in sources: " + in.stats_struct);
+  }
+  if (!defs.contains(in.result_struct)) {
+    diags.push_back("struct not found in sources: " + in.result_struct);
+  }
+  if (!diags.empty()) return diags;
+
+  std::vector<std::string> stats_leaves, result_leaves;
+  flatten(defs, in.stats_struct, "", stats_leaves);
+  flatten(defs, in.result_struct, "", result_leaves);
+
+  for (const std::string& path : stats_leaves) {
+    if (!member_read(impl.code, leaf_of(path))) {
+      diags.push_back(in.stats_struct + "." + path +
+                      " is declared but never consumed by " + in.impl_file +
+                      " — thread it into the aggregation (or delete the "
+                      "counter)");
+    }
+  }
+  for (const std::string& path : result_leaves) {
+    if (!assigned_path(impl.code, in.result_var, path)) {
+      diags.push_back(in.result_struct + "." + path +
+                      " is never assigned (no '" + in.result_var + "." +
+                      path + "') in " + in.impl_file);
+    }
+    // The writer emits keys either as plain quoted strings or as
+    // escaped quotes inside a C++ literal (`\"key\"`): accept both.
+    const std::string key = json_key(path);
+    const bool written =
+        impl.orig.find("\"" + key + "\"") != std::string::npos ||
+        impl.orig.find("\\\"" + key + "\\\"") != std::string::npos;
+    if (!written) {
+      diags.push_back(in.result_struct + "." + path +
+                      " never reaches the json report (no \"" + key +
+                      "\" key) in " + in.impl_file);
+    }
+  }
+  return diags;
+}
+
+int self_test(const std::string& dir) {
+  int failures = 0;
+  std::vector<fs::path> cases;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_directory()) cases.push_back(e.path());
+  }
+  std::sort(cases.begin(), cases.end());
+  if (cases.empty()) {
+    std::cerr << "telemetry_check: no fixture cases under " << dir << "\n";
+    return 2;
+  }
+  for (const fs::path& c : cases) {
+    CheckInput in;
+    in.source_files = {(c / "stats.hpp").string(), (c / "result.hpp").string()};
+    in.impl_file = (c / "impl.cpp").string();
+    in.stats_struct = "InstanceStats";
+    in.result_struct = "RunResult";
+    const std::vector<std::string> diags = run_checks(in);
+    std::vector<std::string> expected;
+    {
+      std::ifstream exp(c / "expected.txt");
+      if (!exp) {
+        std::cerr << "telemetry_check: missing " << (c / "expected.txt")
+                  << "\n";
+        return 2;
+      }
+      std::string line;
+      while (std::getline(exp, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty() && line[0] != '#') expected.push_back(line);
+      }
+    }
+    std::vector<bool> used(diags.size(), false);
+    for (const std::string& want : expected) {
+      bool hit = false;
+      for (std::size_t i = 0; i < diags.size(); ++i) {
+        if (!used[i] && diags[i].find(want) != std::string::npos) {
+          used[i] = true;
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        std::cerr << c.filename().string() << ": MISSED expected diagnostic '"
+                  << want << "'\n";
+        ++failures;
+      }
+    }
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      if (!used[i]) {
+        std::cerr << c.filename().string() << ": UNEXPECTED diagnostic: "
+                  << diags[i] << "\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "telemetry_check self-test: all fixture expectations "
+                 "matched\n";
+    return 0;
+  }
+  std::cerr << "telemetry_check self-test: " << failures << " mismatch(es)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckInput in;
+  std::string selftest_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) {
+        std::cerr << "telemetry_check: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (a == "--source") {
+      in.source_files.push_back(next());
+    } else if (a == "--impl") {
+      in.impl_file = next();
+    } else if (a == "--stats-struct") {
+      in.stats_struct = next();
+    } else if (a == "--result-struct") {
+      in.result_struct = next();
+    } else if (a == "--result-var") {
+      in.result_var = next();
+    } else if (a == "--self-test") {
+      selftest_dir = next();
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: telemetry_check --stats-struct NAME "
+                   "--result-struct NAME --source FILE... --impl FILE "
+                   "[--result-var r]\n"
+                   "       telemetry_check --self-test FIXTURE_DIR\n";
+      return 0;
+    } else {
+      std::cerr << "telemetry_check: unknown argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (!selftest_dir.empty()) return self_test(selftest_dir);
+  if (in.source_files.empty() || in.impl_file.empty() ||
+      in.stats_struct.empty() || in.result_struct.empty()) {
+    std::cerr << "telemetry_check: need --stats-struct, --result-struct, "
+                 "--source and --impl (try --help)\n";
+    return 2;
+  }
+  const std::vector<std::string> diags = run_checks(in);
+  for (const std::string& d : diags) {
+    std::cout << "telemetry_check: " << d << "\n";
+  }
+  std::cout << "telemetry_check: " << in.stats_struct << " + "
+            << in.result_struct << " against " << in.impl_file << ": "
+            << diags.size() << " gap(s)\n";
+  return diags.empty() ? 0 : 1;
+}
