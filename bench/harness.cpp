@@ -155,7 +155,12 @@ RunResult run_dlfs(const Workload& w, core::DlfsConfig cfg,
     r.directory.negative_hits += st.directory.negative_hits;
     r.directory.remote_lookups += st.directory.remote_lookups;
     r.directory.cache_evictions += st.directory.cache_evictions;
+    r.directory.stale_invalidations += st.directory.stale_invalidations;
     r.directory_bytes += st.directory_bytes;
+    r.peer_hits_local += st.peer_hits_local;
+    r.peer_hits_remote += st.peer_hits_remote;
+    r.peer_misses += st.peer_misses;
+    r.peer_bytes += st.peer_bytes;
     delivered_samples += st.samples_delivered;
     delivered_bytes += st.bytes_delivered;
   }
@@ -473,7 +478,13 @@ std::string JsonReport::write() const {
         << ", \"directory_negative_hits\": " << r.directory.negative_hits
         << ", \"directory_remote_lookups\": " << r.directory.remote_lookups
         << ", \"directory_cache_evictions\": " << r.directory.cache_evictions
-        << ", \"directory_bytes\": " << r.directory_bytes << "}"
+        << ", \"directory_stale_invalidations\": "
+        << r.directory.stale_invalidations
+        << ", \"directory_bytes\": " << r.directory_bytes
+        << ", \"peer_hits_local\": " << r.peer_hits_local
+        << ", \"peer_hits_remote\": " << r.peer_hits_remote
+        << ", \"peer_misses\": " << r.peer_misses
+        << ", \"peer_bytes\": " << r.peer_bytes << "}"
         << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
   out << "]\n";

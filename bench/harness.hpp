@@ -98,6 +98,14 @@ struct RunResult {
   std::uint64_t qos_deferrals = 0;
   core::DirectoryViewStats directory{};
   std::uint64_t directory_bytes = 0;
+  // Cooperative peer-cache counters, summed over clients: samples served
+  // out of a co-located instance's cache, samples pulled from a remote
+  // client's DRAM over the fabric, peer lookups that fell back to the
+  // replica read path, and total peer-served bytes.
+  std::uint64_t peer_hits_local = 0;
+  std::uint64_t peer_hits_remote = 0;
+  std::uint64_t peer_misses = 0;
+  std::uint64_t peer_bytes = 0;
 };
 
 /// One epoch of dlfs_bread across all clients. A FaultPlan crashes one

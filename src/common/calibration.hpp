@@ -106,6 +106,13 @@ struct DlfsCosts {
   // on the source chunk. ~0.2 us covers the cross-socket case on the
   // paper's dual-socket E5-2650 testbed; same-core execution pays zero.
   SimDuration cross_core_handoff = 200_ns;
+  // Serving one peer-cache read on the holder client: request decode,
+  // cache index probe + pin, and posting the reply transfer. Comparable
+  // to an RDMA-verbs recv/post pair plus a hash probe on the E5-2650
+  // class host (~0.3-0.5 us in softRoCE/verbs microbenchmarks); the data
+  // bytes themselves are charged separately at copy_bw_bytes_per_sec and
+  // on the fabric.
+  SimDuration peer_serve = 400_ns;
 };
 
 /// Octopus-like distributed FS costs (RDMA-enabled, distributed metadata).

@@ -125,11 +125,12 @@ std::vector<EpochSequence::UnitPicks> EpochSequence::take(std::size_t n) {
 EpochUnitProvider::EpochUnitProvider(const EpochSequence& seq,
                                      std::uint32_t group,
                                      const SampleCache* cache,
-                                     RouteResolver routes)
+                                     RouteResolver routes, PeerProbe peers)
     : seq_(&seq),
       group_(std::max<std::uint32_t>(group, 1)),
       cache_(cache),
-      routes_(std::move(routes)) {}
+      routes_(std::move(routes)),
+      peers_(std::move(peers)) {}
 
 std::size_t EpochUnitProvider::num_units() const {
   return (seq_->num_units() + group_ - 1) / group_;
@@ -156,6 +157,9 @@ std::vector<UnitExtent> EpochUnitProvider::unit_extents(
     // samples are served from it at consume time — don't re-read them.
     const std::uint32_t id = u->samples.front().sample_id;
     if (cache_ != nullptr && cache_->valid(id)) continue;
+    // Peer-resident samples are likewise elided: the consume path serves
+    // them from a co-located or remote peer cache instead of the device.
+    if (peers_ && peers_(id)) continue;
     UnitExtent x{u->nid, u->offset, u->len, id};
     if (routes_) x.routes = routes_(id);
     out.push_back(std::move(x));

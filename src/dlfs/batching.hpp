@@ -167,8 +167,15 @@ class EpochUnitProvider final : public ReadUnitProvider {
   /// Chunk units read record regions, not samples — they get no routes.
   using RouteResolver = std::function<std::vector<RouteHop>(std::uint32_t)>;
 
+  /// `peers` (optional) answers "is this sample currently resident in a
+  /// cooperative peer cache?". Issue-time elision consults it after the
+  /// local cache, so a warm peer set costs no device read-ahead either —
+  /// the consume path fetches those bytes from the peer instead.
+  using PeerProbe = std::function<bool(std::uint32_t)>;
+
   EpochUnitProvider(const EpochSequence& seq, std::uint32_t group,
-                    const SampleCache* cache, RouteResolver routes = {});
+                    const SampleCache* cache, RouteResolver routes = {},
+                    PeerProbe peers = {});
 
   [[nodiscard]] std::size_t num_units() const override;
   [[nodiscard]] std::vector<UnitExtent> unit_extents(
@@ -185,6 +192,7 @@ class EpochUnitProvider final : public ReadUnitProvider {
   std::uint32_t group_;
   const SampleCache* cache_;  // may be null: no elision
   RouteResolver routes_;      // may be null: no replication
+  PeerProbe peers_;           // may be null: no peer cache
 };
 
 /// Trivial provider over a precomputed extent list, one unit per extent

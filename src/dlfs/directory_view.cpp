@@ -19,6 +19,16 @@ DirectoryView::DirectoryView(const SampleDirectory& dir, DirectoryConfig cfg,
 const SampleEntry* DirectoryView::cache_find(std::uint64_t key) {
   auto it = cache_.find(key);
   if (it == cache_.end()) return nullptr;
+  if (it->second.version != row_version(key)) {
+    // The repair daemon republished this sample's hop set after the row
+    // was cached: a real client's row is stale (it snapshots the routes
+    // learned at RPC time) and must be re-fetched from the owner, so the
+    // resolution goes remote again and pays the round trip.
+    lru_.erase(it->second.lru);
+    cache_.erase(it);
+    ++stats_.stale_invalidations;
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
   return it->second.entry;
 }
@@ -31,7 +41,7 @@ void DirectoryView::cache_insert(std::uint64_t key, const SampleEntry* entry) {
     ++stats_.cache_evictions;
   }
   lru_.push_front(key);
-  cache_.emplace(key, CacheRow{entry, lru_.begin()});
+  cache_.emplace(key, CacheRow{entry, lru_.begin(), row_version(key)});
 }
 
 void DirectoryView::negative_insert(std::uint64_t key) {

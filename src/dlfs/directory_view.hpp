@@ -65,6 +65,9 @@ struct DirectoryViewStats {
   std::uint64_t negative_hits = 0;    // absent, answered by negative cache
   std::uint64_t remote_lookups = 0;   // resolutions that need an RPC
   std::uint64_t cache_evictions = 0;  // positive-cache LRU evictions
+  /// Cached rows dropped because the sample's route set was republished
+  /// (repair daemon) after the row was filled — served stale nowhere.
+  std::uint64_t stale_invalidations = 0;
 };
 
 class DirectoryView {
@@ -131,6 +134,14 @@ class DirectoryView {
   void cache_insert(std::uint64_t key, const SampleEntry* entry);
   void negative_insert(std::uint64_t key);
 
+  // Route-set version a cache row for `key` must match to be served:
+  // id-keyed rows validate against the sample's own version, name-keyed
+  // rows (no id available) against the coarse directory epoch.
+  [[nodiscard]] std::uint64_t row_version(std::uint64_t key) const {
+    return (key & 1u) != 0 ? dir_->route_version(key >> 1)
+                           : dir_->route_epoch();
+  }
+
   const SampleDirectory* dir_;
   DirectoryConfig cfg_;
   std::vector<std::uint8_t> resident_;  // index = storage slot
@@ -139,6 +150,7 @@ class DirectoryView {
   struct CacheRow {
     const SampleEntry* entry;
     std::list<std::uint64_t>::iterator lru;
+    std::uint64_t version;  // dir route version when the row was filled
   };
   std::unordered_map<std::uint64_t, CacheRow> cache_;
   std::list<std::uint64_t> lru_;

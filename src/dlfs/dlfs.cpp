@@ -218,6 +218,13 @@ DlfsFleet::DlfsFleet(cluster::Cluster& cluster, cluster::Pfs& pfs,
   // declared dead.
   declared_dead_.assign(storage_nodes_.size(), 0);
   repair_next_offset_ = std::move(next_offset);
+  if (config_.peer_cache.enabled) {
+    // Cooperative peer cache: one cluster-wide consistent-hash directory
+    // of advertised residency. The per-node member indexes grow lazily
+    // (peer_index_for) as instances mount, like the prefetch arbiters.
+    peer_directory_ = std::make_shared<PeerCacheDirectory>(
+        config_.peer_cache, static_cast<std::uint32_t>(client_nodes_.size()));
+  }
 }
 
 DlfsFleet::~DlfsFleet() = default;
@@ -491,12 +498,41 @@ DlfsInstance::DlfsInstance(DlfsFleet& fleet, std::uint32_t client_idx,
       prefetcher_->set_arbiter(arbiter_);
     }
   }
+  if (cfg.peer_cache.enabled) {
+    // Cooperative peer cache: join the node's member index so co-located
+    // instances can serve out of this cache, and mirror V-bit flips into
+    // the cluster directory so remote ones can find it. The listener runs
+    // inside cache slices, so it must stay suspension-free — directory
+    // updates are plain bookkeeping (the model's stand-in for residency
+    // deltas piggybacked on existing metadata traffic).
+    peer_index_ = fleet.peer_index_for(fleet.client_nodes_[client_idx]);
+    peer_index_->register_member(client_idx_, cache_.get(), io_core_);
+    cache_->set_residency_listener(
+        [this, pnode = static_cast<std::uint16_t>(
+                   fleet.client_nodes_[client_idx])](std::size_t id,
+                                                     bool resident) {
+          PeerCacheDirectory* dir = fleet_->peer_directory_.get();
+          if (dir == nullptr) return;
+          if (resident) {
+            dir->advertise(client_idx_, pnode, id,
+                           fleet_->layout_[id].len);
+          } else {
+            dir->retract(client_idx_, id);
+          }
+        });
+  }
 }
 
 std::shared_ptr<PrefetchArbiter> DlfsFleet::arbiter_for(hw::NodeId nid) {
   auto& a = arbiters_[nid];
   if (!a) a = std::make_shared<PrefetchArbiter>();
   return a;
+}
+
+std::shared_ptr<PeerCacheIndex> DlfsFleet::peer_index_for(hw::NodeId nid) {
+  auto& idx = peer_indexes_[nid];
+  if (!idx) idx = std::make_shared<PeerCacheIndex>();
+  return idx;
 }
 
 // ---------------------------------------------------------------------------
@@ -607,6 +643,15 @@ DlfsInstance::~DlfsInstance() {
   // member; the alive token (checked after every suspension) is the only
   // teardown signal.
   *repair_alive_ = false;
+  // Leave the cooperative cache before members start dying: co-located
+  // instances must stop probing this cache, and advertised residency
+  // must vanish from the cluster directory (the cache tears entries down
+  // without firing the listener).
+  if (peer_index_) peer_index_->unregister_member(client_idx_);
+  if (fleet_->peer_directory_) {
+    fleet_->peer_directory_->retract_all(client_idx_);
+  }
+  if (cache_) cache_->set_residency_listener({});
 }
 
 dlsim::Task<void> DlfsInstance::charge_lookup() {
@@ -678,6 +723,135 @@ bool DlfsInstance::sample_reachable(std::uint32_t sample_id) const {
     if (node_up(h.nid)) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative peer cache (read side)
+
+bool DlfsInstance::peer_resident(std::uint32_t sample_id) const {
+  if (!fleet_->config_.peer_cache.enabled) return false;
+  if (peer_index_ != nullptr &&
+      peer_index_->find_holder(sample_id, client_idx_) != nullptr) {
+    return true;
+  }
+  PeerCacheDirectory* dir = fleet_->peer_directory_.get();
+  return dir != nullptr && dir->find(sample_id, client_idx_).found;
+}
+
+dlsim::Task<bool> DlfsInstance::try_peer_read(std::uint32_t sample_id,
+                                              std::uint32_t len,
+                                              std::byte* dst) {
+  if (!fleet_->config_.peer_cache.enabled) co_return false;
+  const DlfsCosts& costs = fleet_->config_.calibration.dlfs;
+
+  // Intra-node first: a co-located instance's resident copy is one pin
+  // plus one DRAM copy away — no fabric, and no tenant admission (same
+  // treatment as own-cache hits: host-memory copies never compete with
+  // other tenants for the devices or the wire).
+  if (peer_index_ != nullptr) {
+    const PeerCacheIndex::Member* m =
+        peer_index_->find_holder(sample_id, client_idx_);
+    if (m != nullptr) {
+      auto views = m->cache->pin(sample_id);
+      if (!views.empty()) {
+        co_await io_core_->compute(costs.peer_serve);
+        CopyJob job;
+        job.views = std::move(views);
+        job.dst = dst;
+        co_await engine_->run_copy_inline(*io_core_, std::move(job));
+        m->cache->unpin(sample_id);
+        ++peer_hits_local_;
+        peer_bytes_ += len;
+        co_return true;
+      }
+    }
+  }
+
+  // Cross-node: ask the sample's consistent-hash home for a holder, then
+  // pull the bytes from the holder's DRAM over the fabric. Every refusal
+  // along the way (no holder, dropped leg, raced eviction) unwinds to a
+  // miss; the caller falls back to the normal replica read path.
+  PeerCacheDirectory* dir = fleet_->peer_directory_.get();
+  if (dir == nullptr) {
+    ++peer_misses_;
+    co_return false;
+  }
+  hw::Fabric& fabric = fleet_->cluster_->fabric();
+  const hw::NodeId me = fleet_->client_nodes_[client_idx_];
+  const std::uint32_t home = dir->home_client(sample_id);
+  const hw::NodeId home_node = fleet_->client_nodes_[home];
+  if (home != client_idx_) {
+    // Request hop (skipped when this client is the home — the directory
+    // slice is then local memory).
+    const bool asked =
+        co_await fabric.send(me, home_node, hw::kControlMessageBytes);
+    if (!asked) {
+      ++peer_misses_;
+      co_return false;
+    }
+  }
+  const PeerCacheDirectory::Holder h = dir->find(sample_id, client_idx_);
+  if (!h.found) {
+    if (home != client_idx_) {
+      // Miss reply from the home.
+      co_await fabric.transfer(home_node, me, hw::kControlMessageBytes);
+    }
+    ++peer_misses_;
+    co_return false;
+  }
+  const hw::NodeId holder_node = fleet_->client_nodes_[h.client];
+  if (h.client != home) {
+    // Forward hop: the home passes the request on to the holder
+    // (loopback when they share a node).
+    const bool forwarded =
+        co_await fabric.send(home_node, holder_node, hw::kControlMessageBytes);
+    if (!forwarded) {
+      ++peer_misses_;
+      co_return false;
+    }
+  }
+  // Pin the holder's entry. The fabric hops above suspended, so the
+  // holder may have evicted (and retracted) meanwhile — an empty pin is
+  // that race, answered with a miss reply.
+  PeerCacheIndex* hidx = fleet_->peer_index(holder_node);
+  const PeerCacheIndex::Member* m =
+      hidx != nullptr ? hidx->member_of(h.client) : nullptr;
+  std::vector<std::span<const std::byte>> views;
+  if (m != nullptr) views = m->cache->pin(sample_id);
+  if (views.empty()) {
+    co_await fabric.transfer(holder_node, me, hw::kControlMessageBytes);
+    ++peer_misses_;
+    co_return false;
+  }
+  // The bulk transfer is charged to the requesting tenant exactly like a
+  // device read of the same bytes — a peer read must not let a capped
+  // job dodge its QoS share.
+  if (fleet_->tenant_) {
+    while (!fleet_->tenant_->try_admit(len)) {
+      co_await io_core_->compute(costs.poll_iteration);
+    }
+  }
+  // Holder-side serve (verbs recv + RDMA post) on the holder's core; the
+  // data path itself is one-sided, so there is no holder-side copy.
+  co_await m->core->compute(costs.peer_serve);
+  const bool delivered = co_await fabric.send(holder_node, me, len);
+  if (!delivered) {
+    m->cache->unpin(sample_id);
+    if (fleet_->tenant_) fleet_->tenant_->on_complete(len);
+    ++peer_misses_;
+    co_return false;
+  }
+  // Requester-side placement of the landed bytes (real memcpy: delivery
+  // stays byte-identical to the device path).
+  CopyJob job;
+  job.views = std::move(views);
+  job.dst = dst;
+  co_await engine_->run_copy_inline(*io_core_, std::move(job));
+  m->cache->unpin(sample_id);
+  if (fleet_->tenant_) fleet_->tenant_->on_complete(len);
+  ++peer_hits_remote_;
+  peer_bytes_ += len;
+  co_return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -1215,9 +1389,15 @@ dlsim::Task<void> DlfsInstance::read(const SampleHandle& h,
     cache_->unpin(h.sample_id);
   } else {
     cache_->note_miss();
-    co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
-                               dst.data(), h.sample_id,
-                               sample_routes(h.sample_id));
+    // A cooperating peer's DRAM beats any device: try it first, fall
+    // back to the normal (replica-routed) read on a peer miss.
+    const bool peer_served =
+        co_await try_peer_read(h.sample_id, e.len(), dst.data());
+    if (!peer_served) {
+      co_await engine_->read_one(*io_core_, e.nid(), e.offset(), e.len(),
+                                 dst.data(), h.sample_id,
+                                 sample_routes(h.sample_id));
+    }
   }
   ++samples_delivered_;
   bytes_delivered_ += e.len();
@@ -1249,9 +1429,18 @@ void DlfsInstance::sequence(std::uint64_t seed) {
     if (fleet_->config_.fault.replication.k > 1) {
       routes = [this](std::uint32_t id) { return sample_routes(id); };
     }
+    // Peer-resident samples are elided from read-ahead like cache hits:
+    // the consume path pulls them from the peer instead of the device.
+    // Chunk units always fetch whole (their samples never populate the
+    // sample cache), so chunk mode takes no probe.
+    EpochUnitProvider::PeerProbe peers;
+    if (fleet_->config_.peer_cache.enabled && !chunk) {
+      peers = [this](std::uint32_t id) { return peer_resident(id); };
+    }
     epoch_provider_ = std::make_unique<EpochUnitProvider>(
         *seq_, chunk ? 1u : fleet_->config_.prefetch.group_samples,
-        chunk ? nullptr : cache_.get(), std::move(routes));
+        chunk ? nullptr : cache_.get(), std::move(routes),
+        std::move(peers));
     prefetcher_->start_epoch(epoch_provider_.get());
   }
 }
@@ -1403,31 +1592,45 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           // owns the sample and stay fatal (after the latches settle).
           if (!fatal) fatal = ax->error;
           copy_latch.count_down();
-        } else if (!sample_reachable(us.sample_id)) {
+        } else if (!fleet_->config_.peer_cache.enabled &&
+                   !sample_reachable(us.sample_id)) {
           // No live copy anywhere: degrade by skipping just this sample.
+          // (With the peer cache on, an unreachable sample may still be
+          // servable from a peer's DRAM — decided below.)
           skipped.insert(us.sample_id);
           copy_latch.count_down();
         } else {
-          // Elided at issue time (the sample was cache-resident then but
-          // evicted since), or its read-ahead died on a node fault while
-          // a replica — or the recovered primary — can still serve it:
-          // demand-fetch with the failover route attached.
+          // Elided at issue time (the sample was cache- or peer-resident
+          // then but evicted since), or its read-ahead died on a node
+          // fault while a replica — or the recovered primary — can still
+          // serve it: serve from a peer if one holds it, else
+          // demand-fetch with the failover route attached. The skipped
+          // set keeps accounting exactly-once even when a sample falls
+          // through both the peer and the replica attempts.
           if (arena_pos + loc.len > arena.size()) {
             throw std::invalid_argument(
                 "dlfs_bread: arena too small for batch");
           }
           cache_->note_miss();
-          try {
-            co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
-                                       loc.len, arena.data() + arena_pos,
-                                       us.sample_id,
-                                       sample_routes(us.sample_id));
+          const bool peer_served = co_await try_peer_read(
+              us.sample_id, loc.len, arena.data() + arena_pos);
+          if (peer_served) {
             (void)place(us.sample_id, loc.len);
-          } catch (const IoError& e) {
-            if (e.kind == IoErrorKind::kMedia) {
-              if (!fatal) fatal = std::current_exception();
-            } else {
-              skipped.insert(us.sample_id);
+          } else if (!sample_reachable(us.sample_id)) {
+            skipped.insert(us.sample_id);
+          } else {
+            try {
+              co_await engine_->read_one(*io_core_, loc.nid, loc.offset,
+                                         loc.len, arena.data() + arena_pos,
+                                         us.sample_id,
+                                         sample_routes(us.sample_id));
+              (void)place(us.sample_id, loc.len);
+            } catch (const IoError& e) {
+              if (e.kind == IoErrorKind::kMedia) {
+                if (!fatal) fatal = std::current_exception();
+              } else {
+                skipped.insert(us.sample_id);
+              }
             }
           }
           copy_latch.count_down();
@@ -1458,16 +1661,33 @@ dlsim::Task<Batch> DlfsInstance::bread(std::size_t max_samples,
           job.dst = arena.data() + off;
           co_await engine_->run_copy_inline(*io_core_, std::move(job));
           cache_->unpin(us.sample_id);
-        } else if (!sample_reachable(us.sample_id)) {
+        } else if (!fleet_->config_.peer_cache.enabled &&
+                   !sample_reachable(us.sample_id)) {
           skipped.insert(us.sample_id);
         } else {
           cache_->note_miss();
-          const auto off = place(us.sample_id, loc.len);
-          extents.push_back(ReadExtent{loc.nid, loc.offset, loc.len,
-                                       arena.data() + off, us.sample_id,
-                                       nullptr, {},
-                                       sample_routes(us.sample_id)});
-          extent_samples.push_back(us.sample_id);
+          bool peer_served = false;
+          if (fleet_->config_.peer_cache.enabled) {
+            if (arena_pos + loc.len > arena.size()) {
+              throw std::invalid_argument(
+                  "dlfs_bread: arena too small for batch");
+            }
+            peer_served = co_await try_peer_read(us.sample_id, loc.len,
+                                                 arena.data() + arena_pos);
+          }
+          if (peer_served) {
+            (void)place(us.sample_id, loc.len);
+          } else if (!sample_reachable(us.sample_id)) {
+            // Peer miss and no live replica: skip exactly once.
+            skipped.insert(us.sample_id);
+          } else {
+            const auto off = place(us.sample_id, loc.len);
+            extents.push_back(ReadExtent{loc.nid, loc.offset, loc.len,
+                                         arena.data() + off, us.sample_id,
+                                         nullptr, {},
+                                         sample_routes(us.sample_id)});
+            extent_samples.push_back(us.sample_id);
+          }
         }
       }
     }
@@ -1831,12 +2051,16 @@ dlsim::Task<Batch> DlfsInstance::bread_unbatched(std::size_t max_samples,
         served = true;
       } else if (ax != nullptr && !is_node_fault(ax->error)) {
         std::rethrow_exception(ax->error);
-      } else if (!sample_reachable(us.sample_id)) {
+      } else if (!sample_reachable(us.sample_id) &&
+                 !peer_resident(us.sample_id)) {
         skipped.insert(us.sample_id);
       } else {
-        // Demand read (never prefetched, or read-ahead died on a node
-        // fault while a live copy remains): read() carries the replica
-        // failover route.
+        // Demand read (never prefetched, elided for a peer, or read-ahead
+        // died on a node fault while a live copy remains): read() tries
+        // the peer cache first and carries the replica failover route. A
+        // peer-resident but unreachable sample that then loses the peer
+        // race fails the engine read with a node fault — caught below, so
+        // the skipped set still counts it exactly once.
         SampleHandle h{us.sample_id,
                        fleet_->directory_.lookup_id(us.sample_id)};
         co_await charge_lookup();

@@ -140,6 +140,12 @@ struct DlfsConfig {
   // lazily over NVMe-oF metadata RPCs through a bounded lookup cache +
   // negative cache, so per-client directory memory is O(dataset / S).
   DirectoryConfig directory{};
+  // Cooperative peer sample cache: co-located instances serve each
+  // other's cached samples through a per-node PeerCacheIndex, and a
+  // consistent-hash cache directory lets a client fetch a hot sample
+  // from a remote peer's DRAM over the fabric instead of re-reading
+  // NVMe. Coherence-free because the dataset is immutable after mount.
+  PeerCacheConfig peer_cache{};
   // Tenant identity under a shared TenantGovernor (multi-job QoS). A
   // default-constructed TenantConfig (null governor) means no QoS.
   TenantConfig tenant{};
@@ -256,6 +262,14 @@ struct InstanceStats {
   // shards + caches (the O(dataset/S) claim, in bytes).
   DirectoryViewStats directory{};
   std::uint64_t directory_bytes = 0;
+  // Cooperative peer-cache telemetry (all zero with peer_cache.enabled
+  // off): samples served from a co-located instance's DRAM, samples
+  // served from a remote client's DRAM over the fabric, consultations
+  // that found no live holder, and total bytes peers served either way.
+  std::uint64_t peer_hits_local = 0;
+  std::uint64_t peer_hits_remote = 0;
+  std::uint64_t peer_misses = 0;
+  std::uint64_t peer_bytes = 0;
 };
 
 class DlfsFleet;
@@ -355,6 +369,10 @@ class DlfsInstance {
     s.qos_deferrals = engine_->qos_deferrals();
     if (view_) s.directory = view_->stats();
     s.directory_bytes = directory_bytes();
+    s.peer_hits_local = peer_hits_local_;
+    s.peer_hits_remote = peer_hits_remote_;
+    s.peer_misses = peer_misses_;
+    s.peer_bytes = peer_bytes_;
     return s;
   }
 
@@ -427,6 +445,20 @@ class DlfsInstance {
       std::uint32_t sample_id) const;
   /// True when the sample's primary or any replica node is reachable.
   [[nodiscard]] bool sample_reachable(std::uint32_t sample_id) const;
+
+  // --- cooperative peer cache ----------------------------------------------
+  /// Cost-free probe: is the sample resident in some *other* instance's
+  /// cache (co-located or remote) right now? Issue-time elision and the
+  /// skip decision consult this before giving up on a sample.
+  [[nodiscard]] bool peer_resident(std::uint32_t sample_id) const;
+  /// Peer-cache read: co-located holder first (shared-DRAM copy), then a
+  /// remote holder via the cache directory's home client (peer-read RPC
+  /// over the fabric, charged to this fleet's tenant). Copies the
+  /// sample's bytes into `dst` on success; a miss (no holder, raced
+  /// eviction, transport refusal) counts peer_misses_ and returns false.
+  [[nodiscard]] dlsim::Task<bool> try_peer_read(std::uint32_t sample_id,
+                                                std::uint32_t len,
+                                                std::byte* dst);
 
   // --- self-healing replication (failure detector + repair daemon) --------
   /// Availability-transition tap (runs inside the engine's node handler):
@@ -514,6 +546,14 @@ class DlfsInstance {
   std::uint64_t samples_rereplicated_ = 0;
   std::uint64_t repair_bytes_ = 0;
   std::uint64_t repair_throttles_ = 0;
+  // --- cooperative peer cache state ----------------------------------------
+  // The node-local index this instance registered its cache with (null
+  // with peer_cache.enabled off); shared by every co-located instance.
+  std::shared_ptr<PeerCacheIndex> peer_index_;
+  std::uint64_t peer_hits_local_ = 0;
+  std::uint64_t peer_hits_remote_ = 0;
+  std::uint64_t peer_misses_ = 0;
+  std::uint64_t peer_bytes_ = 0;
 };
 
 /// RAII holder for a zero-copy batch: releases the pinned units when the
@@ -660,6 +700,19 @@ class DlfsFleet {
     return it == arbiters_.end() ? nullptr : it->second.get();
   }
 
+  /// The per-node cooperative cache index (created lazily when a mounted
+  /// instance has peer_cache.enabled); nullptr when no instance on `nid`
+  /// registered.
+  [[nodiscard]] PeerCacheIndex* peer_index(hw::NodeId nid) const {
+    auto it = peer_indexes_.find(nid);
+    return it == peer_indexes_.end() ? nullptr : it->second.get();
+  }
+  /// The cluster-wide cooperative cache directory (created at
+  /// construction when peer_cache.enabled; nullptr otherwise).
+  [[nodiscard]] PeerCacheDirectory* peer_directory() const {
+    return peer_directory_.get();
+  }
+
   // --- self-healing replication --------------------------------------------
   // Permanent-loss lifecycle. A storage slot is *suspect* while its
   // transport is down; the per-instance failure detector promotes it to
@@ -699,6 +752,7 @@ class DlfsFleet {
   friend class DlfsInstance;
 
   [[nodiscard]] std::shared_ptr<PrefetchArbiter> arbiter_for(hw::NodeId nid);
+  [[nodiscard]] std::shared_ptr<PeerCacheIndex> peer_index_for(hw::NodeId nid);
 
   /// Picks the deterministic replacement for a new copy of `sample_id` —
   /// the same hash(name ‖ r) probe chain as mount-time placement, skipping
@@ -741,9 +795,16 @@ class DlfsFleet {
   std::vector<std::vector<RecordFileInfo>> record_files_;  // per slot
   std::unique_ptr<BatchPlan> plan_;
   std::vector<std::unique_ptr<spdk::NvmfTarget>> targets_;  // per slot
-  std::vector<std::unique_ptr<DlfsInstance>> instances_;
   // Per-node read-ahead arbiters for co-located instances (opt-in).
   std::unordered_map<hw::NodeId, std::shared_ptr<PrefetchArbiter>> arbiters_;
+  // Cooperative peer cache (config.peer_cache.enabled): per-node member
+  // indexes, registered alongside the arbiters, and the cluster-wide
+  // consistent-hash cache directory. Declared before instances_ —
+  // ~DlfsInstance unregisters from both, so they must outlive the
+  // instances during fleet destruction.
+  std::unordered_map<hw::NodeId, std::shared_ptr<PeerCacheIndex>> peer_indexes_;
+  std::shared_ptr<PeerCacheDirectory> peer_directory_;
+  std::vector<std::unique_ptr<DlfsInstance>> instances_;
   cluster::Barrier upload_barrier_;
   cluster::Barrier allgather_barrier_;
   cluster::Barrier ready_barrier_;

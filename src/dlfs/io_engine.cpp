@@ -198,6 +198,10 @@ bool IoEngine::advance_route(ReadExtent& x) {
   while (!x.routes.empty()) {
     const RouteHop hop = x.routes.front();
     x.routes.erase(x.routes.begin());
+    // Peer hops name a client's DRAM cache, not an NVMe-oF target; they
+    // are consumed by the DLFS peer-read path before start_extents and
+    // must never be posted as device reads here.
+    if (hop.cls == HopClass::kPeer) continue;
     if (hop.nid < targets_.size() && targets_[hop.nid] != nullptr &&
         node_available(hop.nid)) {
       x.nid = hop.nid;

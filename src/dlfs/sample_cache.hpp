@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <span>
 #include <unordered_map>
@@ -34,7 +35,35 @@
 #include "mem/hugepage_pool.hpp"
 #include "sim/check.hpp"
 
+namespace dlsim {
+class CpuCore;
+}
+
 namespace dlfs::core {
+
+/// Cooperative peer sample cache configuration (nested in DlfsConfig).
+/// The dataset is immutable after mount, so serving another instance's
+/// cached bytes is coherence-free by construction — the only policy
+/// knobs are whether to cooperate at all and how much residency a node
+/// may advertise into the cluster cache directory.
+struct PeerCacheConfig {
+  /// What happens when new residency would push a node past its
+  /// advertise budget.
+  enum class Eviction : std::uint8_t {
+    kLru,        // retract the node's oldest advertisement to make room
+    kRefuseNew,  // keep the old set; the new residency goes unadvertised
+  };
+
+  bool enabled = false;
+  /// Advertised-residency budget per client node, in bytes. 0 means
+  /// every resident sample is advertised (already bounded by the cache
+  /// capacity itself).
+  std::uint64_t advertise_budget_bytes = 0;
+  Eviction eviction = Eviction::kLru;
+
+  friend bool operator==(const PeerCacheConfig&,
+                         const PeerCacheConfig&) = default;
+};
 
 class SampleCache {
  public:
@@ -84,6 +113,14 @@ class SampleCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   void note_hit() { ++hits_; }
   void note_miss() { ++misses_; }
+
+  /// Residency listener: fired synchronously with (sample_id, resident)
+  /// every time this cache's V bit flips. The cooperative peer cache
+  /// uses it to advertise/retract residency in the cluster cache
+  /// directory. Must be suspension-free — it runs inside cache slices.
+  void set_residency_listener(std::function<void(std::size_t, bool)> fn) {
+    residency_listener_ = std::move(fn);
+  }
 
  private:
   static constexpr std::size_t kShards = 4;
@@ -135,6 +172,104 @@ class SampleCache {
   std::uint64_t tick_ = 0;  // global recency clock; bumped on pin/insert
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::function<void(std::size_t, bool)> residency_listener_;
+};
+
+/// PeerCacheIndex: the intra-node half of the cooperative cache. One per
+/// *client node*, registered on the fleet alongside the PrefetchArbiter:
+/// every co-located DlfsInstance registers its SampleCache (and the I/O
+/// core its peer serves are charged to), so a sample resident in any
+/// local instance is a local hit for all of them — UnifyFS-style
+/// ephemeral node-local aggregation. Like DirectoryView, the object is
+/// cost-free bookkeeping; callers charge CPU/copy time.
+class PeerCacheIndex {
+ public:
+  struct Member {
+    std::uint32_t client = 0;         // fleet client index
+    SampleCache* cache = nullptr;     // that instance's sample cache
+    dlsim::CpuCore* core = nullptr;   // core a peer serve is charged to
+  };
+
+  void register_member(std::uint32_t client, SampleCache* cache,
+                       dlsim::CpuCore* core);
+  void unregister_member(std::uint32_t client);
+
+  /// First co-located member other than `asking` holding `sample_id`.
+  /// Returned pointer stays valid until that member unregisters.
+  [[nodiscard]] const Member* find_holder(std::size_t sample_id,
+                                          std::uint32_t asking) const;
+
+  /// Registered record for `client`, or nullptr.
+  [[nodiscard]] const Member* member_of(std::uint32_t client) const;
+
+ private:
+  mutable dlsim::AccessLedger ledger_{"peer-cache-index"};
+  std::vector<Member> members_;
+};
+
+/// PeerCacheDirectory: the cross-node half. A consistent-hash cache
+/// directory mapping sample id -> the client instances currently holding
+/// it in DRAM, with a per-node advertised-bytes budget. Residency deltas
+/// are published synchronously by the SampleCache residency listener —
+/// the model's stand-in for piggybacking them on existing metadata
+/// traffic; consumers of the directory charge the fabric/CPU cost of the
+/// home-directed request/forward hops (see the DlfsInstance peer-read
+/// path). The object itself is cost-free bookkeeping.
+class PeerCacheDirectory {
+ public:
+  PeerCacheDirectory(PeerCacheConfig cfg, std::uint32_t num_clients);
+
+  /// Home client of a sample — the consistent-hash probe discipline the
+  /// replica placement uses (hash of the key with a '\x1f'-separated
+  /// probe rank; rank 0 is the home, the degenerate k=1 chain). The home
+  /// answers or forwards peer-read requests for the sample.
+  [[nodiscard]] std::uint32_t home_client(std::size_t sample_id) const;
+
+  /// Client `holder` (on `node`) now holds `sample_id` (`bytes` long).
+  /// Subject to the node's advertise budget and eviction policy.
+  void advertise(std::uint32_t holder, std::uint16_t node,
+                 std::size_t sample_id, std::uint32_t bytes);
+  void retract(std::uint32_t holder, std::size_t sample_id);
+  void retract_all(std::uint32_t holder);
+
+  struct Holder {
+    bool found = false;
+    std::uint32_t client = 0;
+    std::uint16_t node = 0;
+  };
+  /// Some advertised holder of `sample_id` other than `asking`
+  /// (deterministic: first surviving advertisement wins).
+  [[nodiscard]] Holder find(std::size_t sample_id,
+                            std::uint32_t asking) const;
+
+  [[nodiscard]] std::uint64_t advertised_bytes(std::uint16_t node) const;
+  [[nodiscard]] std::uint64_t budget_retractions() const {
+    return budget_retractions_;
+  }
+  [[nodiscard]] std::uint64_t refused_adverts() const { return refused_; }
+
+ private:
+  struct Ad {
+    std::uint32_t holder = 0;
+    std::uint16_t node = 0;
+    std::uint32_t bytes = 0;
+  };
+  struct NodeBook {
+    std::uint64_t bytes = 0;
+    // Advertise order, front = oldest: the kLru budget policy retracts
+    // from the front.
+    std::list<std::pair<std::size_t, std::uint32_t>> order;
+  };
+
+  void retract_locked(std::uint32_t holder, std::size_t sample_id);
+
+  PeerCacheConfig cfg_;
+  std::uint32_t num_clients_;
+  mutable dlsim::AccessLedger ledger_{"peer-cache-directory"};
+  std::unordered_map<std::size_t, std::vector<Ad>> ads_;
+  std::unordered_map<std::uint16_t, NodeBook> books_;
+  std::uint64_t budget_retractions_ = 0;
+  std::uint64_t refused_ = 0;
 };
 
 }  // namespace dlfs::core

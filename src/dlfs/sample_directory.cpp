@@ -105,6 +105,11 @@ void SampleDirectory::add_replica(std::size_t sample_id, std::uint16_t nid,
   replica_index_[sample_id].push_back(RouteHop{nid, offset});
   ++replica_counts_.at(nid);
   ++replica_rows_;
+  if (route_versions_.size() <= sample_id) {
+    route_versions_.resize(sample_id + 1, 0);
+  }
+  ++route_versions_[sample_id];
+  ++route_epoch_;
 }
 
 std::size_t SampleDirectory::drop_replicas_on(std::uint16_t nid) {
@@ -112,11 +117,16 @@ std::size_t SampleDirectory::drop_replicas_on(std::uint16_t nid) {
     throw std::invalid_argument("drop_replicas_on: nid out of range");
   }
   std::size_t dropped = 0;
-  for (auto& hops : replica_index_) {
+  for (std::size_t id = 0; id < replica_index_.size(); ++id) {
     const auto removed = std::erase_if(
-        hops, [nid](const RouteHop& h) { return h.nid == nid; });
+        replica_index_[id], [nid](const RouteHop& h) { return h.nid == nid; });
+    if (removed > 0) {
+      if (route_versions_.size() <= id) route_versions_.resize(id + 1, 0);
+      ++route_versions_[id];
+    }
     dropped += removed;
   }
+  if (dropped > 0) ++route_epoch_;
   replica_counts_.at(nid) -= dropped;
   replica_rows_ -= dropped;
   return dropped;

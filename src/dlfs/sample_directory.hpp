@@ -100,6 +100,20 @@ class SampleDirectory {
 
   [[nodiscard]] std::size_t num_replicas() const { return replica_rows_; }
 
+  /// Monotone per-sample route-set version: bumped whenever the hop set
+  /// of `sample_id` changes (add_replica / drop_replicas_on). Cached
+  /// directory rows stamp the version they were filled at; a mismatch
+  /// means the repair daemon republished the sample since the row was
+  /// cached and the row must not be served (see DirectoryView).
+  [[nodiscard]] std::uint32_t route_version(std::size_t sample_id) const {
+    return sample_id < route_versions_.size() ? route_versions_[sample_id] : 0;
+  }
+
+  /// Coarse whole-directory route epoch: bumped once per mutation call
+  /// that changed any hop set. Name-keyed cache rows (which cannot name
+  /// a sample id) validate against this instead.
+  [[nodiscard]] std::uint64_t route_epoch() const { return route_epoch_; }
+
   [[nodiscard]] std::size_t num_samples() const { return id_index_.size(); }
 
   /// Owner storage slot of a sample id — an O(1) read of the id-index
@@ -173,6 +187,8 @@ class SampleDirectory {
   std::vector<std::vector<RouteHop>> replica_index_;  // sample id -> routes
   std::vector<std::uint64_t> replica_counts_;  // replicas hosted per nid
   std::size_t replica_rows_ = 0;
+  std::vector<std::uint32_t> route_versions_;  // sample id -> hop-set version
+  std::uint64_t route_epoch_ = 0;              // any-route mutation counter
   std::uint64_t probe_mask_ = SampleEntry::kKeyMask;
   // full 64-bit name hash -> probed key, for the rare 48-bit collisions.
   std::unordered_map<std::uint64_t, std::uint64_t> collision_keys_;

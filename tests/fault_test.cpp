@@ -839,6 +839,55 @@ TEST(SelfHealing, ViewPinnedChunksSurviveCrashAndRepair) {
   EXPECT_EQ(inst.stats().view_pins_active, 0u);
 }
 
+TEST(SelfHealing, ShardedDirectoryInvalidatesStaleRowsAfterRepair) {
+  // Stale-row regression: in sharded mode a client's lookup cache holds
+  // per-sample resolutions filled during epoch 1. When the repair engine
+  // publishes a replacement copy through SampleDirectory::add_replica,
+  // the sample's route version bumps; a pre-repair row must be
+  // invalidated and re-resolved, never served as the stale hop set.
+  dlfs::core::ReplicationConfig repl(2);
+  repl.declare_dead_after = 5_ms;
+  auto c =
+      SelfHealRig::cfg(repl, dlfs::core::BatchingMode::kSampleLevel, 2_ms);
+  c.directory.mode = dlfs::core::DirectoryMode::kSharded;
+  SelfHealRig rig(c);
+  auto& inst = rig.fleet.instance(0);
+  rig.fleet.target(0)->crash_at(rig.sim.now() + 500_us);
+  bool was_declared = false;
+  DeliveryLog log2;
+  rig.sim.spawn(
+      [](SelfHealRig& r, dlfs::core::DlfsInstance& inst, bool& was_declared,
+         DeliveryLog& log2) -> Task<void> {
+        inst.sequence(1);
+        DeliveryLog log1;
+        co_await run_epoch_logged(r.ds, inst, log1);
+        EXPECT_EQ(log1.skipped, 0u);
+        while (!r.fleet.declared_dead(0)) co_await r.sim.delay(1_ms);
+        was_declared = true;
+        while (!r.fleet.repair_backlog().empty()) co_await r.sim.delay(1_ms);
+        // Re-read with the node still dead: every sample the repair
+        // engine re-homed must resolve its NEW hop set through the view
+        // (stale pre-repair rows invalidated), not skip or mis-read.
+        inst.sequence(2);
+        co_await run_epoch_logged(r.ds, inst, log2);
+        // Heal the target so the reprobe daemon parks and the simulator
+        // quiesces.
+        r.fleet.target(0)->recover();
+      }(rig, inst, was_declared, log2),
+      "sharded-repair-epochs");
+  rig.sim.run_watchdog(rig.sim.now() + 30_sec);
+  rig.sim.rethrow_failures();
+  EXPECT_TRUE(was_declared);
+  EXPECT_EQ(log2.order.size(), SelfHealRig::kSamples);
+  EXPECT_EQ(log2.skipped, 0u);
+  EXPECT_TRUE(log2.content_ok);
+  const auto stats = inst.stats();
+  EXPECT_GT(stats.samples_rereplicated, 0u);
+  // The fix is observable: post-repair resolutions hit versioned rows
+  // and invalidated them instead of serving the stale entries.
+  EXPECT_GT(stats.directory.stale_invalidations, 0u);
+}
+
 TEST(FaultInjection, MidEpochReprobeRejoinsNodeWithoutEpochBoundary) {
   // No replication — the point is the background probe daemon: the node
   // crashes and heals mid-epoch, and the daemon rejoins it within one
